@@ -1,0 +1,320 @@
+//! hBench — the paper's microbenchmark (`B[i] = A[i] + α`).
+//!
+//! Three program builders, one per microbenchmark experiment:
+//!
+//! * [`transfer_program`] — Fig. 5: `hd` H2D blocks and `dh` D2H blocks on
+//!   two streams, exposing whether the link serializes the directions;
+//! * [`overlap_program`] — Fig. 6: fixed 16 MiB arrays each way, kernel
+//!   iterations swept, in four variants (`Data`, `Kernel`, `DataKernel`,
+//!   `Streamed`);
+//! * [`partition_program`] — Fig. 7: 128 resident blocks, kernels only,
+//!   swept over the partition count, plus the non-tiled `ref` variant.
+
+use hstreams::context::Context;
+use hstreams::kernel::KernelDesc;
+use hstreams::types::Result;
+use micsim::PlatformConfig;
+
+use crate::profiles;
+
+/// α used by the kernel (any non-zero constant; visible in native output).
+pub const ALPHA: f32 = 2.5;
+
+/// Element-iteration work of `elems` elements iterated `iters` times.
+fn kernel_work(elems: usize, iters: usize) -> f64 {
+    elems as f64 * iters as f64
+}
+
+/// The hBench kernel with a native body: `B[i] = A[i] + α`, `iters` times.
+pub fn kernel(label: impl Into<String>, elems: usize, iters: usize) -> KernelDesc {
+    KernelDesc::simulated(label, profiles::hbench(), kernel_work(elems, iters)).with_native(
+        move |k| {
+            let a = k.reads[0];
+            let b = &mut k.writes[0];
+            let threads = k.threads;
+            hstreams::parallel::par_chunks_mut(b, threads, |_, offset, chunk| {
+                for (i, out) in chunk.iter_mut().enumerate() {
+                    let mut v = a[offset + i];
+                    for _ in 0..iters {
+                        v += ALPHA;
+                    }
+                    *out = v;
+                }
+            });
+        },
+    )
+}
+
+/// Serial reference of the kernel.
+pub fn reference(a: &[f32], iters: usize) -> Vec<f32> {
+    a.iter().map(|&x| x + ALPHA * iters as f32).collect()
+}
+
+/// Fig. 5 program: `hd` host→device blocks on stream 0 and `dh`
+/// device→host blocks on stream 1, `block_bytes` each, no ordering between
+/// them. On a serial link the makespan is proportional to `hd + dh`; on a
+/// full-duplex link it is proportional to `max(hd, dh)`.
+pub fn transfer_program(
+    cfg: PlatformConfig,
+    hd: usize,
+    dh: usize,
+    block_bytes: u64,
+) -> Result<Context> {
+    let mut ctx = Context::builder(cfg).partitions(2).build()?;
+    let elems = (block_bytes / 4) as usize;
+    let s0 = ctx.stream(0)?;
+    let s1 = ctx.stream(1)?;
+    for i in 0..hd {
+        let b = ctx.alloc(format!("hd{i}"), elems);
+        ctx.h2d(s0, b)?;
+    }
+    for i in 0..dh {
+        let b = ctx.alloc(format!("dh{i}"), elems);
+        ctx.d2h(s1, b)?;
+    }
+    Ok(ctx)
+}
+
+/// Which Fig. 6 variant to build.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OverlapVariant {
+    /// Transfers only: A host→device and B device→host.
+    Data,
+    /// Kernel only (data assumed resident).
+    Kernel,
+    /// Single stream: H2D, kernel, D2H, fully serial.
+    DataKernel,
+    /// Tiled over `tiles` tasks pipelined across the context's streams.
+    Streamed {
+        /// Number of tiles the arrays are split into.
+        tiles: usize,
+    },
+}
+
+/// Fig. 6 program: arrays A and B of `elems` f32 each, kernel iterated
+/// `iters` times, in the requested variant. `partitions` sizes the context
+/// for the `Streamed` variant (the paper uses 4); the single-stream
+/// variants always run on the whole device, as in the paper.
+pub fn overlap_program(
+    cfg: PlatformConfig,
+    elems: usize,
+    iters: usize,
+    partitions: usize,
+    variant: OverlapVariant,
+) -> Result<Context> {
+    let partitions = match variant {
+        OverlapVariant::Streamed { .. } => partitions,
+        _ => 1,
+    };
+    let mut ctx = Context::builder(cfg).partitions(partitions).build()?;
+    match variant {
+        OverlapVariant::Data => {
+            let a = ctx.alloc("A", elems);
+            let b = ctx.alloc("B", elems);
+            let s = ctx.stream(0)?;
+            ctx.h2d(s, a)?;
+            ctx.d2h(s, b)?;
+        }
+        OverlapVariant::Kernel => {
+            let a = ctx.alloc("A", elems);
+            let b = ctx.alloc("B", elems);
+            let s = ctx.stream(0)?;
+            ctx.kernel(s, kernel("hbench", elems, iters).reading([a]).writing([b]))?;
+        }
+        OverlapVariant::DataKernel => {
+            let a = ctx.alloc("A", elems);
+            let b = ctx.alloc("B", elems);
+            let s = ctx.stream(0)?;
+            ctx.h2d(s, a)?;
+            ctx.kernel(s, kernel("hbench", elems, iters).reading([a]).writing([b]))?;
+            ctx.d2h(s, b)?;
+        }
+        OverlapVariant::Streamed { tiles } => {
+            let ranges = crate::util::split_ranges(elems, tiles);
+            for (t, range) in ranges.into_iter().enumerate() {
+                let n = range.len();
+                let a = ctx.alloc(format!("A{t}"), n);
+                let b = ctx.alloc(format!("B{t}"), n);
+                let s = ctx.stream(t % ctx.stream_count())?;
+                ctx.h2d(s, a)?;
+                ctx.kernel(
+                    s,
+                    kernel(format!("hbench{t}"), n, iters)
+                        .reading([a])
+                        .writing([b]),
+                )?;
+                ctx.d2h(s, b)?;
+            }
+        }
+    }
+    Ok(ctx)
+}
+
+/// Fig. 7 program: `blocks` resident tiles of `block_elems` elements,
+/// kernels only (the paper excludes transfer time here), `iters` iterations
+/// each, round-robin over `partitions` streams. `tiled = false` builds the
+/// `ref` bar instead: one kernel over the whole array on one partition.
+pub fn partition_program(
+    cfg: PlatformConfig,
+    blocks: usize,
+    block_elems: usize,
+    iters: usize,
+    partitions: usize,
+    tiled: bool,
+) -> Result<Context> {
+    if !tiled {
+        let mut ctx = Context::builder(cfg).partitions(1).build()?;
+        let total = blocks * block_elems;
+        let a = ctx.alloc("A", total);
+        let b = ctx.alloc("B", total);
+        let s = ctx.stream(0)?;
+        ctx.kernel(s, kernel("ref", total, iters).reading([a]).writing([b]))?;
+        return Ok(ctx);
+    }
+    let mut ctx = Context::builder(cfg).partitions(partitions).build()?;
+    for t in 0..blocks {
+        let a = ctx.alloc(format!("A{t}"), block_elems);
+        let b = ctx.alloc(format!("B{t}"), block_elems);
+        let s = ctx.stream(t % ctx.stream_count())?;
+        ctx.kernel(
+            s,
+            kernel(format!("k{t}"), block_elems, iters)
+                .reading([a])
+                .writing([b]),
+        )?;
+    }
+    Ok(ctx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::assert_close;
+    use micsim::SimDuration;
+
+    const MB: u64 = 1 << 20;
+
+    #[test]
+    fn fig5_serial_link_sums_directions() {
+        // ID case: hd + dh = 16 constant => constant time ~2.5 ms.
+        let t = |hd, dh| {
+            transfer_program(PlatformConfig::phi_31sp(), hd, dh, MB)
+                .unwrap()
+                .run_sim()
+                .unwrap()
+                .makespan()
+                .as_millis_f64()
+        };
+        let id_times: Vec<f64> = (0..=16).map(|hd| t(hd, 16 - hd)).collect();
+        let first = id_times[0];
+        for v in &id_times {
+            assert!(
+                (v - first).abs() / first < 0.02,
+                "ID should be flat: {id_times:?}"
+            );
+        }
+        assert!((first - 2.5).abs() < 0.4, "ID level ≈ 2.5 ms, got {first}");
+        // CC case: 32 blocks ≈ double.
+        let cc = t(16, 16);
+        assert!((cc / first - 2.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn fig5_full_duplex_takes_max() {
+        let t = |hd, dh| {
+            transfer_program(PlatformConfig::phi_31sp_full_duplex(), hd, dh, MB)
+                .unwrap()
+                .run_sim()
+                .unwrap()
+                .makespan()
+                .as_millis_f64()
+        };
+        let balanced = t(8, 8);
+        let one_way = t(16, 0);
+        assert!(
+            (balanced - one_way / 2.0).abs() / balanced < 0.05,
+            "full duplex: 8+8 ({balanced}) ≈ half of 16+0 ({one_way})"
+        );
+    }
+
+    #[test]
+    fn fig6_streamed_between_ideal_and_serial() {
+        let elems = 4 << 20;
+        let iters = 40;
+        let run = |variant| {
+            overlap_program(PlatformConfig::phi_31sp(), elems, iters, 4, variant)
+                .unwrap()
+                .run_sim()
+                .unwrap()
+                .makespan()
+        };
+        let data = run(OverlapVariant::Data);
+        let kern = run(OverlapVariant::Kernel);
+        let serial = run(OverlapVariant::DataKernel);
+        let streamed = run(OverlapVariant::Streamed { tiles: 16 });
+        let ideal = data.max(kern);
+        assert!(
+            streamed > ideal,
+            "full overlap is unattainable: streamed {streamed} vs ideal {ideal}"
+        );
+        assert!(
+            streamed < serial,
+            "streaming must beat the serial flow: {streamed} vs {serial}"
+        );
+    }
+
+    #[test]
+    fn fig7_u_shape_and_ref_floor() {
+        let run = |p| {
+            partition_program(PlatformConfig::phi_31sp(), 128, 32 << 10, 100, p, true)
+                .unwrap()
+                .run_sim()
+                .unwrap()
+                .makespan()
+        };
+        let t1 = run(1);
+        let t8 = run(8);
+        let t128 = run(128);
+        let reference = partition_program(PlatformConfig::phi_31sp(), 128, 32 << 10, 100, 1, false)
+            .unwrap()
+            .run_sim()
+            .unwrap()
+            .makespan();
+        assert!(t1 > t8, "left edge of the U: {t1} > {t8}");
+        assert!(t128 > t8, "right edge of the U: {t128} > {t8}");
+        assert!(
+            reference < t8,
+            "non-tiled ref must beat every tiled config: {reference} vs {t8}"
+        );
+        assert!(reference > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn native_kernel_matches_reference() {
+        let elems = 1 << 12;
+        let iters = 7;
+        let ctx = overlap_program(
+            PlatformConfig::phi_31sp(),
+            elems,
+            iters,
+            2,
+            OverlapVariant::Streamed { tiles: 4 },
+        )
+        .unwrap();
+        // Fill the tile inputs, run natively, compare with the reference.
+        let mut expected_all = Vec::new();
+        let mut got_all = Vec::new();
+        for t in 0..4 {
+            let a = hstreams::BufId(t * 2);
+            let data = crate::util::random_vec(t as u64, ctx.buffer(a).unwrap().len, -1.0, 1.0);
+            ctx.write_host(a, &data).unwrap();
+            expected_all.extend(reference(&data, iters));
+        }
+        ctx.run_native().unwrap();
+        for t in 0..4 {
+            let b = hstreams::BufId(t * 2 + 1);
+            got_all.extend(ctx.read_host(b).unwrap());
+        }
+        assert_close(&got_all, &expected_all, 1e-4, "hbench native");
+    }
+}

@@ -1,0 +1,33 @@
+//! # mic-apps — the paper's seven workloads
+//!
+//! hBench plus the six real-world applications from the paper, each as a
+//! tiled, streamed `hstreams` program with:
+//!
+//! * a **builder** that records the app's Fig. 4 flow (overlappable or
+//!   stage-synchronized) onto a [`hstreams::Context`] for any `(P, T)`;
+//! * calibrated **cost profiles** for the simulator executor;
+//! * real **native kernels** and a serial **reference** implementation, so
+//!   the streamed execution is validated end to end.
+//!
+//! | module | app | flow (Fig. 4) |
+//! |---|---|---|
+//! | [`hbench`] | microbenchmark `B[i] = A[i] + α` | either |
+//! | [`mm`] | Matrix Multiplication | overlappable |
+//! | [`cholesky`] | Cholesky Factorization | overlappable, multi-kernel |
+//! | [`kmeans`] | Kmeans clustering | non-overlappable, alloc-heavy |
+//! | [`hotspot`] | thermal stencil | non-overlappable |
+//! | [`nn`] | nearest neighbours | overlappable, transfer-bound |
+//! | [`srad`] | speckle-reducing diffusion | non-overlappable, multi-kernel |
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cholesky;
+pub mod hbench;
+pub mod hotspot;
+pub mod kmeans;
+pub mod mm;
+pub mod nn;
+pub mod profiles;
+pub mod srad;
+pub mod util;

@@ -1,0 +1,258 @@
+//! Calibrated kernel cost profiles for the seven workloads.
+//!
+//! The `thread_rate` constants are in work units per second per
+//! thread-equivalent (a full 56-core 31SP supplies ≈100.8 equivalents, see
+//! [`micsim::compute::SmtScaling`]). They are anchored to the paper's own
+//! numbers:
+//!
+//! * hBench: the Fig. 6 crossover — the 4 Mi-element kernel at 40 iterations
+//!   costs the same ~5.2 ms as the 32 MiB two-way transfer ⇒ ≈32 G
+//!   element-iterations/s device-wide ⇒ 0.32 G per equivalent.
+//! * MM: Fig. 9(a) peaks near 550 GFLOPS ⇒ ≈5.5 GFLOPS per equivalent.
+//! * CF: Fig. 9(b) peaks near 375 GFLOPS ⇒ ≈3.8 GFLOPS per equivalent
+//!   (the panel kernels are less regular than GEMM).
+//! * Kmeans: dominated by its per-iteration scratch allocation, which the
+//!   paper observes scales with threads-per-stream (Sec. V-B1) — modeled by
+//!   `alloc_per_thread`.
+//! * Hotspot: a stencil whose tile working set rewards compact partitions
+//!   (the P≈33–37 dip of Fig. 9(d)) — modeled by `CacheProfile`.
+//!
+//! `half_work_per_thread` sets where small tiles stop scaling (the left edge
+//! of Fig. 7's U and the right-hand decay of Fig. 10).
+
+use micsim::compute::{CacheProfile, KernelProfile};
+use micsim::time::SimDuration;
+
+/// hBench `B[i] = A[i] + α` kernel; work = element-iterations.
+pub fn hbench() -> KernelProfile {
+    KernelProfile {
+        name: "hbench".into(),
+        thread_rate: 0.32e9,
+        half_work_per_thread: 8.0e3,
+        alloc_per_thread: SimDuration::ZERO,
+        cache: CacheProfile::Neutral,
+    }
+}
+
+/// Matrix-multiplication tile kernel; work = flops.
+pub fn mm_gemm() -> KernelProfile {
+    KernelProfile {
+        name: "gemm".into(),
+        thread_rate: 5.5e9,
+        half_work_per_thread: 50.0e3,
+        alloc_per_thread: SimDuration::ZERO,
+        cache: CacheProfile::Neutral,
+    }
+}
+
+/// Cholesky panel factorization (POTRF); work = flops.
+pub fn cf_potrf() -> KernelProfile {
+    KernelProfile {
+        name: "potrf".into(),
+        thread_rate: 1.2e9, // mostly sequential dependency chain in the tile
+        half_work_per_thread: 1.0e6,
+        alloc_per_thread: SimDuration::ZERO,
+        cache: CacheProfile::Neutral,
+    }
+}
+
+/// Cholesky triangular solve (TRSM); work = flops.
+pub fn cf_trsm() -> KernelProfile {
+    KernelProfile {
+        name: "trsm".into(),
+        thread_rate: 3.2e9,
+        half_work_per_thread: 2.0e6,
+        alloc_per_thread: SimDuration::ZERO,
+        cache: CacheProfile::Neutral,
+    }
+}
+
+/// Cholesky trailing update (SYRK/GEMM); work = flops.
+pub fn cf_update() -> KernelProfile {
+    KernelProfile {
+        name: "syrk".into(),
+        thread_rate: 4.2e9,
+        half_work_per_thread: 2.0e6,
+        alloc_per_thread: SimDuration::ZERO,
+        cache: CacheProfile::Neutral,
+    }
+}
+
+/// Kmeans assignment kernel; work = point-centroid-dimension products.
+///
+/// `alloc_per_thread` is the paper's observed per-iteration temporary
+/// allocation cost, linear in resident threads (Sec. V-B1, Fig. 9(c)).
+pub fn kmeans_assign() -> KernelProfile {
+    kmeans_assign_with_alloc(SimDuration::from_micros(5))
+}
+
+/// Kmeans assignment with an explicit per-thread allocation cost — used by
+/// the allocation ablation bench (zero = "the kernel preallocates").
+pub fn kmeans_assign_with_alloc(alloc_per_thread: SimDuration) -> KernelProfile {
+    KernelProfile {
+        name: "kmeans_assign".into(),
+        thread_rate: 0.5e9,
+        half_work_per_thread: 20.0e3,
+        alloc_per_thread,
+        cache: CacheProfile::Neutral,
+    }
+}
+
+/// Kmeans centroid-reduction kernel; work = partial-sum elements.
+pub fn kmeans_reduce() -> KernelProfile {
+    KernelProfile {
+        name: "kmeans_reduce".into(),
+        thread_rate: 0.5e9,
+        half_work_per_thread: 2.0e3,
+        alloc_per_thread: SimDuration::ZERO,
+        cache: CacheProfile::Neutral,
+    }
+}
+
+/// Hotspot transient-thermal stencil; work = cell-updates × flops.
+pub fn hotspot_stencil() -> KernelProfile {
+    KernelProfile {
+        name: "hotspot".into(),
+        thread_rate: 0.15e9,
+        half_work_per_thread: 6.0e3,
+        alloc_per_thread: SimDuration::ZERO,
+        cache: CacheProfile::CompactFriendly {
+            bonus: 0.15,
+            ideal_cores: 2,
+            worst_cores: 14,
+        },
+    }
+}
+
+/// NN distance kernel; work = records (the k-selection is host-side).
+///
+/// The kernel is memory-bound on the card (gather + sqrt per record); the
+/// rate is set so the full-device distance pass over Fig. 9(e)'s 5.24 M
+/// records costs a couple of milliseconds — small against the
+/// latency-dominated transfer stream, as the paper observes ("NN's
+/// performance is bounded by data transfers").
+pub fn nn_distance() -> KernelProfile {
+    KernelProfile {
+        name: "nn_dist".into(),
+        thread_rate: 12.0e6,
+        half_work_per_thread: 500.0,
+        alloc_per_thread: SimDuration::ZERO,
+        cache: CacheProfile::Neutral,
+    }
+}
+
+/// SRAD statistics reduction; work = pixels.
+pub fn srad_reduce() -> KernelProfile {
+    KernelProfile {
+        name: "srad_reduce".into(),
+        thread_rate: 20.0e6,
+        half_work_per_thread: 2.0e3,
+        alloc_per_thread: SimDuration::ZERO,
+        cache: CacheProfile::Neutral,
+    }
+}
+
+/// SRAD diffusion-coefficient kernel; work = pixels.
+pub fn srad_coeff() -> KernelProfile {
+    KernelProfile {
+        name: "srad_coeff".into(),
+        thread_rate: 8.0e6,
+        half_work_per_thread: 2.0e3,
+        alloc_per_thread: SimDuration::ZERO,
+        cache: CacheProfile::Neutral,
+    }
+}
+
+/// SRAD update kernel; work = pixels.
+pub fn srad_update() -> KernelProfile {
+    KernelProfile {
+        name: "srad_update".into(),
+        thread_rate: 10.0e6,
+        half_work_per_thread: 2.0e3,
+        alloc_per_thread: SimDuration::ZERO,
+        cache: CacheProfile::Neutral,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use micsim::compute::{ComputeModel, KernelInvocation, SmtScaling};
+    use micsim::device::DeviceSpec;
+    use micsim::partition::PartitionPlan;
+
+    fn model() -> ComputeModel {
+        ComputeModel {
+            launch_overhead: SimDuration::from_micros(60),
+            smt: SmtScaling::default(),
+            core_sharing_factor: 0.8,
+            threads_per_core: 4,
+        }
+    }
+
+    #[test]
+    fn hbench_fig6_crossover_holds() {
+        // 4 Mi elements x 40 iterations on the full device ≈ 5.2 ms.
+        let m = model();
+        let plan = PartitionPlan::equal_split(&DeviceSpec::phi_31sp(), 1).unwrap();
+        let prof = hbench();
+        let inv = KernelInvocation {
+            profile: &prof,
+            work: 4.0 * 1024.0 * 1024.0 * 40.0,
+        };
+        let ms = m.kernel_time(&inv, &plan.partitions[0]).as_millis_f64();
+        assert!((ms - 5.2).abs() < 0.8, "hbench 40-iter kernel = {ms} ms");
+    }
+
+    #[test]
+    fn mm_reaches_paper_scale_gflops() {
+        // Full-device GEMM throughput should land in the paper's few-hundred
+        // GFLOPS band.
+        let m = model();
+        let plan = PartitionPlan::equal_split(&DeviceSpec::phi_31sp(), 1).unwrap();
+        let prof = mm_gemm();
+        let flops = 2.0 * 6000.0f64.powi(3);
+        let inv = KernelInvocation {
+            profile: &prof,
+            work: flops,
+        };
+        let secs = m.kernel_time(&inv, &plan.partitions[0]).as_secs_f64();
+        let gflops = flops / secs / 1e9;
+        assert!(
+            (300.0..700.0).contains(&gflops),
+            "full-device MM = {gflops} GFLOPS"
+        );
+    }
+
+    #[test]
+    fn kmeans_alloc_dominates_on_wide_partitions() {
+        let m = model();
+        let plan1 = PartitionPlan::equal_split(&DeviceSpec::phi_31sp(), 1).unwrap();
+        let plan56 = PartitionPlan::equal_split(&DeviceSpec::phi_31sp(), 56).unwrap();
+        let prof = kmeans_assign();
+        let inv = KernelInvocation {
+            profile: &prof,
+            work: 20_000.0,
+        };
+        let wide = m.kernel_time(&inv, &plan1.partitions[0]);
+        let narrow = m.kernel_time(&inv, &plan56.partitions[0]);
+        // 224 threads x 100 us alloc >> 4 threads x 100 us + slower compute.
+        assert!(
+            wide > narrow * 3,
+            "wide {wide} should dwarf narrow {narrow}"
+        );
+    }
+
+    #[test]
+    fn hotspot_prefers_compact_partitions() {
+        let m = model();
+        // P=37: ~6 threads over <=3 cores -> near-full bonus.
+        let plan37 = PartitionPlan::equal_split(&DeviceSpec::phi_31sp(), 37).unwrap();
+        let prof = hotspot_stencil();
+        let f_compact = m.cache_factor(&prof, &plan37.partitions[36]);
+        let plan2 = PartitionPlan::equal_split(&DeviceSpec::phi_31sp(), 2).unwrap();
+        let f_wide = m.cache_factor(&prof, &plan2.partitions[0]);
+        assert!(f_compact > 1.05);
+        assert_eq!(f_wide, 1.0);
+    }
+}

@@ -1,0 +1,67 @@
+//! Micro-benchmarks of the discrete-event engine: how fast the simulator
+//! substrate itself runs, independent of any application.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use micsim::engine::{Engine, TaskSpec};
+use micsim::time::SimDuration;
+
+/// Build-and-run a pipelined DAG: `streams` chains of `depth` tasks over
+/// `streams` resources plus one shared link resource.
+fn pipeline(streams: usize, depth: usize) -> micsim::Timeline {
+    let mut e = Engine::new();
+    let link = e.add_resource("link");
+    let parts: Vec<_> = (0..streams)
+        .map(|i| e.add_resource(format!("p{i}")))
+        .collect();
+    #[allow(clippy::needless_range_loop)]
+    for s in 0..streams {
+        let mut last = None;
+        for d in 0..depth {
+            let deps = last.into_iter().collect();
+            let t = e
+                .add_task(TaskSpec {
+                    resource: Some(if d % 3 == 0 { link } else { parts[s] }),
+                    duration: SimDuration::from_micros(10),
+                    deps,
+                    label: String::new(),
+                })
+                .unwrap();
+            last = Some(t);
+        }
+    }
+    e.run()
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+    for &(streams, depth) in &[(4usize, 250usize), (16, 250), (56, 100)] {
+        let tasks = streams * depth;
+        group.bench_with_input(
+            BenchmarkId::new("pipeline_tasks", tasks),
+            &(streams, depth),
+            |b, &(s, d)| b.iter(|| pipeline(s, d)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    use micsim::event::EventQueue;
+    use micsim::time::SimTime;
+    c.bench_function("event_queue/push_pop_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..10_000u64 {
+                q.schedule(SimTime(i * 7 % 9973 + i), i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, v)) = q.pop() {
+                sum = sum.wrapping_add(v);
+            }
+            sum
+        })
+    });
+}
+
+criterion_group!(benches, bench_engine, bench_event_queue);
+criterion_main!(benches);

@@ -1,0 +1,121 @@
+//! Native-kernel throughput benchmarks: the six applications' computational
+//! cores on the host, at test scale. These are the pieces a downstream user
+//! would care about when swapping in their own kernels.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hstreams::Context;
+use mic_apps::{cholesky, hotspot, kmeans, mm, nn, srad};
+use micsim::PlatformConfig;
+
+fn bench_mm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("apps");
+    group.sample_size(10);
+    group.bench_function("mm_256_native", |b| {
+        let cfg = mm::MmConfig {
+            n: 256,
+            tiles_per_dim: 4,
+        };
+        let mut ctx = Context::builder(PlatformConfig::phi_31sp())
+            .partitions(4)
+            .build()
+            .unwrap();
+        let bufs = mm::build(&mut ctx, &cfg).unwrap();
+        mm::fill_inputs(&ctx, &cfg, &bufs, 1).unwrap();
+        b.iter(|| ctx.run_native().unwrap());
+    });
+
+    group.bench_function("cholesky_128_native", |b| {
+        let cfg = cholesky::CfConfig {
+            n: 128,
+            tiles_per_dim: 4,
+        };
+        let mut ctx = Context::builder(PlatformConfig::phi_31sp())
+            .partitions(4)
+            .build()
+            .unwrap();
+        let bufs = cholesky::build(&mut ctx, &cfg).unwrap();
+        // CF factors in place: refill per iteration or the second run
+        // factors an already-factored (non-SPD) matrix.
+        b.iter(|| {
+            cholesky::fill_inputs(&ctx, &cfg, &bufs, 1).unwrap();
+            ctx.run_native().unwrap()
+        });
+    });
+
+    group.bench_function("kmeans_8k_native", |b| {
+        let cfg = kmeans::KmeansConfig {
+            points: 8192,
+            dims: 16,
+            k: 8,
+            iterations: 3,
+            tiles: 4,
+            alloc_micros: 5,
+        };
+        let mut ctx = Context::builder(PlatformConfig::phi_31sp())
+            .partitions(4)
+            .build()
+            .unwrap();
+        let bufs = kmeans::build(&mut ctx, &cfg).unwrap();
+        b.iter(|| {
+            kmeans::fill_inputs(&ctx, &cfg, &bufs, 1).unwrap();
+            ctx.run_native().unwrap()
+        });
+    });
+
+    group.bench_function("hotspot_256_native", |b| {
+        let cfg = hotspot::HotspotConfig {
+            rows: 256,
+            cols: 256,
+            iterations: 5,
+            tiles: 4,
+        };
+        let mut ctx = Context::builder(PlatformConfig::phi_31sp())
+            .partitions(4)
+            .build()
+            .unwrap();
+        let bufs = hotspot::build(&mut ctx, &cfg).unwrap();
+        b.iter(|| {
+            hotspot::fill_inputs(&ctx, &cfg, &bufs, 1).unwrap();
+            ctx.run_native().unwrap()
+        });
+    });
+
+    group.bench_function("nn_64k_native", |b| {
+        let cfg = nn::NnConfig {
+            records: 64 << 10,
+            tiles: 8,
+            k: 10,
+            target: (40.0, 120.0),
+        };
+        let mut ctx = Context::builder(PlatformConfig::phi_31sp())
+            .partitions(4)
+            .build()
+            .unwrap();
+        let bufs = nn::build(&mut ctx, &cfg).unwrap();
+        nn::fill_inputs(&ctx, &cfg, &bufs, 1).unwrap();
+        b.iter(|| ctx.run_native().unwrap());
+    });
+
+    group.bench_function("srad_128_native", |b| {
+        let cfg = srad::SradConfig {
+            rows: 128,
+            cols: 128,
+            lambda: 0.5,
+            iterations: 3,
+            tiles: 4,
+        };
+        let mut ctx = Context::builder(PlatformConfig::phi_31sp())
+            .partitions(4)
+            .build()
+            .unwrap();
+        let bufs = srad::build(&mut ctx, &cfg).unwrap();
+        b.iter(|| {
+            srad::fill_inputs(&ctx, &cfg, &bufs, 1).unwrap();
+            ctx.run_native().unwrap()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_mm);
+criterion_main!(benches);

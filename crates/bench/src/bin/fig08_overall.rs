@@ -1,0 +1,286 @@
+//! Fig. 8 — overall comparison of streamed (w/) vs non-streamed (w/o)
+//! versions of the six applications over their dataset sweeps, plus the
+//! Sec. V-A summary of average improvements.
+//!
+//! The non-streamed version is one stream / one tile. For the streamed
+//! version the paper "empirically enumerates all the possible values of
+//! task granularity and resource granularity to obtain the optimal
+//! performance"; this harness does the same over the Sec. V-C candidate
+//! sets (core-aligned P, T a small multiple of P).
+
+use mic_apps::{cholesky, hotspot, kmeans, mm, nn, srad};
+use mic_bench::{Figure, Series};
+use micsim::PlatformConfig;
+
+fn phi() -> PlatformConfig {
+    PlatformConfig::phi_31sp()
+}
+
+/// Core-aligned partition candidates (paper Sec. V-C rule 1).
+const P_SET: [usize; 5] = [2, 4, 7, 8, 28];
+
+/// Evaluate `eval(P, T)` (seconds; `None` = invalid combo) over the pruned
+/// candidate set and return `(best_secs, best_p, best_t)`.
+fn tune<F: FnMut(usize, usize) -> Option<f64>>(
+    t_candidates: &dyn Fn(usize) -> Vec<usize>,
+    mut eval: F,
+) -> (f64, usize, usize) {
+    let mut best = (f64::INFINITY, 0, 0);
+    for &p in &P_SET {
+        for t in t_candidates(p) {
+            if let Some(secs) = eval(p, t) {
+                if secs < best.0 {
+                    best = (secs, p, t);
+                }
+            }
+        }
+    }
+    assert!(best.0.is_finite(), "no streamed candidate evaluated");
+    best
+}
+
+fn mean(v: &[f64]) -> f64 {
+    if v.is_empty() {
+        0.0
+    } else {
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+}
+
+fn main() {
+    let mut summary: Vec<(&str, f64, &str)> = Vec::new();
+
+    // (a) MM — GFLOPS, higher is better. T = tpd², tpd must divide n.
+    {
+        let mut fig = Figure::new("fig08a_mm", "MM: w/o vs w/ (GFLOPS)", "dataset", "GFLOPS");
+        let mut wo = Series::new("w/o");
+        let mut w = Series::new("w/");
+        let mut gains = Vec::new();
+        for n in [2000usize, 4000, 6000, 8000, 10000, 12000] {
+            let (_, gf_wo) = mm::simulate(
+                &mm::MmConfig {
+                    n,
+                    tiles_per_dim: 1,
+                },
+                phi(),
+                1,
+            )
+            .unwrap();
+            let tpds = move |_p: usize| -> Vec<usize> {
+                [2usize, 4, 5, 8, 10, 16, 20]
+                    .iter()
+                    .copied()
+                    .filter(|t| n % t == 0)
+                    .collect()
+            };
+            let (secs, bp, bt) = tune(&tpds, |p, tpd| {
+                mm::simulate(
+                    &mm::MmConfig {
+                        n,
+                        tiles_per_dim: tpd,
+                    },
+                    phi(),
+                    p,
+                )
+                .ok()
+                .map(|(s, _)| s)
+            });
+            let gf_w = mm::MmConfig {
+                n,
+                tiles_per_dim: bt,
+            }
+            .flops()
+                / secs
+                / 1e9;
+            eprintln!("MM {n}: best P={bp} T={}", bt * bt);
+            wo.push(format!("{n}^2"), gf_wo);
+            w.push(format!("{n}^2"), gf_w);
+            gains.push((gf_w / gf_wo - 1.0) * 100.0);
+        }
+        fig.add(wo);
+        fig.add(w);
+        fig.emit();
+        summary.push(("MM", mean(&gains), "8.3"));
+    }
+
+    // (b) CF — GFLOPS, higher is better.
+    {
+        let mut fig = Figure::new("fig08b_cf", "CF: w/o vs w/ (GFLOPS)", "dataset", "GFLOPS");
+        let mut wo = Series::new("w/o");
+        let mut w = Series::new("w/");
+        let mut gains = Vec::new();
+        for n in [7200usize, 9600, 12000, 14400, 16800, 19200] {
+            let (_, gf_wo) = cholesky::simulate(
+                &cholesky::CfConfig {
+                    n,
+                    tiles_per_dim: 1,
+                },
+                phi(),
+                1,
+            )
+            .unwrap();
+            let tpds = move |_p: usize| -> Vec<usize> {
+                [6usize, 8, 10, 12, 16]
+                    .iter()
+                    .copied()
+                    .filter(|t| n % t == 0)
+                    .collect()
+            };
+            let (secs, bp, bt) = tune(&tpds, |p, tpd| {
+                cholesky::simulate(
+                    &cholesky::CfConfig {
+                        n,
+                        tiles_per_dim: tpd,
+                    },
+                    phi(),
+                    p,
+                )
+                .ok()
+                .map(|(s, _)| s)
+            });
+            let gf_w = cholesky::CfConfig {
+                n,
+                tiles_per_dim: bt,
+            }
+            .flops()
+                / secs
+                / 1e9;
+            eprintln!("CF {n}: best P={bp} T={}", bt * bt);
+            wo.push(format!("{n}^2"), gf_wo);
+            w.push(format!("{n}^2"), gf_w);
+            gains.push((gf_w / gf_wo - 1.0) * 100.0);
+        }
+        fig.add(wo);
+        fig.add(w);
+        fig.emit();
+        summary.push(("CF", mean(&gains), "24.1"));
+    }
+
+    // (c) Kmeans — execution time, lower is better.
+    {
+        let mut fig = Figure::new("fig08c_kmeans", "Kmeans: w/o vs w/", "dataset", "s");
+        let mut wo = Series::new("w/o");
+        let mut w = Series::new("w/");
+        let mut gains = Vec::new();
+        for points in [140_000usize, 280_000, 560_000, 1_120_000, 2_240_000] {
+            let base = kmeans::KmeansConfig {
+                points,
+                dims: 34,
+                k: 8,
+                iterations: 100,
+                tiles: 1,
+                alloc_micros: 5,
+            };
+            let t_wo = kmeans::simulate(&base, phi(), 1).unwrap();
+            let tiles = |p: usize| vec![p, 2 * p, 4 * p];
+            let (t_w, bp, bt) = tune(&tiles, |p, t| {
+                kmeans::simulate(&kmeans::KmeansConfig { tiles: t, ..base }, phi(), p).ok()
+            });
+            eprintln!("Kmeans {points}: best P={bp} T={bt}");
+            wo.push(format!("{}K", points / 1000), t_wo);
+            w.push(format!("{}K", points / 1000), t_w);
+            gains.push((t_wo / t_w - 1.0) * 100.0);
+        }
+        fig.add(wo);
+        fig.add(w);
+        fig.emit();
+        summary.push(("Kmeans", mean(&gains), "24.1"));
+    }
+
+    // (d) Hotspot — execution time, lower is better (paper: no change).
+    {
+        let mut fig = Figure::new("fig08d_hotspot", "Hotspot: w/o vs w/", "grid", "s");
+        let mut wo = Series::new("w/o");
+        let mut w = Series::new("w/");
+        let mut gains = Vec::new();
+        for d in [1024usize, 2048, 4096, 8192, 16384] {
+            let base = hotspot::HotspotConfig {
+                rows: d,
+                cols: d,
+                iterations: 50,
+                tiles: 1,
+            };
+            let t_wo = hotspot::simulate(&base, phi(), 1).unwrap();
+            let tiles = |p: usize| vec![p, 2 * p, 4 * p];
+            let (t_w, bp, bt) = tune(&tiles, |p, t| {
+                hotspot::simulate(&hotspot::HotspotConfig { tiles: t, ..base }, phi(), p).ok()
+            });
+            eprintln!("Hotspot {d}: best P={bp} T={bt}");
+            wo.push(format!("{d}^2"), t_wo);
+            w.push(format!("{d}^2"), t_w);
+            gains.push((t_wo / t_w - 1.0) * 100.0);
+        }
+        fig.add(wo);
+        fig.add(w);
+        fig.emit();
+        summary.push(("Hotspot", mean(&gains), "~0"));
+    }
+
+    // (e) NN — execution time, lower is better.
+    {
+        let mut fig = Figure::new("fig08e_nn", "NN: w/o vs w/", "records", "ms");
+        let mut wo = Series::new("w/o");
+        let mut w = Series::new("w/");
+        let mut gains = Vec::new();
+        for kr in [128usize, 256, 512, 1024, 2048] {
+            let records = kr * 1024;
+            let base = nn::NnConfig {
+                records,
+                tiles: 1,
+                k: 10,
+                target: (40.0, 120.0),
+            };
+            let t_wo = nn::simulate(&base, phi(), 1).unwrap();
+            let tiles = |p: usize| vec![p, 2 * p, 4 * p];
+            let (t_w, bp, bt) = tune(&tiles, |p, t| {
+                nn::simulate(&nn::NnConfig { tiles: t, ..base }, phi(), p).ok()
+            });
+            eprintln!("NN {records}: best P={bp} T={bt}");
+            wo.push(format!("{kr}k"), t_wo);
+            w.push(format!("{kr}k"), t_w);
+            gains.push((t_wo / t_w - 1.0) * 100.0);
+        }
+        fig.add(wo);
+        fig.add(w);
+        fig.emit();
+        summary.push(("NN", mean(&gains), "9.2"));
+    }
+
+    // (f) SRAD — execution time, lower is better (paper: loses small, wins
+    // large).
+    {
+        let mut fig = Figure::new("fig08f_srad", "SRAD: w/o vs w/", "image", "s");
+        let mut wo = Series::new("w/o");
+        let mut w = Series::new("w/");
+        let mut gains = Vec::new();
+        for d in [1000usize, 2000, 4000, 5000, 10000] {
+            let base = srad::SradConfig {
+                rows: d,
+                cols: d,
+                lambda: 0.5,
+                iterations: 100,
+                tiles: 1,
+            };
+            let t_wo = srad::simulate(&base, phi(), 1).unwrap();
+            let tiles = |p: usize| vec![p, 2 * p, 4 * p];
+            let (t_w, bp, bt) = tune(&tiles, |p, t| {
+                srad::simulate(&srad::SradConfig { tiles: t, ..base }, phi(), p).ok()
+            });
+            eprintln!("SRAD {d}: best P={bp} T={bt}");
+            wo.push(format!("{d}^2"), t_wo);
+            w.push(format!("{d}^2"), t_w);
+            gains.push((t_wo / t_w - 1.0) * 100.0);
+        }
+        fig.add(wo);
+        fig.add(w);
+        fig.emit();
+        summary.push(("SRAD", mean(&gains), "mixed"));
+    }
+
+    println!("### Sec. V-A summary — average streamed improvement\n");
+    println!("| app | measured avg gain (%) | paper (%) |");
+    println!("|---|---|---|");
+    for (app, gain, paper) in &summary {
+        println!("| {app} | {gain:.1} | {paper} |");
+    }
+}

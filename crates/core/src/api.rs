@@ -1,0 +1,101 @@
+//! Flat, hStreams-flavoured convenience API.
+//!
+//! Intel's hStreams exposes a C "app API" (`hStreams_app_init`,
+//! `hStreams_app_xfer_memory`, `hStreams_app_invoke`, ...). This module
+//! offers the same vocabulary over [`Context`] for people porting hStreams
+//! code; new code should use `Context` directly.
+//!
+//! | hStreams C call                  | here                      |
+//! |----------------------------------|---------------------------|
+//! | `hStreams_app_init(P, S)`        | [`app_init`]              |
+//! | `hStreams_app_create_buf`        | [`app_create_buf`]        |
+//! | `hStreams_app_xfer_memory(..., HSTR_SRC_TO_SINK)` | [`app_xfer_h2d`] |
+//! | `hStreams_app_xfer_memory(..., HSTR_SINK_TO_SRC)` | [`app_xfer_d2h`] |
+//! | `hStreams_app_invoke`            | [`app_invoke`]            |
+//! | `hStreams_app_event_wait`        | [`app_event_wait`]        |
+//! | `hStreams_app_thread_sync`       | [`app_sync`]              |
+//! | `hStreams_app_fini`              | drop the `Context`        |
+
+use micsim::calibrate::PlatformConfig;
+
+use crate::context::Context;
+use crate::kernel::KernelDesc;
+use crate::types::{BufId, EventId, Result, StreamId};
+
+/// Initialize a context with `partitions` core groups and
+/// `streams_per_partition` streams in each (hStreams' "places" × "streams
+/// per place").
+pub fn app_init(
+    cfg: PlatformConfig,
+    partitions: usize,
+    streams_per_partition: usize,
+) -> Result<Context> {
+    Context::builder(cfg)
+        .partitions(partitions)
+        .streams_per_partition(streams_per_partition)
+        .build()
+}
+
+/// Allocate a buffer of `len` `f32` elements.
+pub fn app_create_buf(ctx: &mut Context, name: &str, len: usize) -> BufId {
+    ctx.alloc(name, len)
+}
+
+/// Enqueue a host→device transfer.
+pub fn app_xfer_h2d(ctx: &mut Context, stream: StreamId, buf: BufId) -> Result<()> {
+    ctx.h2d(stream, buf)
+}
+
+/// Enqueue a device→host transfer.
+pub fn app_xfer_d2h(ctx: &mut Context, stream: StreamId, buf: BufId) -> Result<()> {
+    ctx.d2h(stream, buf)
+}
+
+/// Enqueue a kernel.
+pub fn app_invoke(ctx: &mut Context, stream: StreamId, kernel: KernelDesc) -> Result<()> {
+    ctx.kernel(stream, kernel)
+}
+
+/// Record an event on `stream`.
+pub fn app_event_record(ctx: &mut Context, stream: StreamId) -> Result<EventId> {
+    ctx.record_event(stream)
+}
+
+/// Make `stream` wait on `event`.
+pub fn app_event_wait(ctx: &mut Context, stream: StreamId, event: EventId) -> Result<()> {
+    ctx.wait_event(stream, event)
+}
+
+/// Device-wide synchronization across all streams.
+pub fn app_sync(ctx: &mut Context) {
+    ctx.barrier()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use micsim::compute::KernelProfile;
+
+    #[test]
+    fn flat_api_mirrors_context() {
+        let mut ctx = app_init(PlatformConfig::phi_31sp(), 4, 1).unwrap();
+        assert_eq!(ctx.stream_count(), 4);
+        let a = app_create_buf(&mut ctx, "a", 256);
+        let s = ctx.stream(0).unwrap();
+        app_xfer_h2d(&mut ctx, s, a).unwrap();
+        app_invoke(
+            &mut ctx,
+            s,
+            KernelDesc::simulated("k", KernelProfile::streaming("k", 1e9), 1e6).reading([a]),
+        )
+        .unwrap();
+        let e = app_event_record(&mut ctx, s).unwrap();
+        let s1 = ctx.stream(1).unwrap();
+        app_event_wait(&mut ctx, s1, e).unwrap();
+        app_xfer_d2h(&mut ctx, s1, a).unwrap();
+        app_sync(&mut ctx);
+        ctx.program().validate().unwrap();
+        let report = ctx.run_sim().unwrap();
+        assert!(report.makespan().nanos() > 0);
+    }
+}

@@ -1,0 +1,167 @@
+//! Logical buffers.
+//!
+//! A [`Buffer`] is a named, fixed-length array of `f32` with a host copy and
+//! (conceptually) one instance in each device's memory. The simulator
+//! executor only uses the byte size; the native executor materializes both
+//! copies and really moves the bytes through its copy engine.
+//!
+//! Buffers are allocated at *tile granularity* by applications: one logical
+//! buffer per tile, so different streams can write different tiles without
+//! aliasing (the native executor locks whole buffers).
+//!
+//! Storage is **lazy**: a freshly allocated buffer holds no bytes until it
+//! is first written or a native run materializes it. Simulator-only
+//! programs can therefore describe multi-gigabyte device datasets without
+//! allocating them on the host.
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::types::{BufId, Error, Result};
+
+/// Element type of all buffers (the paper's workloads are single-precision).
+pub type Elem = f32;
+
+/// Bytes per element.
+pub const ELEM_BYTES: u64 = std::mem::size_of::<Elem>() as u64;
+
+/// One logical buffer.
+pub struct Buffer {
+    /// The handle.
+    pub id: BufId,
+    /// Debug name.
+    pub name: String,
+    /// Length in elements.
+    pub len: usize,
+    /// Host-side storage.
+    pub host: Arc<RwLock<Vec<Elem>>>,
+    /// Device-side storage (materialized by the native executor; the sim
+    /// executor tracks only capacity in `micsim`'s device memory).
+    pub device: Arc<RwLock<Vec<Elem>>>,
+}
+
+impl Buffer {
+    /// Create a logically zero-filled buffer (storage is lazy).
+    pub fn new(id: BufId, name: impl Into<String>, len: usize) -> Buffer {
+        Buffer {
+            id,
+            name: name.into(),
+            len,
+            host: Arc::new(RwLock::new(Vec::new())),
+            device: Arc::new(RwLock::new(Vec::new())),
+        }
+    }
+
+    /// Materialize both copies (zero-filled) if they are still lazy. The
+    /// native executor calls this for every buffer its program touches.
+    pub fn ensure_materialized(&self) {
+        for side in [&self.host, &self.device] {
+            let mut guard = side.write();
+            if guard.len() != self.len {
+                guard.resize(self.len, 0.0);
+            }
+        }
+    }
+
+    /// Size in bytes (what a transfer of this buffer moves).
+    pub fn bytes(&self) -> u64 {
+        self.len as u64 * ELEM_BYTES
+    }
+
+    /// Overwrite the host copy.
+    pub fn write_host(&self, data: &[Elem]) -> Result<()> {
+        if data.len() != self.len {
+            return Err(Error::SizeMismatch {
+                buf: self.id,
+                expected: self.len,
+                got: data.len(),
+            });
+        }
+        let mut host = self.host.write();
+        if host.len() != self.len {
+            host.resize(self.len, 0.0);
+        }
+        host.copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Clone the host copy out (zeros if never written or transferred).
+    pub fn read_host(&self) -> Vec<Elem> {
+        let host = self.host.read();
+        if host.len() == self.len {
+            host.clone()
+        } else {
+            vec![0.0; self.len]
+        }
+    }
+
+    /// Read the host copy through a closure without cloning. A still-lazy
+    /// buffer is materialized first so the closure always sees `len`
+    /// elements.
+    pub fn with_host<R>(&self, f: impl FnOnce(&[Elem]) -> R) -> R {
+        {
+            let host = self.host.read();
+            if host.len() == self.len {
+                return f(&host);
+            }
+        }
+        self.ensure_materialized();
+        f(&self.host.read())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_buffer_is_logically_zero_but_lazy() {
+        let b = Buffer::new(BufId(0), "a", 4);
+        assert_eq!(b.read_host(), vec![0.0; 4]);
+        assert_eq!(b.device.read().len(), 0, "no storage until materialized");
+        assert_eq!(b.bytes(), 16);
+        b.ensure_materialized();
+        assert_eq!(b.device.read().len(), 4);
+        assert_eq!(b.host.read().len(), 4);
+        // Idempotent.
+        b.ensure_materialized();
+        assert_eq!(b.host.read().len(), 4);
+    }
+
+    #[test]
+    fn with_host_materializes_lazily() {
+        let b = Buffer::new(BufId(9), "lazy", 3);
+        assert_eq!(b.with_host(|h| h.len()), 3);
+        assert_eq!(b.with_host(|h| h.iter().sum::<f32>()), 0.0);
+    }
+
+    #[test]
+    fn write_and_read_host() {
+        let b = Buffer::new(BufId(1), "a", 3);
+        b.write_host(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(b.read_host(), vec![1.0, 2.0, 3.0]);
+        assert_eq!(b.with_host(|h| h.iter().sum::<f32>()), 6.0);
+    }
+
+    #[test]
+    fn write_host_length_checked() {
+        let b = Buffer::new(BufId(2), "a", 3);
+        assert!(matches!(
+            b.write_host(&[1.0]),
+            Err(Error::SizeMismatch {
+                expected: 3,
+                got: 1,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn zero_length_buffer_is_legal() {
+        let b = Buffer::new(BufId(3), "empty", 0);
+        assert_eq!(b.bytes(), 0);
+        b.write_host(&[]).unwrap();
+        assert!(b.read_host().is_empty());
+    }
+}

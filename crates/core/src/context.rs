@@ -1,0 +1,484 @@
+//! The streaming context — the crate's main entry point.
+//!
+//! A [`Context`] is the analogue of `hStreams_app_init`: it partitions each
+//! card's cores into `P` groups, creates `S` streams per partition, and then
+//! records buffer allocations and stream actions into a
+//! [`Program`]. The recorded program runs on either
+//! executor:
+//!
+//! * [`Context::run_sim`] prices it on the calibrated platform simulator and
+//!   returns a full timeline;
+//! * [`Context::run_native`](crate::executor::native) executes it for real
+//!   on partitioned host thread pools.
+//!
+//! ```
+//! use hstreams::context::Context;
+//! use hstreams::kernel::KernelDesc;
+//! use micsim::compute::KernelProfile;
+//! use micsim::PlatformConfig;
+//!
+//! let mut ctx = Context::builder(PlatformConfig::phi_31sp())
+//!     .partitions(4)
+//!     .build()
+//!     .unwrap();
+//! let a = ctx.alloc("A", 1 << 20);
+//! let s0 = ctx.stream(0).unwrap();
+//! ctx.h2d(s0, a).unwrap();
+//! let k = KernelDesc::simulated("scale", KernelProfile::streaming("scale", 0.32e9), 1e6)
+//!     .reading([a]);
+//! ctx.kernel(s0, k).unwrap();
+//! let report = ctx.run_sim().unwrap();
+//! assert!(report.timeline.makespan.nanos() > 0);
+//! ```
+
+use micsim::calibrate::PlatformConfig;
+use micsim::device::DeviceId;
+use micsim::fabric::SimPlatform;
+use micsim::partition::Partition;
+use micsim::pcie::Direction;
+
+use crate::action::Action;
+use crate::buffer::{Buffer, Elem};
+use crate::kernel::KernelDesc;
+use crate::program::{EventSite, Program, StreamPlacement, StreamRecord};
+// (Program is also the module-doc link target above.)
+use crate::types::{BufId, Error, EventId, Result, StreamId};
+
+/// Builder for [`Context`].
+pub struct ContextBuilder {
+    cfg: PlatformConfig,
+    partitions: usize,
+    streams_per_partition: usize,
+}
+
+impl ContextBuilder {
+    /// Number of core partitions per card (the paper's `P`). Default 1.
+    pub fn partitions(mut self, p: usize) -> ContextBuilder {
+        self.partitions = p;
+        self
+    }
+
+    /// Streams bound to each partition. Default 1 (the paper's setup).
+    pub fn streams_per_partition(mut self, s: usize) -> ContextBuilder {
+        self.streams_per_partition = s;
+        self
+    }
+
+    /// Initialize the context: partition every card and create the streams.
+    pub fn build(self) -> Result<Context> {
+        if self.streams_per_partition == 0 {
+            return Err(Error::Config(
+                "streams_per_partition must be positive".into(),
+            ));
+        }
+        let mut platform = SimPlatform::new(self.cfg).map_err(Error::Config)?;
+        let devices: Vec<DeviceId> = platform.devices().collect();
+        for &dev in &devices {
+            platform.init_partitions(dev, self.partitions)?;
+        }
+        let mut program = Program::default();
+        for &dev in &devices {
+            for part in 0..self.partitions {
+                for _ in 0..self.streams_per_partition {
+                    let id = StreamId(program.streams.len());
+                    program.streams.push(StreamRecord {
+                        id,
+                        placement: StreamPlacement {
+                            device: dev,
+                            partition: part,
+                        },
+                        actions: Vec::new(),
+                    });
+                }
+            }
+        }
+        Ok(Context {
+            platform,
+            partitions: self.partitions,
+            streams_per_partition: self.streams_per_partition,
+            buffers: Vec::new(),
+            program,
+        })
+    }
+}
+
+/// A live streaming context. See the [module docs](self).
+pub struct Context {
+    pub(crate) platform: SimPlatform,
+    partitions: usize,
+    streams_per_partition: usize,
+    pub(crate) buffers: Vec<Buffer>,
+    pub(crate) program: Program,
+}
+
+impl std::fmt::Debug for Context {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Context")
+            .field("devices", &self.platform.device_count())
+            .field("partitions", &self.partitions)
+            .field("streams_per_partition", &self.streams_per_partition)
+            .field("buffers", &self.buffers.len())
+            .field("actions", &self.program.action_count())
+            .finish()
+    }
+}
+
+impl Context {
+    /// Start building a context for `cfg`.
+    pub fn builder(cfg: PlatformConfig) -> ContextBuilder {
+        ContextBuilder {
+            cfg,
+            partitions: 1,
+            streams_per_partition: 1,
+        }
+    }
+
+    /// The platform configuration.
+    pub fn config(&self) -> &PlatformConfig {
+        self.platform.config()
+    }
+
+    /// Partitions per card.
+    pub fn partitions(&self) -> usize {
+        self.partitions
+    }
+
+    /// Streams per partition.
+    pub fn streams_per_partition(&self) -> usize {
+        self.streams_per_partition
+    }
+
+    /// Total streams across all cards.
+    pub fn stream_count(&self) -> usize {
+        self.program.streams.len()
+    }
+
+    /// Number of cards.
+    pub fn device_count(&self) -> usize {
+        self.platform.device_count()
+    }
+
+    /// The `idx`-th stream (creation order: device-major, then partition,
+    /// then stream-within-partition).
+    pub fn stream(&self, idx: usize) -> Result<StreamId> {
+        if idx < self.program.streams.len() {
+            Ok(StreamId(idx))
+        } else {
+            Err(Error::UnknownStream(StreamId(idx)))
+        }
+    }
+
+    /// Where `stream` is placed.
+    pub fn placement(&self, stream: StreamId) -> Result<StreamPlacement> {
+        self.program
+            .streams
+            .get(stream.0)
+            .map(|s| s.placement)
+            .ok_or(Error::UnknownStream(stream))
+    }
+
+    /// Geometry of the partition `stream` runs on.
+    pub fn partition_of(&self, stream: StreamId) -> Result<Partition> {
+        let placement = self.placement(stream)?;
+        let plan = self.platform.plan(placement.device)?;
+        Ok(plan.partitions[placement.partition].clone())
+    }
+
+    // ----- buffers ---------------------------------------------------------
+
+    /// Allocate a zero-filled logical buffer of `len` elements, with an
+    /// instance reserved in every card's device memory.
+    pub fn alloc(&mut self, name: impl Into<String>, len: usize) -> BufId {
+        let id = BufId(self.buffers.len());
+        self.buffers.push(Buffer::new(id, name, len));
+        id
+    }
+
+    /// Overwrite a buffer's host copy.
+    pub fn write_host(&self, buf: BufId, data: &[Elem]) -> Result<()> {
+        self.buffer(buf)?.write_host(data)
+    }
+
+    /// Clone a buffer's host copy out.
+    pub fn read_host(&self, buf: BufId) -> Result<Vec<Elem>> {
+        Ok(self.buffer(buf)?.read_host())
+    }
+
+    /// Borrow a buffer.
+    pub fn buffer(&self, buf: BufId) -> Result<&Buffer> {
+        self.buffers.get(buf.0).ok_or(Error::UnknownBuffer(buf))
+    }
+
+    /// Number of allocated buffers.
+    pub fn buffer_count(&self) -> usize {
+        self.buffers.len()
+    }
+
+    // ----- recording -------------------------------------------------------
+
+    fn stream_mut(&mut self, stream: StreamId) -> Result<&mut StreamRecord> {
+        self.program
+            .streams
+            .get_mut(stream.0)
+            .ok_or(Error::UnknownStream(stream))
+    }
+
+    fn check_buf(&self, buf: BufId) -> Result<()> {
+        if buf.0 < self.buffers.len() {
+            Ok(())
+        } else {
+            Err(Error::UnknownBuffer(buf))
+        }
+    }
+
+    /// Enqueue a host→device transfer of `buf` on `stream`.
+    pub fn h2d(&mut self, stream: StreamId, buf: BufId) -> Result<()> {
+        self.check_buf(buf)?;
+        self.stream_mut(stream)?.actions.push(Action::Transfer {
+            dir: Direction::HostToDevice,
+            buf,
+        });
+        Ok(())
+    }
+
+    /// Enqueue a device→host transfer of `buf` on `stream`.
+    pub fn d2h(&mut self, stream: StreamId, buf: BufId) -> Result<()> {
+        self.check_buf(buf)?;
+        self.stream_mut(stream)?.actions.push(Action::Transfer {
+            dir: Direction::DeviceToHost,
+            buf,
+        });
+        Ok(())
+    }
+
+    /// Enqueue a kernel launch on `stream`.
+    pub fn kernel(&mut self, stream: StreamId, desc: KernelDesc) -> Result<()> {
+        desc.validate()?;
+        for b in desc.reads.iter().chain(&desc.writes) {
+            self.check_buf(*b)?;
+        }
+        self.stream_mut(stream)?.actions.push(Action::Kernel(desc));
+        Ok(())
+    }
+
+    /// Record an event on `stream`: it fires when all work enqueued on
+    /// `stream` before this call has completed.
+    pub fn record_event(&mut self, stream: StreamId) -> Result<EventId> {
+        let event = EventId(self.program.events.len());
+        let s = self.stream_mut(stream)?;
+        let action_index = s.actions.len();
+        s.actions.push(Action::RecordEvent(event));
+        let sid = s.id;
+        self.program.events.push(EventSite {
+            stream: sid,
+            action_index,
+        });
+        Ok(event)
+    }
+
+    /// Make `stream` wait for `event` before running anything enqueued after
+    /// this call.
+    pub fn wait_event(&mut self, stream: StreamId, event: EventId) -> Result<()> {
+        let site = *self
+            .program
+            .events
+            .get(event.0)
+            .ok_or(Error::UnknownEvent(event))?;
+        if site.stream == stream {
+            return Err(Error::InvalidEventWait { stream, event });
+        }
+        self.stream_mut(stream)?
+            .actions
+            .push(Action::WaitEvent(event));
+        Ok(())
+    }
+
+    /// Device-wide barrier across **all** streams: no stream runs anything
+    /// enqueued after the barrier until every stream has drained everything
+    /// enqueued before it. This is how the paper's non-overlappable flows
+    /// (Hotspot, Kmeans, SRAD) separate their stages.
+    pub fn barrier(&mut self) {
+        let n = self.program.barriers;
+        self.program.barriers += 1;
+        for s in &mut self.program.streams {
+            s.actions.push(Action::Barrier(n));
+        }
+    }
+
+    /// The recorded program (read-only).
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Discard all recorded actions, events and barriers, keeping streams,
+    /// partitions and buffers. Handy for sweeping a parameter with the same
+    /// buffers.
+    pub fn reset_program(&mut self) {
+        for s in &mut self.program.streams {
+            s.actions.clear();
+        }
+        self.program.events.clear();
+        self.program.barriers = 0;
+    }
+
+    // ----- execution -------------------------------------------------------
+
+    /// Validate and price the recorded program on the platform simulator.
+    pub fn run_sim(&self) -> Result<crate::executor::sim::SimReport> {
+        crate::executor::sim::run(self)
+    }
+
+    /// Validate and execute the recorded program on the native host
+    /// executor, with default native settings.
+    pub fn run_native(&self) -> Result<crate::executor::native::NativeReport> {
+        crate::executor::native::run(self, &crate::executor::native::NativeConfig::default())
+    }
+
+    /// Native execution with explicit settings.
+    pub fn run_native_with(
+        &self,
+        cfg: &crate::executor::native::NativeConfig,
+    ) -> Result<crate::executor::native::NativeReport> {
+        crate::executor::native::run(self, cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use micsim::compute::KernelProfile;
+
+    fn ctx(p: usize, spp: usize) -> Context {
+        Context::builder(PlatformConfig::phi_31sp())
+            .partitions(p)
+            .streams_per_partition(spp)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_creates_streams_per_partition() {
+        let c = ctx(4, 2);
+        assert_eq!(c.stream_count(), 8);
+        assert_eq!(c.partitions(), 4);
+        assert_eq!(c.streams_per_partition(), 2);
+        // Streams 0,1 on partition 0; 2,3 on partition 1; ...
+        assert_eq!(c.placement(StreamId(0)).unwrap().partition, 0);
+        assert_eq!(c.placement(StreamId(1)).unwrap().partition, 0);
+        assert_eq!(c.placement(StreamId(2)).unwrap().partition, 1);
+    }
+
+    #[test]
+    fn multi_device_streams_are_device_major() {
+        let c = Context::builder(PlatformConfig::phi_31sp_multi(2))
+            .partitions(2)
+            .build()
+            .unwrap();
+        assert_eq!(c.stream_count(), 4);
+        assert_eq!(c.device_count(), 2);
+        assert_eq!(c.placement(StreamId(0)).unwrap().device, DeviceId(0));
+        assert_eq!(c.placement(StreamId(2)).unwrap().device, DeviceId(1));
+    }
+
+    #[test]
+    fn zero_streams_per_partition_rejected() {
+        let err = Context::builder(PlatformConfig::phi_31sp())
+            .streams_per_partition(0)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, Error::Config(_)));
+    }
+
+    #[test]
+    fn bad_partition_count_surfaces_platform_error() {
+        let err = Context::builder(PlatformConfig::phi_31sp())
+            .partitions(0)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, Error::Platform(_)));
+    }
+
+    #[test]
+    fn recording_validates_handles() {
+        let mut c = ctx(2, 1);
+        let s0 = c.stream(0).unwrap();
+        assert!(c.stream(99).is_err());
+        assert!(c.h2d(s0, BufId(0)).is_err(), "buffer not allocated yet");
+        let a = c.alloc("a", 16);
+        c.h2d(s0, a).unwrap();
+        c.d2h(s0, a).unwrap();
+        assert_eq!(c.program().action_count(), 2);
+        assert!(c.h2d(StreamId(42), a).is_err());
+    }
+
+    #[test]
+    fn kernel_buffers_checked_at_enqueue() {
+        let mut c = ctx(1, 1);
+        let s0 = c.stream(0).unwrap();
+        let a = c.alloc("a", 4);
+        let bad = KernelDesc::simulated("k", KernelProfile::streaming("k", 1e9), 1.0)
+            .reading([BufId(33)]);
+        assert!(c.kernel(s0, bad).is_err());
+        let good = KernelDesc::simulated("k", KernelProfile::streaming("k", 1e9), 1.0).reading([a]);
+        c.kernel(s0, good).unwrap();
+    }
+
+    #[test]
+    fn events_wire_across_streams() {
+        let mut c = ctx(2, 1);
+        let (s0, s1) = (c.stream(0).unwrap(), c.stream(1).unwrap());
+        let a = c.alloc("a", 4);
+        c.h2d(s0, a).unwrap();
+        let e = c.record_event(s0).unwrap();
+        c.wait_event(s1, e).unwrap();
+        assert!(matches!(
+            c.wait_event(s0, e),
+            Err(Error::InvalidEventWait { .. })
+        ));
+        c.program().validate().unwrap();
+    }
+
+    #[test]
+    fn barrier_lands_in_every_stream() {
+        let mut c = ctx(3, 1);
+        c.barrier();
+        c.barrier();
+        for s in &c.program().streams {
+            assert_eq!(s.actions.len(), 2);
+        }
+        assert_eq!(c.program().barriers, 2);
+        c.program().validate().unwrap();
+    }
+
+    #[test]
+    fn reset_program_keeps_buffers() {
+        let mut c = ctx(2, 1);
+        let a = c.alloc("a", 8);
+        let s0 = c.stream(0).unwrap();
+        c.h2d(s0, a).unwrap();
+        c.barrier();
+        c.reset_program();
+        assert_eq!(c.program().action_count(), 0);
+        assert_eq!(c.program().barriers, 0);
+        assert_eq!(c.buffer_count(), 1);
+        assert_eq!(c.stream_count(), 2);
+    }
+
+    #[test]
+    fn partition_of_reports_geometry() {
+        let c = ctx(4, 1);
+        let part = c.partition_of(StreamId(0)).unwrap();
+        assert_eq!(part.threads, 56);
+        assert!(!part.shares_core);
+    }
+
+    #[test]
+    fn write_read_host_roundtrip() {
+        let mut c = ctx(1, 1);
+        let a = c.alloc("a", 3);
+        c.write_host(a, &[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(c.read_host(a).unwrap(), vec![1.0, 2.0, 3.0]);
+        assert!(c.write_host(a, &[0.0]).is_err());
+        assert!(c.read_host(BufId(9)).is_err());
+    }
+}

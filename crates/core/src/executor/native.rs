@@ -1,0 +1,703 @@
+//! The native executor.
+//!
+//! Executes a recorded program for real on the host:
+//!
+//! * one **driver thread per stream** interprets that stream's FIFO;
+//! * a **copy engine thread** per link channel performs transfers between
+//!   each buffer's host and device storage — one engine in serial-duplex
+//!   mode, which reproduces the Phi's serialized H2D/D2H behaviour in real
+//!   execution, optionally throttled to a configured bandwidth;
+//! * kernels take their partition's mutex (streams sharing a partition
+//!   serialize, as on the card), lock their declared buffers in global id
+//!   order (deadlock-free), and run their native body with a `threads` hint
+//!   sized from the partition;
+//! * events are flag+condvar pairs, barriers are `std::sync::Barrier`s over
+//!   all streams.
+//!
+//! A panicking kernel does not poison the run: the stream switches to a
+//! skipping mode that still fires its events and joins its barriers so the
+//! other drivers can drain, and the error is reported at the end.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::{Condvar, Mutex, RwLock};
+
+use micsim::pcie::{Direction, Duplex};
+
+use crate::action::Action;
+use crate::buffer::Elem;
+use crate::context::Context;
+use crate::kernel::KernelCtx;
+use crate::types::{Error, Result};
+
+/// Settings for native execution.
+#[derive(Clone, Debug)]
+#[derive(Default)]
+pub struct NativeConfig {
+    /// Upper bound on the `threads` hint given to kernels. `None` sizes it
+    /// as `available_parallelism / partitions` (at least 1), so partitions
+    /// genuinely share the host like they share the card.
+    pub max_threads_per_partition: Option<usize>,
+    /// Emulate PCIe bandwidth: each copy holds the engine for at least
+    /// `bytes / bandwidth` seconds. `None` copies at memory speed.
+    pub link_bandwidth: Option<f64>,
+}
+
+
+/// Result of a native run.
+#[derive(Debug)]
+pub struct NativeReport {
+    /// Wall-clock time of the whole run (driver spawn to last join).
+    pub wall: Duration,
+    /// Actions executed across all streams.
+    pub actions_executed: usize,
+    /// Total bytes moved through the copy engine(s).
+    pub bytes_transferred: u64,
+}
+
+struct EventFlag {
+    fired: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl EventFlag {
+    fn new() -> EventFlag {
+        EventFlag {
+            fired: Mutex::new(false),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn fire(&self) {
+        let mut guard = self.fired.lock();
+        *guard = true;
+        self.cv.notify_all();
+    }
+
+    fn wait(&self) {
+        let mut guard = self.fired.lock();
+        while !*guard {
+            self.cv.wait(&mut guard);
+        }
+    }
+}
+
+/// A buffer id, write-intent flag, and its storage Arc, collected before
+/// the guards that borrow it.
+type StorageEntry = (
+    crate::types::BufId,
+    bool,
+    std::sync::Arc<parking_lot::RwLock<Vec<Elem>>>,
+);
+
+struct CopyJob {
+    src: Arc<RwLock<Vec<Elem>>>,
+    dst: Arc<RwLock<Vec<Elem>>>,
+    bytes: u64,
+    done: Sender<()>,
+}
+
+fn copy_engine(rx: Receiver<CopyJob>, bandwidth: Option<f64>) {
+    while let Ok(job) = rx.recv() {
+        let started = Instant::now();
+        {
+            let src = job.src.read();
+            let mut dst = job.dst.write();
+            dst.copy_from_slice(&src);
+        }
+        if let Some(bw) = bandwidth {
+            let target = Duration::from_secs_f64(job.bytes as f64 / bw);
+            let elapsed = started.elapsed();
+            if target > elapsed {
+                std::thread::sleep(target - elapsed);
+            }
+        }
+        // Receiver may have given up (run aborted); ignore send failure.
+        let _ = job.done.send(());
+    }
+}
+
+/// Validate and execute the context's program natively.
+pub fn run(ctx: &Context, cfg: &NativeConfig) -> Result<NativeReport> {
+    ctx.program.validate()?;
+
+    // Every kernel needs a native body — check before spawning anything.
+    for stream in &ctx.program.streams {
+        for action in &stream.actions {
+            if let Action::Kernel(k) = action {
+                if k.native.is_none() {
+                    return Err(Error::MissingNativeBody {
+                        kernel: k.label.clone(),
+                    });
+                }
+            }
+        }
+    }
+
+    let n_streams = ctx.program.streams.len();
+    if n_streams == 0 {
+        return Ok(NativeReport {
+            wall: Duration::ZERO,
+            actions_executed: 0,
+            bytes_transferred: 0,
+        });
+    }
+
+    // Materialize every buffer the program touches (storage is lazy so
+    // simulator-scale programs cost nothing until they really run).
+    for stream in &ctx.program.streams {
+        for action in &stream.actions {
+            match action {
+                Action::Transfer { buf, .. } => {
+                    ctx.buffer(*buf).expect("validated").ensure_materialized()
+                }
+                Action::Kernel(k) => {
+                    for b in k.reads.iter().chain(&k.writes) {
+                        ctx.buffer(*b).expect("validated").ensure_materialized();
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // Threads hint per partition.
+    let host_par = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let parts_per_dev = ctx.partitions().max(1);
+    let threads_hint = cfg
+        .max_threads_per_partition
+        .unwrap_or_else(|| (host_par / parts_per_dev).max(1));
+
+    // Copy engines: one per link channel per device.
+    let n_devices = ctx.device_count();
+    let channels_per_dev = match ctx.config().link.duplex {
+        Duplex::Serial => 1,
+        Duplex::Full => 2,
+    };
+    let mut engine_tx: Vec<Vec<Sender<CopyJob>>> = Vec::with_capacity(n_devices);
+    let mut engine_handles = Vec::new();
+    for _ in 0..n_devices {
+        let mut chans = Vec::with_capacity(channels_per_dev);
+        for _ in 0..channels_per_dev {
+            let (tx, rx) = unbounded::<CopyJob>();
+            let bw = cfg.link_bandwidth;
+            engine_handles.push(std::thread::spawn(move || copy_engine(rx, bw)));
+            chans.push(tx);
+        }
+        engine_tx.push(chans);
+    }
+
+    // Shared synchronization state.
+    let events: Vec<Arc<EventFlag>> = (0..ctx.program.events.len())
+        .map(|_| Arc::new(EventFlag::new()))
+        .collect();
+    let barriers: Vec<Arc<Barrier>> = (0..ctx.program.barriers)
+        .map(|_| Arc::new(Barrier::new(n_streams)))
+        .collect();
+    // Partition mutexes: [device][partition].
+    let partition_locks: Vec<Vec<Arc<Mutex<()>>>> = (0..n_devices)
+        .map(|_| {
+            (0..parts_per_dev)
+                .map(|_| Arc::new(Mutex::new(())))
+                .collect()
+        })
+        .collect();
+
+    // Host kernels serialize on the host, exactly as the simulator prices
+    // them on its single host resource.
+    let host_lock: Mutex<()> = Mutex::new(());
+    let first_error: Mutex<Option<Error>> = Mutex::new(None);
+    let executed = AtomicUsize::new(0);
+    let bytes_moved = AtomicUsize::new(0);
+
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for stream in &ctx.program.streams {
+            let events = &events;
+            let barriers = &barriers;
+            let partition_locks = &partition_locks;
+            let engine_tx = &engine_tx;
+            let host_lock = &host_lock;
+            let first_error = &first_error;
+            let executed = &executed;
+            let bytes_moved = &bytes_moved;
+            scope.spawn(move || {
+                let dev = stream.placement.device.0;
+                let part = stream.placement.partition;
+                let mut skipping = false;
+                for action in &stream.actions {
+                    match action {
+                        Action::Barrier(n) => {
+                            barriers[*n].wait();
+                        }
+                        Action::RecordEvent(e) => {
+                            events[e.0].fire();
+                        }
+                        Action::WaitEvent(e) => {
+                            events[e.0].wait();
+                        }
+                        Action::Transfer { dir, buf } => {
+                            if skipping {
+                                continue;
+                            }
+                            let buffer =
+                                ctx.buffer(*buf).expect("buffer validated at enqueue time");
+                            let (src, dst) = match dir {
+                                Direction::HostToDevice => {
+                                    (buffer.host.clone(), buffer.device.clone())
+                                }
+                                Direction::DeviceToHost => {
+                                    (buffer.device.clone(), buffer.host.clone())
+                                }
+                            };
+                            let chan = match ctx.config().link.duplex {
+                                Duplex::Serial => 0,
+                                Duplex::Full => match dir {
+                                    Direction::HostToDevice => 0,
+                                    Direction::DeviceToHost => 1,
+                                },
+                            };
+                            let (done_tx, done_rx) = unbounded::<()>();
+                            let bytes = buffer.bytes();
+                            engine_tx[dev][chan]
+                                .send(CopyJob {
+                                    src,
+                                    dst,
+                                    bytes,
+                                    done: done_tx,
+                                })
+                                .expect("copy engine alive for run duration");
+                            done_rx.recv().expect("copy engine completes jobs");
+                            bytes_moved.fetch_add(bytes as usize, Ordering::Relaxed);
+                            executed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Action::Kernel(desc) => {
+                            if skipping {
+                                continue;
+                            }
+                            // Host kernels take the host lock instead of a
+                            // partition lock (they occupy the host, not the
+                            // card) and act on the buffers' host copies.
+                            let (_partition_guard, _host_guard) = if desc.host {
+                                (None, Some(host_lock.lock()))
+                            } else {
+                                (Some(partition_locks[dev][part].lock()), None)
+                            };
+                            let side = |b: &crate::buffer::Buffer| {
+                                if desc.host {
+                                    b.host.clone()
+                                } else {
+                                    b.device.clone()
+                                }
+                            };
+                            // Lock declared buffers in global id order
+                            // (deadlock-free across concurrent kernels), but
+                            // keep read and write guards in separate vectors
+                            // so views can borrow them independently.
+                            let mut wanted: Vec<(crate::types::BufId, bool)> = desc
+                                .reads
+                                .iter()
+                                .map(|b| (*b, false))
+                                .chain(desc.writes.iter().map(|b| (*b, true)))
+                                .collect();
+                            wanted.sort_by_key(|(b, _)| *b);
+                            // Storage Arcs are collected first so the guards
+                            // below (declared after, dropped before) can
+                            // safely borrow them.
+                            let storages: Vec<StorageEntry> = wanted
+                                .iter()
+                                .map(|&(b, w)| {
+                                    let buffer = ctx.buffer(b).expect("validated at enqueue time");
+                                    (b, w, side(buffer))
+                                })
+                                .collect();
+                            let mut read_guards: Vec<(
+                                crate::types::BufId,
+                                parking_lot::RwLockReadGuard<'_, Vec<Elem>>,
+                            )> = Vec::with_capacity(desc.reads.len());
+                            let mut write_guards: Vec<(
+                                crate::types::BufId,
+                                parking_lot::RwLockWriteGuard<'_, Vec<Elem>>,
+                            )> = Vec::with_capacity(desc.writes.len());
+                            for (b, is_write, storage) in &storages {
+                                if *is_write {
+                                    write_guards.push((*b, storage.write()));
+                                } else {
+                                    read_guards.push((*b, storage.read()));
+                                }
+                            }
+                            // Read views in declaration order.
+                            let reads: Vec<&[Elem]> = desc
+                                .reads
+                                .iter()
+                                .map(|b| {
+                                    read_guards
+                                        .iter()
+                                        .find(|(id, _)| id == b)
+                                        .expect("guard acquired above")
+                                        .1
+                                        .as_slice()
+                                })
+                                .collect();
+                            // Write views in declaration order: compute for
+                            // each held guard its slot in `desc.writes`, then
+                            // place the mutable slices by permutation.
+                            let mut slots: Vec<Option<&mut [Elem]>> =
+                                (0..desc.writes.len()).map(|_| None).collect();
+                            for (id, guard) in write_guards.iter_mut() {
+                                let pos = desc
+                                    .writes
+                                    .iter()
+                                    .position(|b| b == id)
+                                    .expect("guard acquired above");
+                                slots[pos] = Some(guard.as_mut_slice());
+                            }
+                            let writes: Vec<&mut [Elem]> = slots
+                                .into_iter()
+                                .map(|s| s.expect("every declared write locked"))
+                                .collect();
+                            let mut kctx = KernelCtx {
+                                reads,
+                                writes,
+                                threads: threads_hint,
+                            };
+                            let body = desc.native.as_ref().expect("checked above").clone();
+                            let outcome = catch_unwind(AssertUnwindSafe(|| body(&mut kctx)));
+                            if outcome.is_err() {
+                                let mut slot = first_error.lock();
+                                if slot.is_none() {
+                                    *slot = Some(Error::KernelPanicked {
+                                        kernel: desc.label.clone(),
+                                    });
+                                }
+                                skipping = true;
+                            } else {
+                                executed.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let wall = started.elapsed();
+
+    // Shut the copy engines down.
+    drop(engine_tx);
+    for h in engine_handles {
+        let _ = h.join();
+    }
+
+    if let Some(err) = first_error.into_inner() {
+        return Err(err);
+    }
+    Ok(NativeReport {
+        wall,
+        actions_executed: executed.into_inner(),
+        bytes_transferred: bytes_moved.into_inner() as u64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::Context;
+    use crate::kernel::KernelDesc;
+    use micsim::compute::KernelProfile;
+    use micsim::PlatformConfig;
+
+    fn small_ctx(partitions: usize) -> Context {
+        Context::builder(PlatformConfig::phi_31sp())
+            .partitions(partitions)
+            .build()
+            .unwrap()
+    }
+
+    fn native_kernel(label: &str) -> KernelDesc {
+        KernelDesc::simulated(label, KernelProfile::streaming("k", 1e9), 1.0)
+    }
+
+    #[test]
+    fn transfer_kernel_transfer_roundtrip() {
+        let mut ctx = small_ctx(1);
+        let a = ctx.alloc("a", 8);
+        let b = ctx.alloc("b", 8);
+        ctx.write_host(a, &[1., 2., 3., 4., 5., 6., 7., 8.])
+            .unwrap();
+        let s = ctx.stream(0).unwrap();
+        ctx.h2d(s, a).unwrap();
+        ctx.kernel(
+            s,
+            native_kernel("add1")
+                .reading([a])
+                .writing([b])
+                .with_native(|k| {
+                    for (o, i) in k.writes[0].iter_mut().zip(k.reads[0]) {
+                        *o = i + 1.0;
+                    }
+                }),
+        )
+        .unwrap();
+        ctx.d2h(s, b).unwrap();
+        let report = ctx.run_native().unwrap();
+        assert_eq!(report.actions_executed, 3);
+        assert_eq!(report.bytes_transferred, 64);
+        assert_eq!(
+            ctx.read_host(b).unwrap(),
+            vec![2., 3., 4., 5., 6., 7., 8., 9.]
+        );
+    }
+
+    #[test]
+    fn device_copy_is_isolated_until_d2h() {
+        // Without the D2H, the host copy of the output must stay zero.
+        let mut ctx = small_ctx(1);
+        let a = ctx.alloc("a", 4);
+        ctx.write_host(a, &[9., 9., 9., 9.]).unwrap();
+        let b = ctx.alloc("b", 4);
+        let s = ctx.stream(0).unwrap();
+        ctx.h2d(s, a).unwrap();
+        ctx.kernel(
+            s,
+            native_kernel("copy")
+                .reading([a])
+                .writing([b])
+                .with_native(|k| {
+                    k.writes[0].copy_from_slice(k.reads[0]);
+                }),
+        )
+        .unwrap();
+        ctx.run_native().unwrap();
+        assert_eq!(ctx.read_host(b).unwrap(), vec![0.0; 4]);
+    }
+
+    #[test]
+    fn missing_native_body_rejected_up_front() {
+        let mut ctx = small_ctx(1);
+        let a = ctx.alloc("a", 4);
+        let s = ctx.stream(0).unwrap();
+        ctx.kernel(s, native_kernel("no-body").reading([a]))
+            .unwrap();
+        assert!(matches!(
+            ctx.run_native(),
+            Err(Error::MissingNativeBody { .. })
+        ));
+    }
+
+    #[test]
+    fn kernel_panic_reported_and_run_drains() {
+        let mut ctx = small_ctx(2);
+        let a = ctx.alloc("a", 4);
+        let (s0, s1) = (ctx.stream(0).unwrap(), ctx.stream(1).unwrap());
+        ctx.kernel(
+            s0,
+            native_kernel("boom")
+                .writing([a])
+                .with_native(|_| panic!("boom")),
+        )
+        .unwrap();
+        // Stream 1 depends on stream 0 via a barrier; the run must still end.
+        ctx.barrier();
+        ctx.kernel(s1, native_kernel("after").with_native(|_| {}))
+            .unwrap();
+        let err = ctx.run_native().unwrap_err();
+        assert!(matches!(err, Error::KernelPanicked { .. }), "{err}");
+    }
+
+    #[test]
+    fn events_order_cross_stream_natively() {
+        for _ in 0..20 {
+            let mut ctx = small_ctx(2);
+            let a = ctx.alloc("a", 1);
+            let b = ctx.alloc("b", 1);
+            let (s0, s1) = (ctx.stream(0).unwrap(), ctx.stream(1).unwrap());
+            ctx.kernel(
+                s0,
+                native_kernel("produce").writing([a]).with_native(|k| {
+                    k.writes[0][0] = 7.0;
+                }),
+            )
+            .unwrap();
+            let e = ctx.record_event(s0).unwrap();
+            ctx.wait_event(s1, e).unwrap();
+            ctx.kernel(
+                s1,
+                native_kernel("consume")
+                    .reading([a])
+                    .writing([b])
+                    .with_native(|k| {
+                        k.writes[0][0] = k.reads[0][0] * 2.0;
+                    }),
+            )
+            .unwrap();
+            ctx.d2h(s1, b).unwrap();
+            ctx.run_native().unwrap();
+            assert_eq!(ctx.read_host(b).unwrap(), vec![14.0]);
+        }
+    }
+
+    #[test]
+    fn barrier_separates_stages_natively() {
+        for _ in 0..10 {
+            let mut ctx = small_ctx(4);
+            let stage1: Vec<_> = (0..4).map(|i| ctx.alloc(format!("x{i}"), 1)).collect();
+            let total = ctx.alloc("total", 1);
+            for (i, b) in stage1.iter().enumerate() {
+                let s = ctx.stream(i).unwrap();
+                let val = (i + 1) as f32;
+                ctx.kernel(
+                    s,
+                    native_kernel(&format!("w{i}"))
+                        .writing([*b])
+                        .with_native(move |k| {
+                            k.writes[0][0] = val;
+                        }),
+                )
+                .unwrap();
+            }
+            ctx.barrier();
+            let s0 = ctx.stream(0).unwrap();
+            ctx.kernel(
+                s0,
+                native_kernel("sum")
+                    .reading(stage1.iter().copied())
+                    .writing([total])
+                    .with_native(|k| {
+                        k.writes[0][0] = k.reads.iter().map(|r| r[0]).sum();
+                    }),
+            )
+            .unwrap();
+            ctx.d2h(s0, total).unwrap();
+            ctx.run_native().unwrap();
+            assert_eq!(ctx.read_host(total).unwrap(), vec![10.0]);
+        }
+    }
+
+    #[test]
+    fn throttled_link_slows_transfers() {
+        let mut ctx = small_ctx(1);
+        let a = ctx.alloc("a", 1 << 18); // 1 MiB
+        let s = ctx.stream(0).unwrap();
+        for _ in 0..4 {
+            ctx.h2d(s, a).unwrap();
+        }
+        let fast = ctx.run_native().unwrap();
+        // 4 MiB at 100 MB/s => >= 40 ms.
+        let slow = ctx
+            .run_native_with(&NativeConfig {
+                link_bandwidth: Some(100.0e6),
+                ..NativeConfig::default()
+            })
+            .unwrap();
+        assert!(
+            slow.wall >= Duration::from_millis(35),
+            "slow={:?}",
+            slow.wall
+        );
+        assert!(slow.wall > fast.wall);
+    }
+
+    #[test]
+    fn empty_program_native() {
+        let ctx = small_ctx(2);
+        let report = ctx.run_native().unwrap();
+        assert_eq!(report.actions_executed, 0);
+        assert_eq!(report.bytes_transferred, 0);
+    }
+
+    #[test]
+    fn host_kernel_operates_on_host_copies() {
+        let mut ctx = small_ctx(1);
+        let a = ctx.alloc("a", 4);
+        let b = ctx.alloc("b", 4);
+        ctx.write_host(a, &[1., 2., 3., 4.]).unwrap();
+        let s = ctx.stream(0).unwrap();
+        // No transfers: the host kernel must see the host copy directly.
+        ctx.kernel(
+            s,
+            native_kernel("host-add")
+                .on_host()
+                .reading([a])
+                .writing([b])
+                .with_native(|k| {
+                    for (o, i) in k.writes[0].iter_mut().zip(k.reads[0]) {
+                        *o = i * 10.0;
+                    }
+                }),
+        )
+        .unwrap();
+        ctx.run_native().unwrap();
+        assert_eq!(ctx.read_host(b).unwrap(), vec![10., 20., 30., 40.]);
+        // The device copy was never touched.
+        assert_eq!(*ctx.buffer(b).unwrap().device.read(), vec![0.0; 4]);
+    }
+
+    #[test]
+    fn mixed_host_device_round_trip() {
+        // device kernel writes x (device), d2h, host kernel doubles on host.
+        let mut ctx = small_ctx(1);
+        let x = ctx.alloc("x", 2);
+        let s = ctx.stream(0).unwrap();
+        ctx.kernel(
+            s,
+            native_kernel("dev").writing([x]).with_native(|k| {
+                k.writes[0].copy_from_slice(&[3.0, 4.0]);
+            }),
+        )
+        .unwrap();
+        ctx.d2h(s, x).unwrap();
+        ctx.kernel(
+            s,
+            native_kernel("host")
+                .on_host()
+                .writing([x])
+                .with_native(|k| {
+                    for v in k.writes[0].iter_mut() {
+                        *v *= 2.0;
+                    }
+                }),
+        )
+        .unwrap();
+        ctx.run_native().unwrap();
+        assert_eq!(ctx.read_host(x).unwrap(), vec![6.0, 8.0]);
+    }
+
+    #[test]
+    fn streams_sharing_partition_serialize_kernels() {
+        use std::sync::atomic::{AtomicBool, AtomicUsize};
+        static CONCURRENT: AtomicBool = AtomicBool::new(false);
+        static ACTIVE: AtomicUsize = AtomicUsize::new(0);
+        CONCURRENT.store(false, Ordering::SeqCst);
+
+        let mut ctx = Context::builder(PlatformConfig::phi_31sp())
+            .partitions(1)
+            .streams_per_partition(4)
+            .build()
+            .unwrap();
+        for i in 0..4 {
+            let s = ctx.stream(i).unwrap();
+            ctx.kernel(
+                s,
+                native_kernel(&format!("k{i}")).with_native(|_| {
+                    if ACTIVE.fetch_add(1, Ordering::SeqCst) > 0 {
+                        CONCURRENT.store(true, Ordering::SeqCst);
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                    ACTIVE.fetch_sub(1, Ordering::SeqCst);
+                }),
+            )
+            .unwrap();
+        }
+        ctx.run_native().unwrap();
+        assert!(
+            !CONCURRENT.load(Ordering::SeqCst),
+            "kernels on one partition must serialize"
+        );
+    }
+}

@@ -1,0 +1,153 @@
+//! Minimal data-parallel helpers for native kernels.
+//!
+//! A kernel body in this runtime plays the role of an OpenMP region in the
+//! paper's benchmarks: it receives a `threads` hint (its partition's width)
+//! and splits its own output across that many workers. These helpers do the
+//! splitting with `std::thread::scope`, so everything stays safe borrowed
+//! code — no `unsafe`, no shared-mutable aliasing.
+
+/// Split `data` into `parts` contiguous chunks and run `f(chunk_index,
+/// element_offset, chunk)` on each, in parallel.
+///
+/// `parts` is clamped to `1..=data.len()` (empty data runs nothing). Chunks
+/// differ in length by at most one element.
+pub fn par_chunks_mut<T, F>(data: &mut [T], parts: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, usize, &mut [T]) + Sync,
+{
+    let len = data.len();
+    if len == 0 {
+        return;
+    }
+    let parts = parts.clamp(1, len);
+    if parts == 1 {
+        f(0, 0, data);
+        return;
+    }
+    let base = len / parts;
+    let extra = len % parts;
+    std::thread::scope(|scope| {
+        let mut rest = data;
+        let mut offset = 0usize;
+        for idx in 0..parts {
+            let take = base + usize::from(idx < extra);
+            let (chunk, tail) = rest.split_at_mut(take);
+            rest = tail;
+            let f = &f;
+            scope.spawn(move || f(idx, offset, chunk));
+            offset += take;
+        }
+    });
+}
+
+/// Parallel map-reduce over index ranges: split `0..len` into `parts`
+/// contiguous ranges, compute `map(range)` on each in parallel, and fold the
+/// partial results with `reduce`.
+pub fn par_reduce<R, M, F>(len: usize, parts: usize, map: M, reduce: F, identity: R) -> R
+where
+    R: Send,
+    M: Fn(std::ops::Range<usize>) -> R + Sync,
+    F: Fn(R, R) -> R,
+{
+    if len == 0 {
+        return identity;
+    }
+    let parts = parts.clamp(1, len);
+    if parts == 1 {
+        return reduce(identity, map(0..len));
+    }
+    let base = len / parts;
+    let extra = len % parts;
+    let partials: Vec<R> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(parts);
+        let mut start = 0usize;
+        for idx in 0..parts {
+            let take = base + usize::from(idx < extra);
+            let range = start..start + take;
+            start += take;
+            let map = &map;
+            handles.push(scope.spawn(move || map(range)));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("par_reduce worker panicked"))
+            .collect()
+    });
+    partials.into_iter().fold(identity, reduce)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn chunks_cover_everything_once() {
+        let mut data = vec![0u32; 103];
+        par_chunks_mut(&mut data, 7, |_, offset, chunk| {
+            for (i, x) in chunk.iter_mut().enumerate() {
+                *x = (offset + i) as u32;
+            }
+        });
+        let expect: Vec<u32> = (0..103).collect();
+        assert_eq!(data, expect);
+    }
+
+    #[test]
+    fn chunk_indices_are_distinct() {
+        let counter = AtomicUsize::new(0);
+        let mut data = vec![0u8; 16];
+        par_chunks_mut(&mut data, 4, |_, _, _| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn parts_clamp_to_len() {
+        let mut data = vec![1.0f32; 3];
+        // 100 parts over 3 elements = 3 single-element chunks.
+        par_chunks_mut(&mut data, 100, |_, _, chunk| {
+            assert_eq!(chunk.len(), 1);
+            chunk[0] *= 2.0;
+        });
+        assert_eq!(data, vec![2.0; 3]);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let mut empty: Vec<f32> = vec![];
+        par_chunks_mut(&mut empty, 4, |_, _, _| panic!("must not run"));
+        let mut one = vec![5.0f32];
+        par_chunks_mut(&mut one, 1, |idx, off, chunk| {
+            assert_eq!((idx, off), (0, 0));
+            chunk[0] = 6.0;
+        });
+        assert_eq!(one, vec![6.0]);
+    }
+
+    #[test]
+    fn reduce_sums_ranges() {
+        let sum = par_reduce(
+            1000,
+            8,
+            |range| range.map(|i| i as u64).sum::<u64>(),
+            |a, b| a + b,
+            0u64,
+        );
+        assert_eq!(sum, 499_500);
+    }
+
+    #[test]
+    fn reduce_of_empty_is_identity() {
+        let r = par_reduce(0, 4, |_| 1u32, |a, b| a + b, 42u32);
+        assert_eq!(r, 42);
+    }
+
+    #[test]
+    fn reduce_single_part() {
+        let r = par_reduce(5, 1, |range| range.len(), |a, b| a + b, 0);
+        assert_eq!(r, 5);
+    }
+}

@@ -1,0 +1,167 @@
+//! The hStreams logical resource view (paper Fig. 3).
+//!
+//! hStreams exposes a hierarchy to programmers — a card is one or more
+//! **domains**, each domain holds **places** (one per core partition), and
+//! each place hosts one or more **streams** — while the physical mapping
+//! stays transparent. This module derives that view from a built
+//! [`Context`], so tools and user code can reason
+//! in the paper's vocabulary.
+
+use crate::context::Context;
+use crate::types::{Result, StreamId};
+use micsim::device::DeviceId;
+use micsim::partition::Partition;
+
+/// One place: a core partition hosting streams.
+#[derive(Clone, Debug)]
+pub struct Place {
+    /// Index of the place within its domain (= partition index).
+    pub index: usize,
+    /// Physical geometry of the backing partition.
+    pub partition: Partition,
+    /// Streams bound to this place, in creation order.
+    pub streams: Vec<StreamId>,
+}
+
+/// One domain: a card.
+#[derive(Clone, Debug)]
+pub struct Domain {
+    /// The backing card.
+    pub device: DeviceId,
+    /// Places of this domain, in partition order.
+    pub places: Vec<Place>,
+}
+
+/// The full logical view of a context.
+#[derive(Clone, Debug)]
+pub struct ResourceView {
+    /// One domain per card.
+    pub domains: Vec<Domain>,
+}
+
+impl ResourceView {
+    /// Derive the logical view from a context.
+    pub fn of(ctx: &Context) -> Result<ResourceView> {
+        let mut domains: Vec<Domain> = Vec::with_capacity(ctx.device_count());
+        for d in 0..ctx.device_count() {
+            domains.push(Domain {
+                device: DeviceId(d),
+                places: Vec::new(),
+            });
+        }
+        for idx in 0..ctx.stream_count() {
+            let s = ctx.stream(idx)?;
+            let placement = ctx.placement(s)?;
+            let domain = &mut domains[placement.device.0];
+            while domain.places.len() <= placement.partition {
+                let index = domain.places.len();
+                // Geometry comes from any stream on that partition; fill it
+                // in when we first see one.
+                domain.places.push(Place {
+                    index,
+                    partition: ctx.partition_of(s)?, // placeholder, fixed below
+                    streams: Vec::new(),
+                });
+            }
+            let place = &mut domain.places[placement.partition];
+            place.partition = ctx.partition_of(s)?;
+            place.streams.push(s);
+        }
+        Ok(ResourceView { domains })
+    }
+
+    /// Total streams across all domains.
+    pub fn stream_count(&self) -> usize {
+        self.domains
+            .iter()
+            .flat_map(|d| &d.places)
+            .map(|p| p.streams.len())
+            .sum()
+    }
+
+    /// Total places (partitions) across all domains.
+    pub fn place_count(&self) -> usize {
+        self.domains.iter().map(|d| d.places.len()).sum()
+    }
+
+    /// Render the hierarchy as an indented tree (Fig. 3 in ASCII).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for d in &self.domains {
+            out.push_str(&format!("domain {} ({})\n", d.device.0, d.device));
+            for p in &d.places {
+                out.push_str(&format!(
+                    "  place {} — threads {}..{} ({} cores{})\n",
+                    p.index,
+                    p.partition.first_thread,
+                    p.partition.first_thread + p.partition.threads,
+                    p.partition.cores_spanned,
+                    if p.partition.shares_core {
+                        ", shares a core"
+                    } else {
+                        ""
+                    }
+                ));
+                for s in &p.streams {
+                    out.push_str(&format!("    stream {s}\n"));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use micsim::PlatformConfig;
+
+    #[test]
+    fn view_mirrors_context_geometry() {
+        let ctx = Context::builder(PlatformConfig::phi_31sp_multi(2))
+            .partitions(4)
+            .streams_per_partition(2)
+            .build()
+            .unwrap();
+        let view = ResourceView::of(&ctx).unwrap();
+        assert_eq!(view.domains.len(), 2);
+        assert_eq!(view.place_count(), 8);
+        assert_eq!(view.stream_count(), 16);
+        for d in &view.domains {
+            assert_eq!(d.places.len(), 4);
+            for p in &d.places {
+                assert_eq!(p.streams.len(), 2);
+                assert_eq!(p.partition.threads, 56);
+            }
+        }
+    }
+
+    #[test]
+    fn streams_listed_in_creation_order() {
+        let ctx = Context::builder(PlatformConfig::phi_31sp())
+            .partitions(2)
+            .streams_per_partition(2)
+            .build()
+            .unwrap();
+        let view = ResourceView::of(&ctx).unwrap();
+        let p0 = &view.domains[0].places[0];
+        assert_eq!(p0.streams, vec![StreamId(0), StreamId(1)]);
+        let p1 = &view.domains[0].places[1];
+        assert_eq!(p1.streams, vec![StreamId(2), StreamId(3)]);
+    }
+
+    #[test]
+    fn render_shows_hierarchy() {
+        let ctx = Context::builder(PlatformConfig::phi_31sp())
+            .partitions(3)
+            .build()
+            .unwrap();
+        let view = ResourceView::of(&ctx).unwrap();
+        let s = view.render();
+        assert!(s.contains("domain 0"));
+        assert!(s.contains("place 2"));
+        assert!(s.contains("stream s2"));
+        // P=3 on 56 cores splits cores.
+        assert!(s.contains("shares a core"));
+    }
+}

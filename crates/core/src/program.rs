@@ -1,0 +1,273 @@
+//! The recorded program: streams, their action queues, and events.
+//!
+//! A [`Context`](crate::context::Context) records user calls into a
+//! `Program` — an executor-independent intermediate representation. Both
+//! executors interpret the same `Program`, which is what guarantees the
+//! simulator and the native backend agree on ordering semantics.
+
+use micsim::device::DeviceId;
+
+use crate::action::Action;
+use crate::types::{Error, Result, StreamId};
+
+/// Where a stream runs: which card and which partition on it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StreamPlacement {
+    /// The card.
+    pub device: DeviceId,
+    /// Partition index within that card's plan.
+    pub partition: usize,
+}
+
+/// One stream: a FIFO queue of actions bound to a placement.
+#[derive(Debug)]
+pub struct StreamRecord {
+    /// The stream's id.
+    pub id: StreamId,
+    /// Where it executes.
+    pub placement: StreamPlacement,
+    /// Enqueued actions, in FIFO order.
+    pub actions: Vec<Action>,
+}
+
+/// Where an event is recorded.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EventSite {
+    /// Stream that records the event.
+    pub stream: StreamId,
+    /// Index of the `RecordEvent` action within that stream.
+    pub action_index: usize,
+}
+
+/// A fully recorded streamed program.
+#[derive(Debug, Default)]
+pub struct Program {
+    /// All streams, indexed by `StreamId.0`.
+    pub streams: Vec<StreamRecord>,
+    /// Recording site of each event, indexed by `EventId.0`.
+    pub events: Vec<EventSite>,
+    /// Number of barriers recorded.
+    pub barriers: usize,
+}
+
+impl Program {
+    /// Total number of enqueued actions across all streams.
+    pub fn action_count(&self) -> usize {
+        self.streams.iter().map(|s| s.actions.len()).sum()
+    }
+
+    /// Streams placed on `device`.
+    pub fn streams_on(&self, device: DeviceId) -> impl Iterator<Item = &StreamRecord> {
+        self.streams
+            .iter()
+            .filter(move |s| s.placement.device == device)
+    }
+
+    /// Distinct devices used by the program, ascending.
+    pub fn devices(&self) -> Vec<DeviceId> {
+        let mut devs: Vec<DeviceId> = self.streams.iter().map(|s| s.placement.device).collect();
+        devs.sort_unstable();
+        devs.dedup();
+        devs
+    }
+
+    /// Render a human-readable listing of the program, one block per
+    /// stream — the runtime's analogue of a disassembly, used in debugging
+    /// and docs.
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        for s in &self.streams {
+            out.push_str(&format!(
+                "stream {} @ {}#p{} ({} actions)\n",
+                s.id,
+                s.placement.device,
+                s.placement.partition,
+                s.actions.len()
+            ));
+            for (i, a) in s.actions.iter().enumerate() {
+                out.push_str(&format!("  [{i:>3}] {}\n", a.label()));
+            }
+        }
+        out.push_str(&format!(
+            "{} streams, {} actions, {} events, {} barriers\n",
+            self.streams.len(),
+            self.action_count(),
+            self.events.len(),
+            self.barriers
+        ));
+        out
+    }
+
+    /// Validate cross-stream structure:
+    ///
+    /// * every `WaitEvent` references a recorded event;
+    /// * no stream waits on an event it records itself (deadlock);
+    /// * every kernel's read/write sets are disjoint;
+    /// * every stream contains the same barrier sequence `0..barriers`
+    ///   (the context API enforces this by construction; executors rely
+    ///   on it for their barrier implementations).
+    pub fn validate(&self) -> Result<()> {
+        for s in &self.streams {
+            let mut barrier_cursor = 0usize;
+            for action in &s.actions {
+                match action {
+                    Action::WaitEvent(e) => {
+                        let site = self.events.get(e.0).ok_or(Error::UnknownEvent(*e))?;
+                        if site.stream == s.id {
+                            return Err(Error::InvalidEventWait {
+                                stream: s.id,
+                                event: *e,
+                            });
+                        }
+                    }
+                    Action::RecordEvent(e) => {
+                        if self.events.get(e.0).is_none() {
+                            return Err(Error::UnknownEvent(*e));
+                        }
+                    }
+                    Action::Kernel(k) => k.validate()?,
+                    Action::Barrier(n) => {
+                        if *n != barrier_cursor {
+                            return Err(Error::Config(format!(
+                                "stream {} sees barrier #{n}, expected #{barrier_cursor}",
+                                s.id
+                            )));
+                        }
+                        barrier_cursor += 1;
+                    }
+                    Action::Transfer { .. } => {}
+                }
+            }
+            if barrier_cursor != self.barriers {
+                return Err(Error::Config(format!(
+                    "stream {} participates in {barrier_cursor} of {} barriers",
+                    s.id, self.barriers
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::Action;
+    use crate::types::EventId;
+    use micsim::pcie::Direction;
+
+    fn stream(id: usize, actions: Vec<Action>) -> StreamRecord {
+        StreamRecord {
+            id: StreamId(id),
+            placement: StreamPlacement {
+                device: DeviceId(0),
+                partition: id,
+            },
+            actions,
+        }
+    }
+
+    #[test]
+    fn counting_and_device_queries() {
+        let mut p = Program::default();
+        p.streams.push(stream(
+            0,
+            vec![Action::Transfer {
+                dir: Direction::HostToDevice,
+                buf: crate::types::BufId(0),
+            }],
+        ));
+        p.streams.push(StreamRecord {
+            id: StreamId(1),
+            placement: StreamPlacement {
+                device: DeviceId(1),
+                partition: 0,
+            },
+            actions: vec![],
+        });
+        assert_eq!(p.action_count(), 1);
+        assert_eq!(p.devices(), vec![DeviceId(0), DeviceId(1)]);
+        assert_eq!(p.streams_on(DeviceId(0)).count(), 1);
+    }
+
+    #[test]
+    fn dump_lists_streams_and_actions() {
+        let mut p = Program::default();
+        p.streams.push(stream(
+            0,
+            vec![
+                Action::Transfer {
+                    dir: Direction::HostToDevice,
+                    buf: crate::types::BufId(3),
+                },
+                Action::Barrier(0),
+            ],
+        ));
+        p.barriers = 1;
+        let text = p.dump();
+        assert!(text.contains("stream s0"));
+        assert!(text.contains("h2d b3"));
+        assert!(text.contains("barrier#0"));
+        assert!(text.contains("1 streams, 2 actions, 0 events, 1 barriers"));
+    }
+
+    #[test]
+    fn wait_on_unknown_event_rejected() {
+        let mut p = Program::default();
+        p.streams
+            .push(stream(0, vec![Action::WaitEvent(EventId(0))]));
+        assert!(matches!(p.validate(), Err(Error::UnknownEvent(_))));
+    }
+
+    #[test]
+    fn self_wait_rejected() {
+        let mut p = Program::default();
+        p.streams.push(stream(
+            0,
+            vec![
+                Action::RecordEvent(EventId(0)),
+                Action::WaitEvent(EventId(0)),
+            ],
+        ));
+        p.events.push(EventSite {
+            stream: StreamId(0),
+            action_index: 0,
+        });
+        assert!(matches!(p.validate(), Err(Error::InvalidEventWait { .. })));
+    }
+
+    #[test]
+    fn cross_stream_wait_accepted() {
+        let mut p = Program::default();
+        p.streams
+            .push(stream(0, vec![Action::RecordEvent(EventId(0))]));
+        p.streams
+            .push(stream(1, vec![Action::WaitEvent(EventId(0))]));
+        p.events.push(EventSite {
+            stream: StreamId(0),
+            action_index: 0,
+        });
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn barrier_sequence_must_be_complete_and_ordered() {
+        let mut p = Program {
+            barriers: 2,
+            ..Default::default()
+        };
+        p.streams
+            .push(stream(0, vec![Action::Barrier(0), Action::Barrier(1)]));
+        p.streams.push(stream(1, vec![Action::Barrier(0)]));
+        // Stream 1 misses barrier #1.
+        assert!(matches!(p.validate(), Err(Error::Config(_))));
+
+        let mut good = Program {
+            barriers: 1,
+            ..Default::default()
+        };
+        good.streams.push(stream(0, vec![Action::Barrier(0)]));
+        good.streams.push(stream(1, vec![Action::Barrier(0)]));
+        good.validate().unwrap();
+    }
+}

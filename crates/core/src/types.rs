@@ -1,0 +1,178 @@
+//! Core identifier types and the crate-wide error enum.
+
+use std::fmt;
+
+pub use micsim::device::DeviceId;
+
+/// Handle to a stream created by a [`crate::context::Context`].
+///
+/// Streams are numbered densely from 0 in creation order across the whole
+/// context (all devices).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct StreamId(pub usize);
+
+/// Handle to a logical buffer.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct BufId(pub usize);
+
+/// Handle to a recorded event.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct EventId(pub usize);
+
+impl fmt::Display for StreamId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+impl fmt::Display for BufId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}", self.0)
+    }
+}
+
+impl fmt::Display for EventId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// Errors produced by the runtime.
+#[derive(Debug)]
+pub enum Error {
+    /// Referenced a stream that does not exist.
+    UnknownStream(StreamId),
+    /// Referenced a buffer that does not exist.
+    UnknownBuffer(BufId),
+    /// Referenced an event that was never recorded.
+    UnknownEvent(EventId),
+    /// Waiting on an event in the same stream that records it (or an event
+    /// recorded *after* the wait), which can never complete.
+    InvalidEventWait {
+        /// The waiting stream.
+        stream: StreamId,
+        /// The event waited on.
+        event: EventId,
+    },
+    /// A kernel listed the same buffer in both `reads` and `writes`.
+    ReadWriteConflict {
+        /// Offending buffer.
+        buf: BufId,
+        /// Kernel label.
+        kernel: String,
+    },
+    /// Host data length does not match the buffer's length.
+    SizeMismatch {
+        /// The buffer.
+        buf: BufId,
+        /// Buffer length in elements.
+        expected: usize,
+        /// Provided length in elements.
+        got: usize,
+    },
+    /// Platform-level failure (partitioning, device memory, bad device id).
+    Platform(micsim::fabric::FabricError),
+    /// Configuration rejected at context build time.
+    Config(String),
+    /// A kernel was enqueued for native execution without a native body.
+    MissingNativeBody {
+        /// Kernel label.
+        kernel: String,
+    },
+    /// A native kernel panicked; the run was aborted.
+    KernelPanicked {
+        /// Kernel label.
+        kernel: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnknownStream(s) => write!(f, "unknown stream {s}"),
+            Error::UnknownBuffer(b) => write!(f, "unknown buffer {b}"),
+            Error::UnknownEvent(e) => write!(f, "unknown event {e}"),
+            Error::InvalidEventWait { stream, event } => {
+                write!(
+                    f,
+                    "stream {stream} waits on event {event} it cannot observe"
+                )
+            }
+            Error::ReadWriteConflict { buf, kernel } => {
+                write!(
+                    f,
+                    "kernel {kernel:?} lists buffer {buf} as both read and write"
+                )
+            }
+            Error::SizeMismatch { buf, expected, got } => {
+                write!(f, "buffer {buf} holds {expected} elements, data has {got}")
+            }
+            Error::Platform(e) => write!(f, "platform error: {e}"),
+            Error::Config(msg) => write!(f, "invalid configuration: {msg}"),
+            Error::MissingNativeBody { kernel } => {
+                write!(
+                    f,
+                    "kernel {kernel:?} has no native body; cannot run on the native executor"
+                )
+            }
+            Error::KernelPanicked { kernel } => {
+                write!(f, "kernel {kernel:?} panicked during native execution")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Platform(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<micsim::fabric::FabricError> for Error {
+    fn from(e: micsim::fabric::FabricError) -> Self {
+        Error::Platform(e)
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_display_compactly() {
+        assert_eq!(StreamId(3).to_string(), "s3");
+        assert_eq!(BufId(0).to_string(), "b0");
+        assert_eq!(EventId(12).to_string(), "e12");
+    }
+
+    #[test]
+    fn errors_format_usefully() {
+        let e = Error::SizeMismatch {
+            buf: BufId(2),
+            expected: 10,
+            got: 7,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("b2") && msg.contains("10") && msg.contains('7'));
+
+        let e = Error::InvalidEventWait {
+            stream: StreamId(1),
+            event: EventId(4),
+        };
+        assert!(e.to_string().contains("s1"));
+    }
+
+    #[test]
+    fn platform_errors_convert() {
+        let fe = micsim::fabric::FabricError::NoSuchDevice(DeviceId(9));
+        let e: Error = fe.into();
+        assert!(matches!(e, Error::Platform(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

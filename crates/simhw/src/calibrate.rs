@@ -1,0 +1,176 @@
+//! Calibrated platform presets.
+//!
+//! [`PlatformConfig`] bundles everything the stream executor needs to price
+//! a run: the device spec, the link model, the compute model, and the
+//! host-side runtime overheads. The `phi_31sp` preset is calibrated to the
+//! constants the paper itself reports:
+//!
+//! * Fig. 5 — 16 × 1 MB one-way ≈ 2.5 ms, 32 blocks ≈ 5.2 ms ⇒ ~7 GB/s
+//!   effective bandwidth, ~15 µs per-transfer latency, **serial duplex**;
+//! * Fig. 6 — the hBench kernel (4 Mi f32 elements) crosses the 32 MiB
+//!   two-way transfer time at 40 iterations ⇒ ≈ 32 G element-iterations/s
+//!   full-device, i.e. ≈ 0.32 G/s per thread at 100.8 thread-equivalents;
+//! * 57 cores, 1 reserved ⇒ 224 usable threads (Sec. V-B1);
+//! * kernel-launch and stream-management overheads in the tens of
+//!   microseconds, the usual MPSS/hStreams figures, sized so Fig. 7's and
+//!   Fig. 10's overhead-driven tails appear at the paper's positions.
+
+use crate::compute::{ComputeModel, SmtScaling};
+use crate::device::DeviceSpec;
+use crate::pcie::{Duplex, LinkModel};
+use crate::time::SimDuration;
+
+/// Complete timing description of one heterogeneous platform.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PlatformConfig {
+    /// Card description (all cards are identical).
+    pub device: DeviceSpec,
+    /// Number of cards attached to the host.
+    pub device_count: usize,
+    /// PCIe model (each card has its own link).
+    pub link: LinkModel,
+    /// Kernel cost model.
+    pub compute: ComputeModel,
+    /// Host-side cost of enqueuing one action into a stream.
+    pub enqueue_overhead: SimDuration,
+    /// Fixed cost of a stream/device synchronization point.
+    pub sync_overhead: SimDuration,
+    /// Additional synchronization cost **per participating stream**: the
+    /// host runtime joins every stream individually, so barriers get more
+    /// expensive as the stream count grows (this is part of the "management
+    /// overhead" the paper blames for the right-hand tails of Figs. 7/9).
+    pub sync_per_stream: SimDuration,
+    /// Extra cost of a synchronization that spans streams on *different*
+    /// cards (Sec. VI: multi-MIC sync is more expensive).
+    pub cross_device_sync: SimDuration,
+    /// One-time cost per created partition (hStreams partition setup).
+    pub partition_setup: SimDuration,
+    /// Host CPU compute capacity in device thread-equivalents: a kernel of
+    /// rate `r` executed host-side runs at `r × host_equivalents`. The
+    /// dual-socket 12-core Xeon of the paper's platform is worth roughly 20
+    /// KNC thread-equivalents on latency-bound tile kernels.
+    pub host_equivalents: f64,
+}
+
+impl PlatformConfig {
+    /// The paper's platform: dual-socket Xeon host + Intel Xeon Phi 31SP.
+    pub fn phi_31sp() -> PlatformConfig {
+        PlatformConfig {
+            device: DeviceSpec::phi_31sp(),
+            device_count: 1,
+            link: LinkModel::new(SimDuration::from_micros(15), 7.0e9, Duplex::Serial),
+            compute: ComputeModel {
+                launch_overhead: SimDuration::from_micros(60),
+                smt: SmtScaling::default(),
+                core_sharing_factor: 0.50,
+                threads_per_core: DeviceSpec::phi_31sp().threads_per_core,
+            },
+            enqueue_overhead: SimDuration::from_micros(3),
+            sync_overhead: SimDuration::from_micros(25),
+            sync_per_stream: SimDuration::from_micros(15),
+            cross_device_sync: SimDuration::from_micros(120),
+            partition_setup: SimDuration::from_micros(40),
+            host_equivalents: 20.0,
+        }
+    }
+
+    /// The same host with a Xeon Phi 7120 card (61 cores, 16 GB): a
+    /// what-if platform for generality checks — everything downstream must
+    /// derive its candidate sets from the device, not from "56".
+    pub fn phi_7120() -> PlatformConfig {
+        let mut cfg = PlatformConfig::phi_31sp();
+        cfg.device = DeviceSpec::phi_7120();
+        cfg.compute.threads_per_core = cfg.device.threads_per_core;
+        cfg
+    }
+
+    /// Same platform with `n` Phi cards (Sec. VI experiments).
+    pub fn phi_31sp_multi(n: usize) -> PlatformConfig {
+        let mut cfg = PlatformConfig::phi_31sp();
+        cfg.device_count = n.max(1);
+        cfg
+    }
+
+    /// An idealized full-duplex variant, used by ablation benches to show
+    /// what Fig. 5 would look like on a GPU-style link.
+    pub fn phi_31sp_full_duplex() -> PlatformConfig {
+        let mut cfg = PlatformConfig::phi_31sp();
+        cfg.link.duplex = Duplex::Full;
+        cfg
+    }
+
+    /// Validate the configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        self.device.validate()?;
+        if self.device_count == 0 {
+            return Err("platform needs at least one device".into());
+        }
+        if !(0.0..=1.0).contains(&self.compute.core_sharing_factor) {
+            return Err("core_sharing_factor must be in 0..=1".into());
+        }
+        if self.host_equivalents <= 0.0 {
+            return Err("host_equivalents must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compute::{KernelInvocation, KernelProfile};
+    use crate::partition::PartitionPlan;
+
+    #[test]
+    fn preset_validates() {
+        PlatformConfig::phi_31sp().validate().unwrap();
+        PlatformConfig::phi_31sp_multi(4).validate().unwrap();
+        PlatformConfig::phi_31sp_full_duplex().validate().unwrap();
+    }
+
+    #[test]
+    fn phi_7120_preset_validates() {
+        let cfg = PlatformConfig::phi_7120();
+        cfg.validate().unwrap();
+        assert_eq!(cfg.device.usable_threads(), 240);
+    }
+
+    #[test]
+    fn multi_clamps_to_one() {
+        assert_eq!(PlatformConfig::phi_31sp_multi(0).device_count, 1);
+        assert_eq!(PlatformConfig::phi_31sp_multi(2).device_count, 2);
+    }
+
+    #[test]
+    fn fig6_crossover_calibration() {
+        // hBench: arrays A and B are 16 MiB each => two-way transfer of
+        // 32 MiB ≈ 5.2 ms on the serial link. The kernel at 40 iterations
+        // over 4 Mi elements should take about the same.
+        let cfg = PlatformConfig::phi_31sp();
+        let transfer = cfg.link.transfer_time(16 << 20) * 2;
+        let t_ms = transfer.as_millis_f64();
+        assert!((t_ms - 5.2).abs() < 0.5, "two-way transfer {t_ms} ms");
+
+        // 0.32e9 el-it/s/thread at 100.8 thread-equivalents.
+        let profile = KernelProfile::streaming("hbench", 0.32e9);
+        let plan = PartitionPlan::equal_split(&cfg.device, 1).unwrap();
+        let elements = 4.0 * 1024.0 * 1024.0;
+        let inv = KernelInvocation {
+            profile: &profile,
+            work: elements * 40.0,
+        };
+        let kt = cfg.compute.kernel_time(&inv, &plan.partitions[0]);
+        let k_ms = kt.as_millis_f64();
+        assert!(
+            (k_ms - t_ms).abs() / t_ms < 0.15,
+            "kernel at 40 iters ({k_ms} ms) should cross transfer time ({t_ms} ms)"
+        );
+    }
+
+    #[test]
+    fn validation_rejects_bad_sharing_factor() {
+        let mut cfg = PlatformConfig::phi_31sp();
+        cfg.compute.core_sharing_factor = 1.5;
+        assert!(cfg.validate().is_err());
+    }
+}

@@ -1,0 +1,169 @@
+//! The coprocessor device model.
+//!
+//! Models an Intel Xeon Phi "Knights Corner" style card: `total_cores`
+//! in-order cores with `threads_per_core` hardware threads each. One core is
+//! reserved for the card's embedded OS (the uOS), exactly as on the 31SP the
+//! paper uses: 57 physical cores, 56 usable, 4 threads/core ⇒ 224 usable
+//! hardware threads.
+
+use std::fmt;
+
+/// Identifies one coprocessor card on the platform.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct DeviceId(pub usize);
+
+impl fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "mic{}", self.0)
+    }
+}
+
+/// Static description of one coprocessor card.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DeviceSpec {
+    /// Physical cores on the die (including the uOS-reserved one).
+    pub total_cores: usize,
+    /// Cores reserved for the embedded OS and unavailable to offload work.
+    pub reserved_cores: usize,
+    /// Hardware threads per core.
+    pub threads_per_core: usize,
+    /// Device memory capacity in bytes (GDDR on a real card).
+    pub memory_bytes: u64,
+}
+
+impl DeviceSpec {
+    /// The Xeon Phi 31SP used in the paper: 57 cores, 1 reserved for the
+    /// uOS, 4 threads/core, 8 GB GDDR5.
+    pub fn phi_31sp() -> DeviceSpec {
+        DeviceSpec {
+            total_cores: 57,
+            reserved_cores: 1,
+            threads_per_core: 4,
+            memory_bytes: 8 * (1 << 30),
+        }
+    }
+
+    /// The larger Xeon Phi 7120 (61 cores, 1 reserved, 16 GB) — a second
+    /// real KNC part, used to check that nothing hard-codes the 31SP's
+    /// geometry (its core-aligned partition set differs: divisors of 60).
+    pub fn phi_7120() -> DeviceSpec {
+        DeviceSpec {
+            total_cores: 61,
+            reserved_cores: 1,
+            threads_per_core: 4,
+            memory_bytes: 16 * (1 << 30),
+        }
+    }
+
+    /// A small synthetic device, handy for tests where 224 threads is noise.
+    pub fn tiny(cores: usize, threads_per_core: usize) -> DeviceSpec {
+        DeviceSpec {
+            total_cores: cores + 1,
+            reserved_cores: 1,
+            threads_per_core,
+            memory_bytes: 1 << 30,
+        }
+    }
+
+    /// Cores available to offloaded work.
+    pub fn usable_cores(&self) -> usize {
+        self.total_cores.saturating_sub(self.reserved_cores)
+    }
+
+    /// Hardware threads available to offloaded work
+    /// (224 on the 31SP: 56 cores × 4 threads).
+    pub fn usable_threads(&self) -> usize {
+        self.usable_cores() * self.threads_per_core
+    }
+
+    /// Validate internal consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.total_cores == 0 {
+            return Err("device must have at least one core".into());
+        }
+        if self.reserved_cores >= self.total_cores {
+            return Err(format!(
+                "all {} cores reserved; nothing usable",
+                self.total_cores
+            ));
+        }
+        if self.threads_per_core == 0 {
+            return Err("threads_per_core must be positive".into());
+        }
+        Ok(())
+    }
+
+    /// The Sec. V-C candidate set for the number of partitions: divisors of
+    /// the usable core count. Such `P` values keep every partition on whole
+    /// cores, so no two streams share a core's cache.
+    ///
+    /// For the 31SP this is `{1, 2, 4, 7, 8, 14, 28, 56}`; the paper quotes
+    /// the set without the trivial `P = 1`.
+    pub fn core_aligned_partition_counts(&self) -> Vec<usize> {
+        let n = self.usable_cores();
+        let mut divs: Vec<usize> = (1..=n).filter(|p| n.is_multiple_of(*p)).collect();
+        divs.sort_unstable();
+        divs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phi_31sp_matches_paper_numbers() {
+        let d = DeviceSpec::phi_31sp();
+        assert_eq!(d.usable_cores(), 56);
+        assert_eq!(d.usable_threads(), 224);
+        d.validate().unwrap();
+    }
+
+    #[test]
+    fn core_aligned_counts_match_paper_set() {
+        let d = DeviceSpec::phi_31sp();
+        // Paper: P ∈ {2, 4, 7, 8, 14, 28, 56}; we additionally include 1.
+        assert_eq!(
+            d.core_aligned_partition_counts(),
+            vec![1, 2, 4, 7, 8, 14, 28, 56]
+        );
+    }
+
+    #[test]
+    fn phi_7120_has_a_different_candidate_set() {
+        let d = DeviceSpec::phi_7120();
+        assert_eq!(d.usable_cores(), 60);
+        assert_eq!(d.usable_threads(), 240);
+        assert_eq!(
+            d.core_aligned_partition_counts(),
+            vec![1, 2, 3, 4, 5, 6, 10, 12, 15, 20, 30, 60]
+        );
+    }
+
+    #[test]
+    fn tiny_device_geometry() {
+        let d = DeviceSpec::tiny(4, 2);
+        assert_eq!(d.usable_cores(), 4);
+        assert_eq!(d.usable_threads(), 8);
+        assert_eq!(d.core_aligned_partition_counts(), vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_specs() {
+        let mut d = DeviceSpec::phi_31sp();
+        d.reserved_cores = d.total_cores;
+        assert!(d.validate().is_err());
+
+        let mut d = DeviceSpec::phi_31sp();
+        d.threads_per_core = 0;
+        assert!(d.validate().is_err());
+
+        let d = DeviceSpec {
+            total_cores: 0,
+            reserved_cores: 0,
+            threads_per_core: 1,
+            memory_bytes: 0,
+        };
+        assert!(d.validate().is_err());
+    }
+}

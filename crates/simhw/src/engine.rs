@@ -1,0 +1,662 @@
+//! The discrete-event engine.
+//!
+//! The engine simulates a **task DAG over exclusive resources**:
+//!
+//! * a *resource* is anything that serializes work — the PCIe link of a card,
+//!   one core partition, the host thread that dispatches actions;
+//! * a *task* occupies exactly one resource (or none, for pure control
+//!   dependencies) for a precomputed duration, and may depend on other tasks.
+//!
+//! The stream executor in the `hstreams` crate lowers a streamed program into
+//! this form: per-stream FIFO edges, explicit event edges, transfers onto the
+//! link resource, kernels onto partition resources.
+//!
+//! Arbitration is FIFO: when a resource frees up, the waiting task that
+//! became ready earliest (ties broken by creation order) runs next. Together
+//! with the deterministic event queue this makes simulated timelines exactly
+//! reproducible.
+
+use std::collections::VecDeque;
+
+use crate::event::EventQueue;
+use crate::time::{SimDuration, SimTime};
+
+/// Handle to a serializing resource.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ResourceId(pub usize);
+
+/// Handle to a task in the DAG.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct TaskId(pub usize);
+
+/// A task to simulate.
+#[derive(Clone, Debug)]
+pub struct TaskSpec {
+    /// Resource the task occupies; `None` for zero-footprint control tasks
+    /// (events, barriers) that only propagate dependencies.
+    pub resource: Option<ResourceId>,
+    /// How long the task holds its resource.
+    pub duration: SimDuration,
+    /// Tasks that must finish before this one may start.
+    pub deps: Vec<TaskId>,
+    /// Free-form label used in traces ("h2d tile 3", "gemm(2,4)", ...).
+    pub label: String,
+}
+
+/// Completion record for one task.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TaskRecord {
+    /// The task this record describes.
+    pub task: TaskId,
+    /// Resource it ran on, if any.
+    pub resource: Option<ResourceId>,
+    /// When every dependency was satisfied.
+    pub ready: SimTime,
+    /// When it actually started (≥ `ready`; waits for the resource).
+    pub start: SimTime,
+    /// When it finished.
+    pub finish: SimTime,
+    /// Label copied from the spec.
+    pub label: String,
+    /// The task whose completion gated this one's start — either its
+    /// last-finishing dependency or the task that freed its resource —
+    /// `None` if it started unimpeded at t = 0.
+    pub critical_pred: Option<TaskId>,
+}
+
+/// The completed simulation: per-task records plus the makespan.
+#[derive(Clone, Debug, Default)]
+pub struct Timeline {
+    /// One record per task, indexed by `TaskId.0`.
+    pub records: Vec<TaskRecord>,
+    /// Completion time of the last task.
+    pub makespan: SimDuration,
+}
+
+impl Timeline {
+    /// Record for `task`.
+    pub fn record(&self, task: TaskId) -> &TaskRecord {
+        &self.records[task.0]
+    }
+
+    /// Total busy time of `resource` across the run.
+    pub fn resource_busy(&self, resource: ResourceId) -> SimDuration {
+        self.records
+            .iter()
+            .filter(|r| r.resource == Some(resource))
+            .map(|r| r.finish - r.start)
+            .sum()
+    }
+
+    /// Utilization of `resource` over the makespan, in `0..=1`.
+    pub fn resource_utilization(&self, resource: ResourceId) -> f64 {
+        if self.makespan == SimDuration::ZERO {
+            return 0.0;
+        }
+        self.resource_busy(resource).nanos() as f64 / self.makespan.nanos() as f64
+    }
+
+    /// The critical path: walk back from the last-finishing task through
+    /// each task's gating predecessor (last dependency or resource-freer).
+    /// Returned front-to-back; its ends span the whole makespan, so the
+    /// labels along it name exactly what limited this run.
+    pub fn critical_path(&self) -> Vec<TaskId> {
+        let Some(last) = self
+            .records
+            .iter()
+            .max_by_key(|r| (r.finish, r.task))
+            .map(|r| r.task)
+        else {
+            return Vec::new();
+        };
+        let mut path = vec![last];
+        let mut cur = last;
+        while let Some(pred) = self.records[cur.0].critical_pred {
+            path.push(pred);
+            cur = pred;
+        }
+        path.reverse();
+        path
+    }
+
+    /// Aggregate time on the critical path per label prefix (text before
+    /// the first `(` or space): a quick answer to "what limits this run?".
+    pub fn critical_path_breakdown(&self) -> Vec<(String, SimDuration)> {
+        let mut agg: std::collections::BTreeMap<String, SimDuration> =
+            std::collections::BTreeMap::new();
+        for id in self.critical_path() {
+            let r = &self.records[id.0];
+            let key = r
+                .label
+                .split(['(', ' '])
+                .next()
+                .unwrap_or("?")
+                .to_string();
+            *agg.entry(key).or_default() += r.finish - r.start;
+        }
+        let mut out: Vec<_> = agg.into_iter().collect();
+        out.sort_by_key(|&(_, d)| std::cmp::Reverse(d));
+        out
+    }
+}
+
+/// Errors surfaced while building or running a DAG.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EngineError {
+    /// A dependency references a task id that does not exist (yet).
+    ///
+    /// Dependencies must point backwards: the engine only accepts edges to
+    /// already-created tasks, which structurally rules out cycles.
+    UnknownDependency {
+        /// Index of the task being added.
+        task: usize,
+        /// The nonexistent dependency.
+        dep: TaskId,
+    },
+    /// A task references a resource that was never registered.
+    UnknownResource {
+        /// Index of the task being added.
+        task: usize,
+        /// The unregistered resource.
+        resource: ResourceId,
+    },
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::UnknownDependency { task, dep } => {
+                write!(f, "task {task} depends on unknown task {:?}", dep)
+            }
+            EngineError::UnknownResource { task, resource } => {
+                write!(f, "task {task} uses unknown resource {:?}", resource)
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+#[derive(Clone, Copy, Debug)]
+enum Event {
+    TaskFinished(TaskId),
+}
+
+struct TaskState {
+    spec: TaskSpec,
+    unmet_deps: usize,
+    dependents: Vec<TaskId>,
+    ready: Option<SimTime>,
+    start: Option<SimTime>,
+    finish: Option<SimTime>,
+    ready_setter: Option<TaskId>,
+    resource_freer: Option<TaskId>,
+}
+
+struct ResourceState {
+    #[allow(dead_code)]
+    name: String,
+    busy: bool,
+    // FIFO of tasks waiting for this resource, in (ready_time, task_id) order.
+    waiting: VecDeque<TaskId>,
+}
+
+/// Builder + runner for one simulation.
+pub struct Engine {
+    tasks: Vec<TaskState>,
+    resources: Vec<ResourceState>,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Engine {
+    /// Fresh empty engine.
+    pub fn new() -> Engine {
+        Engine {
+            tasks: Vec::new(),
+            resources: Vec::new(),
+        }
+    }
+
+    /// Register a serializing resource.
+    pub fn add_resource(&mut self, name: impl Into<String>) -> ResourceId {
+        let id = ResourceId(self.resources.len());
+        self.resources.push(ResourceState {
+            name: name.into(),
+            busy: false,
+            waiting: VecDeque::new(),
+        });
+        id
+    }
+
+    /// Number of registered resources.
+    pub fn resource_count(&self) -> usize {
+        self.resources.len()
+    }
+
+    /// Number of tasks added so far.
+    pub fn task_count(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Add a task. Dependencies must reference earlier tasks (see
+    /// [`EngineError::UnknownDependency`]).
+    pub fn add_task(&mut self, spec: TaskSpec) -> Result<TaskId, EngineError> {
+        let id = TaskId(self.tasks.len());
+        if let Some(res) = spec.resource {
+            if res.0 >= self.resources.len() {
+                return Err(EngineError::UnknownResource {
+                    task: id.0,
+                    resource: res,
+                });
+            }
+        }
+        for &dep in &spec.deps {
+            if dep.0 >= self.tasks.len() {
+                return Err(EngineError::UnknownDependency { task: id.0, dep });
+            }
+        }
+        let unmet = spec.deps.len();
+        for &dep in &spec.deps {
+            self.tasks[dep.0].dependents.push(id);
+        }
+        self.tasks.push(TaskState {
+            spec,
+            unmet_deps: unmet,
+            dependents: Vec::new(),
+            ready: None,
+            start: None,
+            finish: None,
+            ready_setter: None,
+            resource_freer: None,
+        });
+        Ok(id)
+    }
+
+    /// Run the simulation to completion and consume the engine.
+    pub fn run(mut self) -> Timeline {
+        let mut queue: EventQueue<Event> = EventQueue::new();
+
+        // Seed: every task with no dependencies is ready at t=0. Iterate in
+        // id order so FIFO arbitration matches creation (enqueue) order.
+        let initially_ready: Vec<TaskId> = self
+            .tasks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.unmet_deps == 0)
+            .map(|(i, _)| TaskId(i))
+            .collect();
+        for id in initially_ready {
+            self.task_became_ready(id, SimTime::ZERO, &mut queue);
+        }
+
+        while let Some((now, event)) = queue.pop() {
+            match event {
+                Event::TaskFinished(id) => self.finish_task(id, now, &mut queue),
+            }
+        }
+
+        let makespan = self
+            .tasks
+            .iter()
+            .filter_map(|t| t.finish)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+            - SimTime::ZERO;
+
+        let records = self
+            .tasks
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| {
+                // Whichever blocker acted later is the critical one; the
+                // resource freer matters only if the task actually waited
+                // past its ready time.
+                let critical_pred = if t.start > t.ready {
+                    t.resource_freer.or(t.ready_setter)
+                } else {
+                    t.ready_setter
+                };
+                TaskRecord {
+                    task: TaskId(i),
+                    resource: t.spec.resource,
+                    ready: t.ready.unwrap_or(SimTime::ZERO),
+                    start: t.start.unwrap_or(SimTime::ZERO),
+                    finish: t.finish.unwrap_or(SimTime::ZERO),
+                    label: t.spec.label,
+                    critical_pred,
+                }
+            })
+            .collect();
+
+        Timeline { records, makespan }
+    }
+
+    fn task_became_ready(&mut self, id: TaskId, now: SimTime, queue: &mut EventQueue<Event>) {
+        debug_assert!(self.tasks[id.0].ready.is_none(), "task readied twice");
+        self.tasks[id.0].ready = Some(now);
+        match self.tasks[id.0].spec.resource {
+            None => self.start_task(id, now, queue),
+            Some(res) => {
+                if self.resources[res.0].busy {
+                    self.resources[res.0].waiting.push_back(id);
+                } else {
+                    self.resources[res.0].busy = true;
+                    self.start_task(id, now, queue);
+                }
+            }
+        }
+    }
+
+    fn start_task(&mut self, id: TaskId, now: SimTime, queue: &mut EventQueue<Event>) {
+        let task = &mut self.tasks[id.0];
+        task.start = Some(now);
+        let finish = now + task.spec.duration;
+        queue.schedule(finish, Event::TaskFinished(id));
+    }
+
+    fn finish_task(&mut self, id: TaskId, now: SimTime, queue: &mut EventQueue<Event>) {
+        self.tasks[id.0].finish = Some(now);
+
+        // Free the resource and hand it to the longest-waiting ready task.
+        if let Some(res) = self.tasks[id.0].spec.resource {
+            let state = &mut self.resources[res.0];
+            if let Some(next) = state.waiting.pop_front() {
+                // Resource stays busy; next task starts immediately.
+                self.tasks[next.0].resource_freer = Some(id);
+                self.start_task(next, now, queue);
+            } else {
+                state.busy = false;
+            }
+        }
+
+        // Propagate readiness to dependents.
+        let dependents = std::mem::take(&mut self.tasks[id.0].dependents);
+        for dep in &dependents {
+            let t = &mut self.tasks[dep.0];
+            t.unmet_deps -= 1;
+            if t.unmet_deps == 0 {
+                t.ready_setter = Some(id);
+                self.task_became_ready(*dep, now, queue);
+            }
+        }
+        self.tasks[id.0].dependents = dependents;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn task(resource: Option<ResourceId>, us: u64, deps: Vec<TaskId>, label: &str) -> TaskSpec {
+        TaskSpec {
+            resource,
+            duration: SimDuration::from_micros(us),
+            deps,
+            label: label.into(),
+        }
+    }
+
+    #[test]
+    fn serial_chain_accumulates() {
+        let mut e = Engine::new();
+        let r = e.add_resource("r");
+        let a = e.add_task(task(Some(r), 10, vec![], "a")).unwrap();
+        let b = e.add_task(task(Some(r), 20, vec![a], "b")).unwrap();
+        let c = e.add_task(task(Some(r), 30, vec![b], "c")).unwrap();
+        let tl = e.run();
+        assert_eq!(tl.makespan, SimDuration::from_micros(60));
+        assert_eq!(tl.record(c).start, SimTime(30_000));
+        assert_eq!(tl.record(c).finish, SimTime(60_000));
+        assert_eq!(tl.resource_utilization(r), 1.0);
+    }
+
+    #[test]
+    fn independent_tasks_on_distinct_resources_overlap() {
+        let mut e = Engine::new();
+        let r1 = e.add_resource("r1");
+        let r2 = e.add_resource("r2");
+        e.add_task(task(Some(r1), 50, vec![], "x")).unwrap();
+        e.add_task(task(Some(r2), 50, vec![], "y")).unwrap();
+        let tl = e.run();
+        assert_eq!(tl.makespan, SimDuration::from_micros(50));
+    }
+
+    #[test]
+    fn shared_resource_serializes_in_fifo_order() {
+        let mut e = Engine::new();
+        let r = e.add_resource("link");
+        let ids: Vec<_> = (0..4)
+            .map(|i| {
+                e.add_task(task(Some(r), 10, vec![], &format!("t{i}")))
+                    .unwrap()
+            })
+            .collect();
+        let tl = e.run();
+        assert_eq!(tl.makespan, SimDuration::from_micros(40));
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(tl.record(*id).start, SimTime(10_000 * i as u64));
+        }
+    }
+
+    #[test]
+    fn pipeline_overlap_matches_fig1_arithmetic() {
+        // The paper's Fig. 1: three equal stages (H2D, EXE, D2H) per task.
+        // With one stream 2 tasks take 6 units; with enough streams the
+        // makespan for 4 tasks is 6 units too — here stages use three
+        // distinct resources (link-in, compute, link-out), the idealized
+        // platform of Fig. 1.
+        let unit = 100u64;
+        let build = |streams: usize, tasks: usize| {
+            let mut e = Engine::new();
+            let h2d = e.add_resource("h2d");
+            let d2h = e.add_resource("d2h");
+            let partitions: Vec<_> = (0..streams)
+                .map(|i| e.add_resource(format!("p{i}")))
+                .collect();
+            let mut last_in_stream: Vec<Option<TaskId>> = vec![None; streams];
+            for t in 0..tasks {
+                let s = t % streams;
+                let dep = last_in_stream[s].map(|d| vec![d]).unwrap_or_default();
+                let a = e.add_task(task(Some(h2d), unit, dep, "h2d")).unwrap();
+                let b = e
+                    .add_task(task(Some(partitions[s]), unit, vec![a], "exe"))
+                    .unwrap();
+                let c = e.add_task(task(Some(d2h), unit, vec![b], "d2h")).unwrap();
+                last_in_stream[s] = Some(c);
+            }
+            e.run().makespan
+        };
+        // Single stream, 2 tasks: fully serial ⇒ 6 units.
+        assert_eq!(build(1, 2), SimDuration::from_micros(600));
+        // Four streams, 4 tasks: software pipeline ⇒ 6 units for 4 tasks.
+        assert_eq!(build(4, 4), SimDuration::from_micros(600));
+    }
+
+    #[test]
+    fn control_tasks_take_no_resource() {
+        let mut e = Engine::new();
+        let r = e.add_resource("r");
+        let a = e.add_task(task(Some(r), 10, vec![], "a")).unwrap();
+        let b = e.add_task(task(Some(r), 10, vec![], "b")).unwrap();
+        // Barrier joining a and b, then a dependent task.
+        let bar = e
+            .add_task(TaskSpec {
+                resource: None,
+                duration: SimDuration::ZERO,
+                deps: vec![a, b],
+                label: "barrier".into(),
+            })
+            .unwrap();
+        let c = e.add_task(task(Some(r), 10, vec![bar], "c")).unwrap();
+        let tl = e.run();
+        assert_eq!(tl.record(bar).start, tl.record(bar).finish);
+        assert_eq!(tl.record(c).start, SimTime(20_000));
+        assert_eq!(tl.makespan, SimDuration::from_micros(30));
+    }
+
+    #[test]
+    fn forward_only_dependencies_enforced() {
+        let mut e = Engine::new();
+        let err = e
+            .add_task(task(None, 0, vec![TaskId(7)], "bad"))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            EngineError::UnknownDependency {
+                task: 0,
+                dep: TaskId(7)
+            }
+        );
+    }
+
+    #[test]
+    fn unknown_resource_rejected() {
+        let mut e = Engine::new();
+        let err = e
+            .add_task(task(Some(ResourceId(3)), 1, vec![], "bad"))
+            .unwrap_err();
+        assert!(matches!(err, EngineError::UnknownResource { .. }));
+    }
+
+    #[test]
+    fn fifo_arbitration_prefers_earlier_ready_tasks() {
+        let mut e = Engine::new();
+        let r = e.add_resource("r");
+        let gate = e.add_task(task(None, 5, vec![], "gate")).unwrap();
+        // w becomes ready at t=5, but q (ready at t=0) must win the resource.
+        let q = e.add_task(task(Some(r), 50, vec![], "q")).unwrap();
+        let w = e.add_task(task(Some(r), 10, vec![gate], "w")).unwrap();
+        let tl = e.run();
+        assert_eq!(tl.record(q).start, SimTime::ZERO);
+        assert_eq!(tl.record(w).start, SimTime(50_000));
+        assert_eq!(tl.record(w).ready, SimTime(5_000));
+    }
+
+    #[test]
+    fn empty_engine_runs_to_zero_makespan() {
+        let tl = Engine::new().run();
+        assert_eq!(tl.makespan, SimDuration::ZERO);
+        assert!(tl.records.is_empty());
+    }
+
+    #[test]
+    fn resource_busy_accounting() {
+        let mut e = Engine::new();
+        let r = e.add_resource("r");
+        e.add_task(task(Some(r), 10, vec![], "a")).unwrap();
+        let gap = e.add_task(task(None, 100, vec![], "wait")).unwrap();
+        e.add_task(task(Some(r), 20, vec![gap], "b")).unwrap();
+        let tl = e.run();
+        assert_eq!(tl.resource_busy(r), SimDuration::from_micros(30));
+        assert!(tl.resource_utilization(r) < 0.5);
+    }
+}
+
+#[cfg(test)]
+mod critical_path_tests {
+    use super::*;
+
+    fn task(resource: Option<ResourceId>, us: u64, deps: Vec<TaskId>, label: &str) -> TaskSpec {
+        TaskSpec {
+            resource,
+            duration: SimDuration::from_micros(us),
+            deps,
+            label: label.into(),
+        }
+    }
+
+    #[test]
+    fn serial_chain_is_its_own_critical_path() {
+        let mut e = Engine::new();
+        let r = e.add_resource("r");
+        let a = e.add_task(task(Some(r), 10, vec![], "a")).unwrap();
+        let b = e.add_task(task(Some(r), 10, vec![a], "b")).unwrap();
+        let c = e.add_task(task(Some(r), 10, vec![b], "c")).unwrap();
+        let tl = e.run();
+        assert_eq!(tl.critical_path(), vec![a, b, c]);
+    }
+
+    #[test]
+    fn resource_wait_shows_up_on_the_path() {
+        // Two independent tasks on one resource: the second's critical
+        // predecessor is the first (it freed the resource).
+        let mut e = Engine::new();
+        let r = e.add_resource("r");
+        let a = e.add_task(task(Some(r), 10, vec![], "a")).unwrap();
+        let b = e.add_task(task(Some(r), 20, vec![], "b")).unwrap();
+        let tl = e.run();
+        assert_eq!(tl.critical_path(), vec![a, b]);
+    }
+
+    #[test]
+    fn parallel_branches_pick_the_longer_one() {
+        let mut e = Engine::new();
+        let r1 = e.add_resource("r1");
+        let r2 = e.add_resource("r2");
+        let short = e.add_task(task(Some(r1), 5, vec![], "short")).unwrap();
+        let long = e.add_task(task(Some(r2), 50, vec![], "long")).unwrap();
+        let join = e
+            .add_task(task(None, 1, vec![short, long], "join"))
+            .unwrap();
+        let tl = e.run();
+        let path = tl.critical_path();
+        assert_eq!(path, vec![long, join]);
+        let _ = short;
+    }
+
+    #[test]
+    fn path_spans_the_whole_makespan() {
+        // Pipeline: the path's first task starts at 0 and its last ends at
+        // the makespan.
+        let mut e = Engine::new();
+        let link = e.add_resource("link");
+        let part = e.add_resource("p");
+        let mut last = None;
+        for i in 0..6 {
+            let deps = last.into_iter().collect();
+            let h = e
+                .add_task(task(Some(link), 7, deps, &format!("h{i}")))
+                .unwrap();
+            let k = e
+                .add_task(task(Some(part), 13, vec![h], &format!("k{i}")))
+                .unwrap();
+            last = Some(k);
+        }
+        let tl = e.run();
+        let path = tl.critical_path();
+        let first = tl.record(path[0]);
+        let last_rec = tl.record(*path.last().unwrap());
+        assert_eq!(first.start, SimTime::ZERO);
+        assert_eq!(last_rec.finish - SimTime::ZERO, tl.makespan);
+        // Consecutive path entries touch (no unexplained gaps at handoff).
+        for w in path.windows(2) {
+            assert!(tl.record(w[1]).start >= tl.record(w[0]).finish);
+        }
+    }
+
+    #[test]
+    fn breakdown_aggregates_by_label_prefix() {
+        let mut e = Engine::new();
+        let r = e.add_resource("r");
+        let a = e.add_task(task(Some(r), 10, vec![], "h2d(0)")).unwrap();
+        let b = e.add_task(task(Some(r), 30, vec![a], "gemm(0,0)")).unwrap();
+        let _c = e.add_task(task(Some(r), 20, vec![b], "gemm(0,1)")).unwrap();
+        let tl = e.run();
+        let breakdown = tl.critical_path_breakdown();
+        assert_eq!(breakdown[0].0, "gemm");
+        assert_eq!(breakdown[0].1, SimDuration::from_micros(50));
+        assert_eq!(breakdown[1].0, "h2d");
+    }
+
+    #[test]
+    fn empty_timeline_has_empty_path() {
+        let tl = Engine::new().run();
+        assert!(tl.critical_path().is_empty());
+        assert!(tl.critical_path_breakdown().is_empty());
+    }
+}

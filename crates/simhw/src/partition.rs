@@ -1,0 +1,266 @@
+//! Resource partitioning (spatial sharing).
+//!
+//! hStreams splits a card's usable hardware threads into `P` groups
+//! ("partitions"); each stream executes on one partition. The paper's
+//! Fig. 9(a,b) shows that partition *geometry* matters: when `P` divides the
+//! usable core count, each partition owns whole cores; otherwise some core's
+//! four hardware threads end up in two different partitions, and the two
+//! streams sharing that core fight over its private cache.
+//!
+//! This module computes partition plans exactly the way hStreams does
+//! (near-equal thread counts, remainder dealt left-to-right) and exposes the geometry facts
+//! the cost model needs: threads per partition, cores spanned, and whether a
+//! partition shares a core with its neighbour.
+
+use crate::device::DeviceSpec;
+
+/// One partition: a contiguous range of hardware-thread slots.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Partition {
+    /// Index of this partition within the plan.
+    pub index: usize,
+    /// First usable-thread slot (0-based, uOS threads excluded).
+    pub first_thread: usize,
+    /// Number of hardware threads owned.
+    pub threads: usize,
+    /// Whether this partition shares at least one physical core with another
+    /// partition (the Fig. 9 cache-contention condition).
+    pub shares_core: bool,
+    /// Number of distinct physical cores this partition touches.
+    pub cores_spanned: usize,
+}
+
+/// A full partitioning of one device.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PartitionPlan {
+    /// Hardware threads per core on the target device.
+    pub threads_per_core: usize,
+    /// The partitions, in thread order.
+    pub partitions: Vec<Partition>,
+}
+
+/// Errors from partition planning.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PartitionError {
+    /// Asked for zero partitions.
+    ZeroPartitions,
+    /// More partitions than usable hardware threads.
+    TooManyPartitions {
+        /// Requested partition count.
+        requested: usize,
+        /// Usable hardware threads on the device.
+        threads: usize,
+    },
+}
+
+impl std::fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PartitionError::ZeroPartitions => write!(f, "partition count must be positive"),
+            PartitionError::TooManyPartitions { requested, threads } => write!(
+                f,
+                "requested {requested} partitions but device has only {threads} usable threads"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PartitionError {}
+
+impl PartitionPlan {
+    /// Split `device`'s usable threads into `count` near-equal partitions.
+    ///
+    /// Mirrors hStreams' `hStreams_app_init(count, ...)`: threads are dealt
+    /// out contiguously, with the first `usable_threads % count` partitions
+    /// receiving one extra thread so every hardware thread is assigned.
+    ///
+    /// This is what produces the paper's core-alignment rule: a plan is free
+    /// of core sharing exactly when `count` divides the usable *core* count
+    /// (56 on the 31SP ⇒ P ∈ {1, 2, 4, 7, 8, 14, 28, 56}).
+    ///
+    /// ```
+    /// use micsim::{DeviceSpec, PartitionPlan};
+    /// let phi = DeviceSpec::phi_31sp();
+    /// let aligned = PartitionPlan::equal_split(&phi, 4).unwrap();
+    /// assert!(!aligned.has_core_sharing());
+    /// assert_eq!(aligned.threads_per_partition(), 56);
+    /// let misaligned = PartitionPlan::equal_split(&phi, 5).unwrap();
+    /// assert!(misaligned.has_core_sharing()); // 5 does not divide 56
+    /// ```
+    pub fn equal_split(device: &DeviceSpec, count: usize) -> Result<PartitionPlan, PartitionError> {
+        if count == 0 {
+            return Err(PartitionError::ZeroPartitions);
+        }
+        let total = device.usable_threads();
+        if count > total {
+            return Err(PartitionError::TooManyPartitions {
+                requested: count,
+                threads: total,
+            });
+        }
+        let per = total / count;
+        let extra = total % count; // first `extra` partitions get per+1
+        let tpc = device.threads_per_core;
+        let mut partitions = Vec::with_capacity(count);
+        let mut first_thread = 0usize;
+        for index in 0..count {
+            let threads = if index < extra { per + 1 } else { per };
+            let last_thread = first_thread + threads - 1; // inclusive
+            let first_core = first_thread / tpc;
+            let last_core = last_thread / tpc;
+            partitions.push(Partition {
+                index,
+                first_thread,
+                threads,
+                shares_core: false, // fixed up below
+                cores_spanned: last_core - first_core + 1,
+            });
+            first_thread += threads;
+        }
+        // A partition shares a core when its boundary with a neighbour falls
+        // inside a core (i.e. the boundary thread index is not a multiple of
+        // threads_per_core). Only inter-partition boundaries count; the first
+        // partition's lower edge and the last one's upper edge touch nobody.
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..count {
+            let left_boundary_mid_core = partitions[i].first_thread % tpc != 0 && i > 0;
+            let right_boundary = partitions[i].first_thread + partitions[i].threads;
+            let right_boundary_mid_core = right_boundary % tpc != 0 && i + 1 < count;
+            partitions[i].shares_core = left_boundary_mid_core || right_boundary_mid_core;
+        }
+        Ok(PartitionPlan {
+            threads_per_core: tpc,
+            partitions,
+        })
+    }
+
+    /// Number of partitions in the plan.
+    pub fn count(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Threads in the *smallest* partition (partitions differ by at most
+    /// one thread). This matches the paper's "224/N threads per stream".
+    pub fn threads_per_partition(&self) -> usize {
+        self.partitions.iter().map(|p| p.threads).min().unwrap_or(0)
+    }
+
+    /// Whether **any** partition shares a physical core with a neighbour —
+    /// the condition under which Fig. 9(a,b) shows degraded performance.
+    pub fn has_core_sharing(&self) -> bool {
+        self.partitions.iter().any(|p| p.shares_core)
+    }
+
+    /// Fraction of partitions that share a core with a neighbour, in `0..=1`.
+    /// The cost model scales the contention penalty by this.
+    pub fn core_sharing_fraction(&self) -> f64 {
+        if self.partitions.is_empty() {
+            return 0.0;
+        }
+        let sharing = self.partitions.iter().filter(|p| p.shares_core).count();
+        sharing as f64 / self.partitions.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceSpec;
+
+    fn phi() -> DeviceSpec {
+        DeviceSpec::phi_31sp()
+    }
+
+    #[test]
+    fn equal_split_covers_threads_exactly_once() {
+        for count in 1..=224 {
+            let plan = PartitionPlan::equal_split(&phi(), count).unwrap();
+            let per = 224 / count;
+            assert_eq!(plan.count(), count);
+            // Near-equal: every partition has per or per+1 threads.
+            assert!(plan
+                .partitions
+                .iter()
+                .all(|p| p.threads == per || p.threads == per + 1));
+            let assigned: usize = plan.partitions.iter().map(|p| p.threads).sum();
+            assert_eq!(assigned, 224, "all usable threads assigned");
+            // Contiguity / no overlap.
+            for w in plan.partitions.windows(2) {
+                assert_eq!(w[0].first_thread + w[0].threads, w[1].first_thread);
+            }
+        }
+    }
+
+    #[test]
+    fn divisors_of_56_are_core_aligned() {
+        for &p in &[1usize, 2, 4, 7, 8, 14, 28, 56] {
+            let plan = PartitionPlan::equal_split(&phi(), p).unwrap();
+            assert!(
+                !plan.has_core_sharing(),
+                "P={p} should be core-aligned on the 31SP"
+            );
+            assert_eq!(plan.threads_per_partition(), 224 / p);
+        }
+    }
+
+    #[test]
+    fn non_divisors_share_cores() {
+        // 224 threads, 4/core. P=3 ⇒ 75+75+74 threads: the boundary at
+        // thread 75 falls mid-core (75 % 4 != 0).
+        for &p in &[3usize, 5, 6, 9, 13, 15, 33, 37] {
+            let plan = PartitionPlan::equal_split(&phi(), p).unwrap();
+            assert!(
+                plan.has_core_sharing(),
+                "P={p} must split some core across partitions"
+            );
+        }
+        // P=16 gives 14 threads each: 14 % 4 != 0 ⇒ sharing even though
+        // 224 % 16 == 0. Core alignment needs 56 % P == 0, not 224 % P == 0.
+        let plan = PartitionPlan::equal_split(&phi(), 16).unwrap();
+        assert!(plan.has_core_sharing());
+    }
+
+    #[test]
+    fn single_partition_owns_everything() {
+        let plan = PartitionPlan::equal_split(&phi(), 1).unwrap();
+        assert_eq!(plan.threads_per_partition(), 224);
+        assert_eq!(plan.partitions[0].cores_spanned, 56);
+        assert!(!plan.has_core_sharing());
+    }
+
+    #[test]
+    fn hotspot_sweet_spot_geometry() {
+        // Fig. 9(d): P in 33..=37 gives 6–7 threads per partition spanning
+        // at most two cores.
+        for p in 33..=37 {
+            let plan = PartitionPlan::equal_split(&phi(), p).unwrap();
+            let per = plan.threads_per_partition();
+            assert!((6..=7).contains(&per), "P={p} gives {per} threads");
+            assert!(plan.partitions.iter().all(|x| x.cores_spanned <= 3));
+        }
+    }
+
+    #[test]
+    fn errors_on_bad_counts() {
+        assert_eq!(
+            PartitionPlan::equal_split(&phi(), 0),
+            Err(PartitionError::ZeroPartitions)
+        );
+        assert!(matches!(
+            PartitionPlan::equal_split(&phi(), 225),
+            Err(PartitionError::TooManyPartitions { .. })
+        ));
+        // Exactly thread count is fine: one thread each.
+        let plan = PartitionPlan::equal_split(&phi(), 224).unwrap();
+        assert_eq!(plan.threads_per_partition(), 1);
+    }
+
+    #[test]
+    fn sharing_fraction_bounds() {
+        let aligned = PartitionPlan::equal_split(&phi(), 4).unwrap();
+        assert_eq!(aligned.core_sharing_fraction(), 0.0);
+        let misaligned = PartitionPlan::equal_split(&phi(), 3).unwrap();
+        let f = misaligned.core_sharing_fraction();
+        assert!(f > 0.0 && f <= 1.0);
+    }
+}

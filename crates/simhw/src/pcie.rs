@@ -1,0 +1,180 @@
+//! PCIe link timing model.
+//!
+//! The paper's first microbenchmark finding (Fig. 5) is that on the Phi,
+//! host→device and device→host transfers **serialize**: the ID case (hd+dh
+//! constant) takes constant time, so the two directions share one engine.
+//! The model therefore exposes a *duplex policy*: `Serial` (one exclusive
+//! channel for both directions — the Phi behaviour) or `Full` (a channel per
+//! direction — the GPU-style behaviour, kept for ablation benches).
+//!
+//! Per-transfer cost is the classic latency + size/bandwidth model. Fig. 5's
+//! measured constants (16 × 1 MB ≈ 2.5 ms one way, 32 blocks ≈ 5.2 ms) pin
+//! the defaults in [`crate::calibrate`].
+
+use crate::time::SimDuration;
+
+/// Transfer direction over the link.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Direction {
+    /// Host to device ("H2D" in the paper's flow diagrams).
+    HostToDevice,
+    /// Device to host ("D2H").
+    DeviceToHost,
+}
+
+impl Direction {
+    /// Short label used in traces.
+    pub fn label(self) -> &'static str {
+        match self {
+            Direction::HostToDevice => "h2d",
+            Direction::DeviceToHost => "d2h",
+        }
+    }
+}
+
+/// Whether the two directions share one physical channel.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Duplex {
+    /// Both directions serialize on one channel (Phi / MPSS behaviour,
+    /// paper finding #1).
+    Serial,
+    /// Each direction has its own channel (idealized full-duplex device).
+    Full,
+}
+
+/// Timing model of one card's PCIe connection.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LinkModel {
+    /// Fixed per-transfer cost: DMA descriptor setup, doorbell, completion
+    /// interrupt.
+    pub latency: SimDuration,
+    /// Sustained bandwidth in bytes/second.
+    pub bandwidth: f64,
+    /// Duplex policy.
+    pub duplex: Duplex,
+}
+
+impl LinkModel {
+    /// Construct a model; `bandwidth` is in bytes/second.
+    ///
+    /// ```
+    /// use micsim::{LinkModel, Duplex, SimDuration};
+    /// let link = LinkModel::new(SimDuration::from_micros(15), 7.0e9, Duplex::Serial);
+    /// // 1 MiB costs the latency plus the bandwidth term.
+    /// let t = link.transfer_time(1 << 20);
+    /// assert!((t.as_micros_f64() - 164.8).abs() < 1.0);
+    /// assert_eq!(link.channels(), 1); // both directions share one channel
+    /// ```
+    pub fn new(latency: SimDuration, bandwidth: f64, duplex: Duplex) -> LinkModel {
+        assert!(
+            bandwidth > 0.0 && bandwidth.is_finite(),
+            "bandwidth must be positive and finite"
+        );
+        LinkModel {
+            latency,
+            bandwidth,
+            duplex,
+        }
+    }
+
+    /// Time for one transfer of `bytes` (direction-independent: the Phi's
+    /// DMA engines are symmetric).
+    pub fn transfer_time(&self, bytes: u64) -> SimDuration {
+        if bytes == 0 {
+            // Zero-byte "transfers" still pay the doorbell round-trip.
+            return self.latency;
+        }
+        self.latency + SimDuration::from_secs_f64(bytes as f64 / self.bandwidth)
+    }
+
+    /// Time to move `blocks` transfers of `block_bytes` back-to-back on one
+    /// channel.
+    pub fn batch_time(&self, blocks: usize, block_bytes: u64) -> SimDuration {
+        self.transfer_time(block_bytes) * blocks as u64
+    }
+
+    /// Number of independent channels this link exposes to the arbiter.
+    pub fn channels(&self) -> usize {
+        match self.duplex {
+            Duplex::Serial => 1,
+            Duplex::Full => 2,
+        }
+    }
+
+    /// Channel index a transfer in `dir` uses.
+    pub fn channel_for(&self, dir: Direction) -> usize {
+        match self.duplex {
+            Duplex::Serial => 0,
+            Duplex::Full => match dir {
+                Direction::HostToDevice => 0,
+                Direction::DeviceToHost => 1,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn link(duplex: Duplex) -> LinkModel {
+        LinkModel::new(SimDuration::from_micros(15), 7.0e9, duplex)
+    }
+
+    #[test]
+    fn transfer_time_is_latency_plus_bandwidth_term() {
+        let l = link(Duplex::Serial);
+        let t = l.transfer_time(1 << 20);
+        // 15us + 1MiB / 7GB/s ≈ 15 + 149.8 us
+        let us = t.as_micros_f64();
+        assert!((us - 164.8).abs() < 1.0, "got {us} us");
+    }
+
+    #[test]
+    fn zero_bytes_still_costs_latency() {
+        let l = link(Duplex::Serial);
+        assert_eq!(l.transfer_time(0), SimDuration::from_micros(15));
+    }
+
+    #[test]
+    fn batch_scales_linearly() {
+        let l = link(Duplex::Serial);
+        let one = l.transfer_time(1 << 20);
+        assert_eq!(l.batch_time(16, 1 << 20), one * 16);
+    }
+
+    #[test]
+    fn fig5_calibration_point() {
+        // 16 x 1 MB one-way ≈ 2.5 ms; 32 blocks ≈ 5.2 ms (paper Fig. 5).
+        let l = link(Duplex::Serial);
+        let one_way = l.batch_time(16, 1 << 20).as_millis_f64();
+        let both = l.batch_time(32, 1 << 20).as_millis_f64();
+        assert!((one_way - 2.5).abs() < 0.3, "one-way {one_way} ms");
+        assert!((both - 5.2).abs() < 0.4, "both {both} ms");
+    }
+
+    #[test]
+    fn duplex_channel_mapping() {
+        let serial = link(Duplex::Serial);
+        assert_eq!(serial.channels(), 1);
+        assert_eq!(serial.channel_for(Direction::HostToDevice), 0);
+        assert_eq!(serial.channel_for(Direction::DeviceToHost), 0);
+
+        let full = link(Duplex::Full);
+        assert_eq!(full.channels(), 2);
+        assert_eq!(full.channel_for(Direction::HostToDevice), 0);
+        assert_eq!(full.channel_for(Direction::DeviceToHost), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn rejects_zero_bandwidth() {
+        LinkModel::new(SimDuration::ZERO, 0.0, Duplex::Serial);
+    }
+
+    #[test]
+    fn direction_labels() {
+        assert_eq!(Direction::HostToDevice.label(), "h2d");
+        assert_eq!(Direction::DeviceToHost.label(), "d2h");
+    }
+}

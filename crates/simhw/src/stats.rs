@@ -1,0 +1,173 @@
+//! Measurement statistics.
+//!
+//! The paper runs each benchmark 11 times, discards the first (warm-up)
+//! iteration and reports the mean of the remaining 10. [`Repetitions`]
+//! encodes that protocol for the native executor, where wall-clock noise is
+//! real; on the deterministic simulator every repetition is identical and
+//! one run suffices.
+
+/// Summary statistics over a sample of seconds-valued measurements.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (0 for n < 2).
+    pub stddev: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarize `samples`; returns `None` for an empty slice.
+    pub fn of(samples: &[f64]) -> Option<Summary> {
+        if samples.is_empty() {
+            return None;
+        }
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Some(Summary {
+            n,
+            mean,
+            stddev: var.sqrt(),
+            min,
+            max,
+        })
+    }
+
+    /// Coefficient of variation (stddev / mean); 0 when the mean is 0.
+    pub fn cv(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            self.stddev / self.mean
+        }
+    }
+}
+
+/// The paper's measurement protocol: run `total` times, ignore the first
+/// `warmup`, report the mean of the rest.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Repetitions {
+    /// Total runs.
+    pub total: usize,
+    /// Leading runs discarded.
+    pub warmup: usize,
+}
+
+impl Default for Repetitions {
+    fn default() -> Self {
+        Repetitions::paper()
+    }
+}
+
+impl Repetitions {
+    /// The paper's protocol: 11 runs, first discarded.
+    pub fn paper() -> Repetitions {
+        Repetitions {
+            total: 11,
+            warmup: 1,
+        }
+    }
+
+    /// A single measurement (for the deterministic simulator).
+    pub fn once() -> Repetitions {
+        Repetitions {
+            total: 1,
+            warmup: 0,
+        }
+    }
+
+    /// Run `f` per the protocol and summarize the retained samples.
+    pub fn measure<F: FnMut() -> f64>(&self, mut f: F) -> Summary {
+        assert!(self.total > self.warmup, "no samples would be retained");
+        let samples: Vec<f64> = (0..self.total).map(|_| f()).skip(self.warmup).collect();
+        Summary::of(&samples).expect("at least one retained sample")
+    }
+}
+
+/// GFLOP/s from a flop count and elapsed seconds.
+pub fn gflops(flops: f64, seconds: f64) -> f64 {
+    if seconds <= 0.0 {
+        return 0.0;
+    }
+    flops / seconds / 1e9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_constant_samples() {
+        let s = Summary::of(&[2.0, 2.0, 2.0]).unwrap();
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 2.0);
+        assert_eq!(s.cv(), 0.0);
+    }
+
+    #[test]
+    fn summary_known_values() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(s.mean, 2.5);
+        assert!((s.stddev - 1.2909944).abs() < 1e-6);
+        assert_eq!((s.min, s.max), (1.0, 4.0));
+    }
+
+    #[test]
+    fn empty_samples_give_none() {
+        assert!(Summary::of(&[]).is_none());
+    }
+
+    #[test]
+    fn single_sample_has_zero_stddev() {
+        let s = Summary::of(&[5.0]).unwrap();
+        assert_eq!(s.n, 1);
+        assert_eq!(s.stddev, 0.0);
+    }
+
+    #[test]
+    fn repetitions_discard_warmup() {
+        let mut calls = 0;
+        let s = Repetitions::paper().measure(|| {
+            calls += 1;
+            if calls == 1 {
+                1000.0 // cold run, must be ignored
+            } else {
+                1.0
+            }
+        });
+        assert_eq!(calls, 11);
+        assert_eq!(s.n, 10);
+        assert_eq!(s.mean, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no samples")]
+    fn degenerate_protocol_panics() {
+        Repetitions {
+            total: 1,
+            warmup: 1,
+        }
+        .measure(|| 0.0);
+    }
+
+    #[test]
+    fn gflops_math() {
+        assert_eq!(gflops(2e9, 1.0), 2.0);
+        assert_eq!(gflops(1e9, 0.0), 0.0);
+        assert_eq!(gflops(5e8, 0.5), 1.0);
+    }
+}

@@ -1,0 +1,162 @@
+//! Candidate-set construction for `(P, T)`.
+
+use micsim::device::DeviceSpec;
+
+/// Bounds on the search space.
+#[derive(Clone, Copy, Debug)]
+pub struct TuneBounds {
+    /// Largest partition count to consider.
+    pub max_partitions: usize,
+    /// Largest tile count to consider.
+    pub max_tiles: usize,
+    /// In the pruned space, consider `T = m·P` for `m ∈ 1..=max_multiple`.
+    pub max_multiple: usize,
+}
+
+impl Default for TuneBounds {
+    fn default() -> Self {
+        TuneBounds {
+            max_partitions: 56,
+            max_tiles: 448,
+            max_multiple: 8,
+        }
+    }
+}
+
+/// A concrete `(P, T)` search space.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CandidateSpace {
+    /// `(partitions, tiles)` pairs to evaluate.
+    pub pairs: Vec<(usize, usize)>,
+}
+
+impl CandidateSpace {
+    /// Number of candidate pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether the space is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+}
+
+/// The exhaustive space: every `P ∈ 1..=max_partitions` crossed with every
+/// `T ∈ 1..=max_tiles` (what "empirically enumerate all the possible
+/// values" in the paper's Sec. V-A costs).
+pub fn exhaustive_space(bounds: &TuneBounds) -> CandidateSpace {
+    let mut pairs = Vec::new();
+    for p in 1..=bounds.max_partitions {
+        for t in 1..=bounds.max_tiles {
+            pairs.push((p, t));
+        }
+    }
+    CandidateSpace { pairs }
+}
+
+/// Sec. V-C rule 1: core-aligned partition counts for `device`, capped at
+/// `max_partitions`. Excludes the trivial `P = 1` exactly as the paper's
+/// quoted set does, unless nothing else fits.
+pub fn partition_candidates(device: &DeviceSpec, max_partitions: usize) -> Vec<usize> {
+    let mut divs: Vec<usize> = device
+        .core_aligned_partition_counts()
+        .into_iter()
+        .filter(|&p| p > 1 && p <= max_partitions)
+        .collect();
+    if divs.is_empty() {
+        divs.push(1);
+    }
+    divs
+}
+
+/// Sec. V-C rules 2-3: tile counts for a given `P`: multiples `m·P` with
+/// `m ∈ 1..=max_multiple`, capped at `max_tiles`.
+pub fn tile_candidates(p: usize, bounds: &TuneBounds) -> Vec<usize> {
+    (1..=bounds.max_multiple)
+        .map(|m| m * p)
+        .filter(|&t| t <= bounds.max_tiles)
+        .collect()
+}
+
+/// The pruned `(P, T)` space for `device` under `bounds`.
+pub fn pruned_space(device: &DeviceSpec, bounds: &TuneBounds) -> CandidateSpace {
+    let mut pairs = Vec::new();
+    for p in partition_candidates(device, bounds.max_partitions) {
+        for t in tile_candidates(p, bounds) {
+            pairs.push((p, t));
+        }
+    }
+    CandidateSpace { pairs }
+}
+
+/// How much smaller the pruned space is than the exhaustive one.
+pub fn reduction_factor(device: &DeviceSpec, bounds: &TuneBounds) -> f64 {
+    let full = exhaustive_space(bounds).len();
+    let pruned = pruned_space(device, bounds).len().max(1);
+    full as f64 / pruned as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn phi() -> DeviceSpec {
+        DeviceSpec::phi_31sp()
+    }
+
+    #[test]
+    fn partition_candidates_match_paper_set() {
+        assert_eq!(
+            partition_candidates(&phi(), 56),
+            vec![2, 4, 7, 8, 14, 28, 56]
+        );
+        assert_eq!(partition_candidates(&phi(), 10), vec![2, 4, 7, 8]);
+        // Nothing fits: fall back to P=1.
+        assert_eq!(partition_candidates(&phi(), 1), vec![1]);
+    }
+
+    #[test]
+    fn tile_candidates_are_multiples() {
+        let bounds = TuneBounds::default();
+        assert_eq!(
+            tile_candidates(4, &bounds),
+            vec![4, 8, 12, 16, 20, 24, 28, 32]
+        );
+        // Cap respected.
+        let tight = TuneBounds {
+            max_tiles: 10,
+            ..bounds
+        };
+        assert_eq!(tile_candidates(4, &tight), vec![4, 8]);
+    }
+
+    #[test]
+    fn pruned_space_only_contains_valid_pairs() {
+        let bounds = TuneBounds::default();
+        let space = pruned_space(&phi(), &bounds);
+        assert!(!space.is_empty());
+        for &(p, t) in &space.pairs {
+            assert!(t % p == 0, "T={t} must be a multiple of P={p}");
+            assert!(56 % p == 0, "P={p} must divide 56");
+        }
+    }
+
+    #[test]
+    fn reduction_is_an_order_of_magnitude() {
+        let bounds = TuneBounds::default();
+        let r = reduction_factor(&phi(), &bounds);
+        // 56*448 = 25088 exhaustive vs 7*8 = 56 pruned => ~448x.
+        assert!(r > 100.0, "reduction factor {r}");
+    }
+
+    #[test]
+    fn exhaustive_space_size() {
+        let bounds = TuneBounds {
+            max_partitions: 3,
+            max_tiles: 5,
+            max_multiple: 2,
+        };
+        assert_eq!(exhaustive_space(&bounds).len(), 15);
+    }
+}

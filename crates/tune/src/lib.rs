@@ -1,0 +1,32 @@
+//! # stream-tune — task/resource granularity selection (paper Sec. V-C)
+//!
+//! Choosing the number of partitions `P` and tiles `T` by brute force means
+//! evaluating every `(P, T)` pair — hundreds of runs. The paper proposes
+//! pruning rules that shrink the space by an order of magnitude:
+//!
+//! 1. **P from the core-divisor set** — partition counts that divide the
+//!    usable core count keep every partition on whole cores, avoiding the
+//!    cache contention that wrecks the other values (Fig. 9(a,b)):
+//!    `P ∈ {2, 4, 7, 8, 14, 28, 56}` on the 31SP.
+//! 2. **T = m·P** — tiles must be a multiple of the partition count or some
+//!    partitions idle (the cliff at `T < P` in Fig. 10).
+//! 3. **T bounded** — large enough to exploit pipelining, small enough to
+//!    amortize per-task launch overhead; the paper's measured optima sit at
+//!    small multiples, so the default bound is `m ≤ max_multiple`.
+//!
+//! [`search`] runs any evaluation function over the full or pruned space
+//! and reports both the winner and the evaluation count, so the reduction
+//! factor is measurable. [`model`] goes one step further — the analytical
+//! pipeline model the paper names as future work — predicting makespans in
+//! closed form and the optimal tile count by a square-root law.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod candidates;
+pub mod model;
+pub mod search;
+
+pub use candidates::{pruned_space, CandidateSpace, TuneBounds};
+pub use model::PipelineModel;
+pub use search::SearchOutcome;

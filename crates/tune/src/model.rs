@@ -1,0 +1,267 @@
+//! Analytical pipeline performance model.
+//!
+//! The paper closes Sec. V-C with: *"To further reduce the search space, we
+//! need a fine analytical performance model \[8\]\[9\]\[10\]... will be
+//! investigated as our future work."* This module supplies that model for
+//! the serial-duplex platform, in the style of Gómez-Luna et al. (optimal
+//! stream count from closed forms) and van Werkhoven et al. (dominant-
+//! transfer vs dominant-kernel regimes):
+//!
+//! With `T` tiles over `S` streams on a platform whose link moves
+//! `bytes_total` at bandwidth `B` with per-transfer latency `ℓ`, and whose
+//! device retires the total kernel work `K` at full-device rate `R` with a
+//! per-launch overhead `o` (assuming near-perfect strong scaling of a tile
+//! across its partition — valid when tiles are large, see
+//! [`micsim::compute::KernelProfile::half_work_per_thread`]):
+//!
+//! * link path:    `L(T) = bytes_total/B + n_xfers(T)·ℓ`
+//! * compute path: `C(S,T) = K/R + ⌈T/S⌉·o`
+//! * stream path:  `F(S,T) = ⌈T/S⌉·(th_tile + tk_tile + td_tile + o)` —
+//!   actions within one stream are FIFO, so a stream's own transfers never
+//!   hide under its own kernels; with few streams this bound dominates
+//! * ramp (exposed first input + last output): `ramp(T) ≈ bytes_total/(B·T)`
+//! * makespan:     `M(S,T) ≈ max(L, C, F) + ramp`
+//!
+//! Minimizing over `T` on the latency-vs-ramp trade-off gives the
+//! square-root law `T* ≈ sqrt(bytes_total/B / (x·ℓ + o/S))` (clamped to at
+//! least `S`), which is what [`PipelineModel::optimal_tiles`] returns.
+//!
+//! The model is validated against the discrete-event simulator in this
+//! module's tests: it must classify the relative performance of `(S, T)`
+//! configurations correctly (the claim its ancestors make on GPUs), not
+//! match every absolute number.
+
+/// Closed-form model of one streamed, tiled workload.
+///
+/// ```
+/// use stream_tune::PipelineModel;
+/// let model = PipelineModel {
+///     bytes_h2d: 16.0 * (1 << 20) as f64,
+///     bytes_d2h: 16.0 * (1 << 20) as f64,
+///     transfers_per_tile: 2.0,
+///     kernel_work: 4.0 * (1 << 20) as f64 * 40.0,
+///     device_rate: 32.0e9,
+///     launch_overhead: 60e-6,
+///     link_bandwidth: 7.0e9,
+///     link_latency: 15e-6,
+/// };
+/// // More tiles amortize the ramp until per-tile latency wins: the
+/// // square-root law lands between the extremes and beats the
+/// // latency-swamped maximum tiling.
+/// let t_star = model.optimal_tiles(4, 256);
+/// assert!(t_star >= 4 && t_star <= 256);
+/// assert!(model.makespan(4, t_star) < model.makespan(4, 256));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PipelineModel {
+    /// Total bytes moved host→device across the run.
+    pub bytes_h2d: f64,
+    /// Total bytes moved device→host.
+    pub bytes_d2h: f64,
+    /// Transfers per tile (e.g. 2 for one input + one output buffer).
+    pub transfers_per_tile: f64,
+    /// Total kernel work (unit of `device_rate`).
+    pub kernel_work: f64,
+    /// Full-device kernel rate (work units / second).
+    pub device_rate: f64,
+    /// Per-kernel-launch overhead in seconds.
+    pub launch_overhead: f64,
+    /// Link bandwidth in bytes/second (serial duplex: both directions share).
+    pub link_bandwidth: f64,
+    /// Per-transfer latency in seconds.
+    pub link_latency: f64,
+}
+
+impl PipelineModel {
+    /// Pure transfer time of the whole dataset at `tiles` granularity.
+    pub fn link_time(&self, tiles: usize) -> f64 {
+        let n_xfers = self.transfers_per_tile * tiles as f64;
+        (self.bytes_h2d + self.bytes_d2h) / self.link_bandwidth + n_xfers * self.link_latency
+    }
+
+    /// Compute-path time with `streams` streams and `tiles` tiles.
+    pub fn compute_time(&self, streams: usize, tiles: usize) -> f64 {
+        let per_stream_tasks = (tiles as f64 / streams as f64).ceil();
+        self.kernel_work / self.device_rate + per_stream_tasks * self.launch_overhead
+    }
+
+    /// Pipeline fill/drain cost: the first tile's input and last tile's
+    /// output cannot overlap anything.
+    pub fn ramp(&self, tiles: usize) -> f64 {
+        (self.bytes_h2d + self.bytes_d2h) / self.link_bandwidth / tiles as f64
+    }
+
+    /// Per-stream FIFO bound: one stream's transfers serialize against its
+    /// own kernels, so each stream needs at least its serial chain.
+    pub fn stream_serial_time(&self, streams: usize, tiles: usize) -> f64 {
+        let t = tiles as f64;
+        let th_tile = self.bytes_h2d / self.link_bandwidth / t + self.link_latency;
+        let td_tile = self.bytes_d2h / self.link_bandwidth / t + self.link_latency;
+        let tk_tile = self.kernel_work * streams as f64 / (t * self.device_rate);
+        (tiles as f64 / streams as f64).ceil()
+            * (th_tile + tk_tile + td_tile + self.launch_overhead)
+    }
+
+    /// Predicted makespan.
+    pub fn makespan(&self, streams: usize, tiles: usize) -> f64 {
+        assert!(streams > 0 && tiles > 0);
+        self.link_time(tiles)
+            .max(self.compute_time(streams, tiles))
+            .max(self.stream_serial_time(streams, tiles))
+            + self.ramp(tiles)
+    }
+
+    /// Which regime a configuration is in (the van-Werkhoven distinction).
+    pub fn dominant_transfers(&self, streams: usize, tiles: usize) -> bool {
+        self.link_time(tiles) >= self.compute_time(streams, tiles)
+    }
+
+    /// The square-root law: tile count minimizing latency + ramp + launch
+    /// overhead, clamped to `streams..=max_tiles`.
+    pub fn optimal_tiles(&self, streams: usize, max_tiles: usize) -> usize {
+        let per_tile_cost =
+            self.transfers_per_tile * self.link_latency + self.launch_overhead / streams as f64;
+        let volume = (self.bytes_h2d + self.bytes_d2h) / self.link_bandwidth;
+        let t = if per_tile_cost > 0.0 {
+            (volume / per_tile_cost).sqrt()
+        } else {
+            max_tiles as f64
+        };
+        (t.round() as usize).clamp(streams, max_tiles.max(streams))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hstreams::Context;
+    use mic_apps::hbench::{overlap_program, OverlapVariant};
+    use micsim::PlatformConfig;
+
+    /// Model for the hBench streamed program on the calibrated platform.
+    fn hbench_model(elems: usize, iters: usize) -> PipelineModel {
+        let cfg = PlatformConfig::phi_31sp();
+        PipelineModel {
+            bytes_h2d: (elems * 4) as f64,
+            bytes_d2h: (elems * 4) as f64,
+            transfers_per_tile: 2.0,
+            kernel_work: elems as f64 * iters as f64,
+            device_rate: 0.32e9 * 100.8, // profiles::hbench on the full device
+            launch_overhead: cfg.compute.launch_overhead.as_secs_f64(),
+            link_bandwidth: cfg.link.bandwidth,
+            link_latency: cfg.link.latency.as_secs_f64(),
+        }
+    }
+
+    fn simulate(elems: usize, iters: usize, streams: usize, tiles: usize) -> f64 {
+        let ctx: Context = overlap_program(
+            PlatformConfig::phi_31sp(),
+            elems,
+            iters,
+            streams,
+            OverlapVariant::Streamed { tiles },
+        )
+        .unwrap();
+        ctx.run_sim().unwrap().makespan().as_secs_f64()
+    }
+
+    #[test]
+    fn model_tracks_simulator_within_30_percent() {
+        let elems = 4 << 20;
+        let iters = 40;
+        let model = hbench_model(elems, iters);
+        for &(s, t) in &[(2usize, 8usize), (4, 16), (4, 32), (8, 32), (8, 64)] {
+            let predicted = model.makespan(s, t);
+            let measured = simulate(elems, iters, s, t);
+            let err = (predicted - measured).abs() / measured;
+            assert!(
+                err < 0.30,
+                "S={s} T={t}: model {predicted:.4} vs sim {measured:.4} ({:.0}% off)",
+                err * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn model_classifies_relative_performance() {
+        // The ancestor models' claim: correct *ranking*, not exact values.
+        let elems = 4 << 20;
+        let iters = 40;
+        let model = hbench_model(elems, iters);
+        let configs = [
+            (4usize, 4usize),
+            (4, 16),
+            (4, 64),
+            (4, 256),
+            (2, 16),
+            (8, 16),
+        ];
+        let mut pairs_checked = 0;
+        for &a in &configs {
+            for &b in &configs {
+                let (pa, pb) = (model.makespan(a.0, a.1), model.makespan(b.0, b.1));
+                // Only rank pairs the model separates clearly (>15%).
+                if pa < pb * 0.85 {
+                    let (ma, mb) = (
+                        simulate(elems, iters, a.0, a.1),
+                        simulate(elems, iters, b.0, b.1),
+                    );
+                    assert!(
+                        ma < mb * 1.05,
+                        "model says {a:?} << {b:?} but sim disagrees: {ma} vs {mb}"
+                    );
+                    pairs_checked += 1;
+                }
+            }
+        }
+        assert!(pairs_checked >= 3, "test must exercise real rankings");
+    }
+
+    #[test]
+    fn optimal_tiles_is_near_the_simulated_optimum() {
+        let elems = 4 << 20;
+        let iters = 40;
+        let model = hbench_model(elems, iters);
+        let streams = 4;
+        let t_star = model.optimal_tiles(streams, 256);
+        // Simulated best over a broad sweep.
+        let sweep: Vec<usize> = vec![4, 8, 16, 24, 32, 48, 64, 96, 128, 192, 256];
+        let best = sweep
+            .iter()
+            .copied()
+            .min_by(|&a, &b| {
+                simulate(elems, iters, streams, a).total_cmp(&simulate(elems, iters, streams, b))
+            })
+            .unwrap();
+        // Within 4x either way (the optimum is a broad basin).
+        assert!(
+            t_star <= best * 4 && best <= t_star * 4,
+            "model T*={t_star} vs simulated best {best}"
+        );
+        // And the model's choice must cost within 15% of the sweep's best.
+        let at_star = simulate(elems, iters, streams, t_star.clamp(4, 256));
+        let at_best = simulate(elems, iters, streams, best);
+        assert!(
+            at_star <= at_best * 1.15,
+            "model's T* costs {at_star} vs best {at_best}"
+        );
+    }
+
+    #[test]
+    fn regime_classification_matches_fig6() {
+        // Below the 40-iteration crossover: dominant transfers; above:
+        // dominant kernel — the paper's Fig. 6 distinction.
+        let elems = 4 << 20;
+        let low = hbench_model(elems, 20);
+        let high = hbench_model(elems, 60);
+        assert!(low.dominant_transfers(4, 16));
+        assert!(!high.dominant_transfers(4, 16));
+    }
+
+    #[test]
+    fn optimal_tiles_clamps() {
+        let model = hbench_model(1 << 20, 40);
+        assert!(model.optimal_tiles(8, 4) >= 8, "clamped up to streams");
+        assert!(model.optimal_tiles(2, 16) <= 16, "clamped to max_tiles");
+    }
+}

@@ -1,0 +1,262 @@
+//! Search over a candidate space.
+
+use crate::candidates::CandidateSpace;
+
+/// Result of a tuning search.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SearchOutcome {
+    /// Best `(partitions, tiles)` found.
+    pub best: (usize, usize),
+    /// Its objective value (lower is better; typically seconds).
+    pub best_value: f64,
+    /// Evaluations performed.
+    pub evaluations: usize,
+}
+
+/// Evaluate `objective(P, T)` (lower is better) over every pair in `space`.
+/// Pairs whose evaluation fails (`None`) are skipped — e.g. tile counts that
+/// do not divide the problem size.
+///
+/// # Panics
+/// Panics if no pair evaluates successfully.
+pub fn search<F>(space: &CandidateSpace, mut objective: F) -> SearchOutcome
+where
+    F: FnMut(usize, usize) -> Option<f64>,
+{
+    let mut best: Option<((usize, usize), f64)> = None;
+    let mut evaluations = 0usize;
+    for &(p, t) in &space.pairs {
+        let Some(v) = objective(p, t) else { continue };
+        evaluations += 1;
+        if best.is_none_or(|(_, bv)| v < bv) {
+            best = Some(((p, t), v));
+        }
+    }
+    let ((best_pair, best_value), _) = (best.expect("no candidate evaluated successfully"), ());
+    SearchOutcome {
+        best: best_pair,
+        best_value,
+        evaluations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidates::{exhaustive_space, pruned_space, TuneBounds};
+    use micsim::device::DeviceSpec;
+
+    /// A synthetic objective with the paper's structure: best at moderate
+    /// core-aligned P and T a small multiple of P.
+    fn synthetic(p: usize, t: usize) -> Option<f64> {
+        let misaligned = if 56 % p == 0 { 0.0 } else { 5.0 };
+        let idle = if t.is_multiple_of(p) { 0.0 } else { 3.0 };
+        let too_few = if t < p { 10.0 } else { 0.0 };
+        Some(((p as f64) - 8.0).abs() + (t as f64 - 16.0).abs() * 0.1 + misaligned + idle + too_few)
+    }
+
+    #[test]
+    fn pruned_search_finds_near_exhaustive_optimum() {
+        let bounds = TuneBounds::default();
+        let full = search(&exhaustive_space(&bounds), synthetic);
+        let pruned = search(&pruned_space(&DeviceSpec::phi_31sp(), &bounds), synthetic);
+        assert!(pruned.evaluations * 50 < full.evaluations);
+        assert!(
+            pruned.best_value <= full.best_value * 1.05 + 1e-9,
+            "pruned {} vs full {}",
+            pruned.best_value,
+            full.best_value
+        );
+        assert_eq!(pruned.best, (8, 16));
+    }
+
+    #[test]
+    fn failed_evaluations_are_skipped() {
+        let space = CandidateSpace {
+            pairs: vec![(1, 1), (2, 2), (3, 3)],
+        };
+        let out = search(&space, |p, _| if p == 2 { Some(1.0) } else { None });
+        assert_eq!(out.evaluations, 1);
+        assert_eq!(out.best, (2, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "no candidate")]
+    fn all_failures_panic() {
+        let space = CandidateSpace {
+            pairs: vec![(1, 1)],
+        };
+        search(&space, |_, _| None);
+    }
+
+    #[test]
+    fn search_respects_lower_is_better() {
+        let space = CandidateSpace {
+            pairs: vec![(1, 1), (2, 1), (3, 1)],
+        };
+        let out = search(&space, |p, _| Some(10.0 - p as f64));
+        assert_eq!(out.best, (3, 1));
+        assert_eq!(out.best_value, 7.0);
+        assert_eq!(out.evaluations, 3);
+    }
+}
+
+/// Adaptive local search over `(P, T)` — the paper's "machine learning
+/// techniques to obtain a proper value for P and T" future-work direction,
+/// in its simplest robust form: start from a heuristic seed, hill-climb
+/// over structured neighbour moves, restart from the best untried candidate
+/// when stuck.
+///
+/// Moves: P steps along the core-aligned candidate list; T doubles, halves,
+/// or steps by ±P (staying a multiple of P per Sec. V-C rule 2).
+pub fn adaptive_search<F>(
+    p_candidates: &[usize],
+    max_tiles: usize,
+    seed: (usize, usize),
+    budget: usize,
+    mut objective: F,
+) -> SearchOutcome
+where
+    F: FnMut(usize, usize) -> Option<f64>,
+{
+    assert!(!p_candidates.is_empty(), "need at least one P candidate");
+    let mut evaluated: std::collections::HashMap<(usize, usize), f64> =
+        std::collections::HashMap::new();
+    let mut evaluations = 0usize;
+
+    let clamp_t = |p: usize, t: usize| -> usize {
+        let m = (t.max(p) / p).max(1);
+        // Largest multiple of p within max_tiles; if even 1*p exceeds the
+        // cap (p > max_tiles), fall back to p — T < P never makes sense.
+        let cap_m = (max_tiles / p).max(1);
+        (m.min(cap_m)) * p
+    };
+
+    let mut eval = |p: usize,
+                    t: usize,
+                    evaluated: &mut std::collections::HashMap<(usize, usize), f64>,
+                    evaluations: &mut usize|
+     -> Option<f64> {
+        if let Some(&v) = evaluated.get(&(p, t)) {
+            return Some(v);
+        }
+        let v = objective(p, t)?;
+        evaluated.insert((p, t), v);
+        *evaluations += 1;
+        Some(v)
+    };
+
+    let seed_p = *p_candidates
+        .iter()
+        .min_by_key(|&&p| p.abs_diff(seed.0))
+        .expect("non-empty");
+    let mut current = (seed_p, clamp_t(seed_p, seed.1));
+    let mut best: Option<((usize, usize), f64)> = None;
+
+    while evaluations < budget {
+        let Some(cur_val) = eval(current.0, current.1, &mut evaluated, &mut evaluations) else {
+            break;
+        };
+        if best.is_none_or(|(_, bv)| cur_val < bv) {
+            best = Some((current, cur_val));
+        }
+        // Neighbours.
+        let pi = p_candidates
+            .iter()
+            .position(|&p| p == current.0)
+            .unwrap_or(0);
+        let mut neighbours: Vec<(usize, usize)> = Vec::new();
+        if pi > 0 {
+            let p = p_candidates[pi - 1];
+            neighbours.push((p, clamp_t(p, current.1)));
+        }
+        if pi + 1 < p_candidates.len() {
+            let p = p_candidates[pi + 1];
+            neighbours.push((p, clamp_t(p, current.1)));
+        }
+        let (p, t) = current;
+        neighbours.push((p, clamp_t(p, t * 2)));
+        neighbours.push((p, clamp_t(p, t / 2)));
+        neighbours.push((p, clamp_t(p, t + p)));
+        neighbours.push((p, clamp_t(p, t.saturating_sub(p))));
+        neighbours.retain(|n| *n != current);
+        neighbours.dedup();
+
+        let mut improved = false;
+        for n in neighbours {
+            if evaluations >= budget {
+                break;
+            }
+            if let Some(v) = eval(n.0, n.1, &mut evaluated, &mut evaluations) {
+                if v < cur_val {
+                    current = n;
+                    improved = true;
+                    break; // first-improvement hill climbing
+                }
+            }
+        }
+        if !improved {
+            break; // local optimum
+        }
+    }
+
+    let ((bp, bt), bv) = best.expect("at least the seed evaluated");
+    SearchOutcome {
+        best: (bp, bt),
+        best_value: bv,
+        evaluations,
+    }
+}
+
+#[cfg(test)]
+mod adaptive_tests {
+    use super::*;
+
+    fn synthetic(p: usize, t: usize) -> Option<f64> {
+        // Optimum at (8, 16), smooth basin, misaligned-P penalty.
+        let misaligned = if 56 % p == 0 { 0.0 } else { 5.0 };
+        Some(((p as f64) - 8.0).abs() + ((t as f64) - 16.0).abs() * 0.1 + misaligned)
+    }
+
+    #[test]
+    fn adaptive_finds_the_basin_cheaply() {
+        let p_set = [2usize, 4, 7, 8, 14, 28, 56];
+        let out = adaptive_search(&p_set, 448, (2, 2), 64, synthetic);
+        assert_eq!(out.best, (8, 16), "found {:?}", out.best);
+        assert!(out.evaluations < 40, "used {} evals", out.evaluations);
+    }
+
+    #[test]
+    fn adaptive_respects_budget() {
+        let p_set = [2usize, 4, 7, 8, 14, 28, 56];
+        let out = adaptive_search(&p_set, 448, (56, 448), 5, synthetic);
+        assert!(out.evaluations <= 5);
+    }
+
+    #[test]
+    fn adaptive_keeps_t_a_multiple_of_p() {
+        let p_set = [4usize, 8];
+        let mut seen = Vec::new();
+        let _ = adaptive_search(&p_set, 64, (4, 10), 32, |p, t| {
+            seen.push((p, t));
+            synthetic(p, t)
+        });
+        for (p, t) in seen {
+            assert_eq!(t % p, 0, "T={t} not a multiple of P={p}");
+            assert!(t <= 64);
+        }
+    }
+
+    #[test]
+    fn adaptive_handles_failing_points() {
+        let p_set = [2usize, 4];
+        let out = adaptive_search(&p_set, 16, (2, 4), 32, |p, t| {
+            if t > 8 {
+                None
+            } else {
+                Some((p + t) as f64)
+            }
+        });
+        assert!(out.best_value.is_finite());
+    }
+}

@@ -1,0 +1,81 @@
+//! Pick `(P, T)` for Cholesky with the paper's Sec. V-C heuristics and
+//! compare against a wider sweep: the pruned candidate set must land near
+//! the sweep's optimum at a fraction of the evaluations.
+//!
+//! Run with: `cargo run --release --example autotune_cholesky`
+
+use mic_apps::cholesky::{simulate, CfConfig};
+use micsim::device::DeviceSpec;
+use micsim::PlatformConfig;
+use stream_tune::candidates::{pruned_space, CandidateSpace, TuneBounds};
+use stream_tune::search::search;
+
+fn main() {
+    let n = 9600usize;
+    // T here is tiles-per-dimension squared; only divisors of n make sense.
+    let tpds: Vec<usize> = (1..=24).filter(|t| n.is_multiple_of(*t)).collect();
+
+    // Objective: simulated seconds for (P, tiles_per_dim encoded in T).
+    let objective = |p: usize, tpd: usize| -> Option<f64> {
+        if !n.is_multiple_of(tpd) {
+            return None;
+        }
+        simulate(
+            &CfConfig {
+                n,
+                tiles_per_dim: tpd,
+            },
+            PlatformConfig::phi_31sp(),
+            p,
+        )
+        .ok()
+        .map(|(secs, _)| secs)
+    };
+
+    // Wide sweep: P in 1..=56 x all valid tpd.
+    let wide = CandidateSpace {
+        pairs: (1..=56)
+            .flat_map(|p| tpds.iter().map(move |&t| (p, t)))
+            .collect(),
+    };
+    let t0 = std::time::Instant::now();
+    let full = search(&wide, objective);
+    let wide_wall = t0.elapsed();
+
+    // Pruned: P from the core-divisor set; tpd such that tpd^2 is a
+    // multiple-ish of P is not meaningful for CF's 2-D tiling, so the
+    // heuristic keeps every valid tpd but only the aligned P values.
+    let bounds = TuneBounds {
+        max_partitions: 56,
+        max_tiles: *tpds.last().unwrap(),
+        max_multiple: 1,
+    };
+    let _ = bounds;
+    let aligned_p = stream_tune::candidates::partition_candidates(&DeviceSpec::phi_31sp(), 56);
+    let pruned = CandidateSpace {
+        pairs: aligned_p
+            .iter()
+            .flat_map(|&p| tpds.iter().map(move |&t| (p, t)))
+            .collect(),
+    };
+    let t0 = std::time::Instant::now();
+    let fast = search(&pruned, objective);
+    let fast_wall = t0.elapsed();
+
+    println!("| search | best (P, tiles/dim) | time (s) | evals | wall |");
+    println!("|---|---|---|---|---|");
+    println!(
+        "| wide sweep | {:?} | {:.3} | {} | {wide_wall:.1?} |",
+        full.best, full.best_value, full.evaluations
+    );
+    println!(
+        "| Sec. V-C pruned | {:?} | {:.3} | {} | {fast_wall:.1?} |",
+        fast.best, fast.best_value, fast.evaluations
+    );
+    println!(
+        "\npruned search: {:.1}x fewer evaluations, optimum within {:.2}%",
+        full.evaluations as f64 / fast.evaluations as f64,
+        (fast.best_value / full.best_value - 1.0) * 100.0
+    );
+    let _ = pruned_space(&DeviceSpec::phi_31sp(), &TuneBounds::default());
+}

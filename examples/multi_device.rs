@@ -1,0 +1,32 @@
+//! Cholesky Factorization on one vs two simulated MICs — the Sec. VI /
+//! Fig. 11 story: the same streamed code runs unmodified on two cards and
+//! gains substantially, but stays below the projected 2× because separate
+//! memories force extra tile transfers and cross-card synchronization.
+//!
+//! Run with: `cargo run --release --example multi_device`
+
+use mic_apps::cholesky::{simulate, CfConfig};
+use micsim::PlatformConfig;
+
+fn main() {
+    println!("| dataset | 1-mic GFLOPS | 2-mics GFLOPS | projected | achieved/projected |");
+    println!("|---|---|---|---|---|");
+    for (n, tpd) in [(14000usize, 14usize), (16000, 16)] {
+        let cfg = CfConfig {
+            n,
+            tiles_per_dim: tpd,
+        };
+        let (_, one) = simulate(&cfg, PlatformConfig::phi_31sp(), 4).expect("1-mic sim");
+        let (_, two) = simulate(&cfg, PlatformConfig::phi_31sp_multi(2), 4).expect("2-mic sim");
+        println!(
+            "| {n}^2 | {one:.0} | {two:.0} | {:.0} | {:.0}% |",
+            2.0 * one,
+            two / (2.0 * one) * 100.0
+        );
+    }
+    println!(
+        "\nThe gap to the projection is the cost of mirroring factored tiles \
+         between the cards' separate memories plus pricier cross-card barriers \
+         — exactly the two causes the paper names."
+    );
+}

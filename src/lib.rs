@@ -1,0 +1,26 @@
+//! # mic-streams — multiple streams for MIC-style heterogeneous platforms
+//!
+//! Facade crate for the reproduction of *"Evaluating the Performance Impact
+//! of Multiple Streams on the MIC-based Heterogeneous Platform"* (Li et al.,
+//! 2016). It re-exports the four member crates:
+//!
+//! * [`hstreams`] — the multiple-streams runtime (the paper's mechanism):
+//!   streams, partitions, buffers, and two executors — a calibrated
+//!   simulator of the Xeon Phi platform and a real host thread-pool backend.
+//! * [`micsim`] — the platform simulator substrate.
+//! * [`apps`] — hBench plus the six applications the paper evaluates.
+//! * [`tune`] — the Sec. V-C search-space pruning heuristics.
+//!
+//! See `README.md` for a quickstart, `DESIGN.md` for the system inventory,
+//! and `EXPERIMENTS.md` for the paper-vs-measured record.
+
+#![warn(missing_docs)]
+
+pub use hstreams;
+pub use micsim;
+
+/// The seven workloads evaluated in the paper.
+pub use mic_apps as apps;
+
+/// Task- and resource-granularity selection heuristics.
+pub use stream_tune as tune;

@@ -1,0 +1,194 @@
+//! The paper's six concluding observations, each asserted at test scale
+//! against the simulator. These are the repository's "does it reproduce the
+//! paper" gates; `EXPERIMENTS.md` records the full-scale numbers.
+
+use mic_streams::apps::hbench::{
+    overlap_program, partition_program, transfer_program, OverlapVariant,
+};
+use mic_streams::apps::{hotspot, kmeans, mm};
+use mic_streams::micsim::{PlatformConfig, SimDuration};
+
+const MB: u64 = 1 << 20;
+
+/// Finding 1: data transfers in both directions cannot run concurrently.
+#[test]
+fn finding1_transfers_serialize() {
+    let t = |hd: usize, dh: usize| {
+        transfer_program(PlatformConfig::phi_31sp(), hd, dh, MB)
+            .unwrap()
+            .run_sim()
+            .unwrap()
+            .makespan()
+    };
+    // ID case flat == serial link; sum == CC case.
+    let id_a = t(4, 12);
+    let id_b = t(12, 4);
+    let diff = id_a.nanos().abs_diff(id_b.nanos()) as f64 / id_a.nanos() as f64;
+    assert!(diff < 0.02, "ID case must be flat: {id_a} vs {id_b}");
+    let one_way = t(16, 0);
+    let both = t(16, 16);
+    let ratio = both.nanos() as f64 / one_way.nanos() as f64;
+    assert!(
+        (ratio - 2.0).abs() < 0.1,
+        "serial: CC ≈ 2x one-way, got {ratio}"
+    );
+}
+
+/// Finding 2: transfers overlap kernels, but never fully.
+#[test]
+fn finding2_partial_overlap() {
+    let elems = 4 << 20;
+    let run = |v| {
+        overlap_program(PlatformConfig::phi_31sp(), elems, 40, 4, v)
+            .unwrap()
+            .run_sim()
+            .unwrap()
+            .makespan()
+    };
+    let data = run(OverlapVariant::Data);
+    let kernel = run(OverlapVariant::Kernel);
+    let serial = run(OverlapVariant::DataKernel);
+    let streamed = run(OverlapVariant::Streamed { tiles: 16 });
+    let ideal = data.max(kernel);
+    assert!(streamed < serial, "overlap exists");
+    assert!(streamed > ideal, "full overlap unattainable");
+}
+
+/// Finding 3: spatial sharing alone does not speed up a non-overlappable
+/// kernel — the non-tiled reference beats every tiled configuration.
+#[test]
+fn finding3_spatial_sharing_alone_no_gain() {
+    let tiled_best = [1usize, 2, 4, 8, 16, 32]
+        .iter()
+        .map(|&p| {
+            partition_program(PlatformConfig::phi_31sp(), 64, 32 << 10, 50, p, true)
+                .unwrap()
+                .run_sim()
+                .unwrap()
+                .makespan()
+        })
+        .min()
+        .unwrap();
+    let non_tiled = partition_program(PlatformConfig::phi_31sp(), 64, 32 << 10, 50, 1, false)
+        .unwrap()
+        .run_sim()
+        .unwrap()
+        .makespan();
+    assert!(
+        non_tiled < tiled_best,
+        "ref {non_tiled} must beat best tiled {tiled_best}"
+    );
+}
+
+/// Finding 4: being overlappable is a must — MM (overlappable) gains,
+/// Hotspot (non-overlappable) does not.
+#[test]
+fn finding4_overlappable_is_a_must() {
+    let (wo, _) = mm::simulate(
+        &mm::MmConfig {
+            n: 2000,
+            tiles_per_dim: 1,
+        },
+        PlatformConfig::phi_31sp(),
+        1,
+    )
+    .unwrap();
+    let (w, _) = mm::simulate(
+        &mm::MmConfig {
+            n: 2000,
+            tiles_per_dim: 8,
+        },
+        PlatformConfig::phi_31sp(),
+        8,
+    )
+    .unwrap();
+    assert!(w < wo, "overlappable MM gains from streams");
+
+    let hs = hotspot::HotspotConfig {
+        rows: 2048,
+        cols: 2048,
+        iterations: 10,
+        tiles: 1,
+    };
+    let hs_wo = hotspot::simulate(&hs, PlatformConfig::phi_31sp(), 1).unwrap();
+    let hs_w = hotspot::simulate(
+        &hotspot::HotspotConfig { tiles: 8, ..hs },
+        PlatformConfig::phi_31sp(),
+        4,
+    )
+    .unwrap();
+    let change = (hs_wo / hs_w - 1.0).abs();
+    assert!(
+        change < 0.35,
+        "non-overlappable Hotspot stays within noise of w/o: {:.1}%",
+        (hs_wo / hs_w - 1.0) * 100.0
+    );
+}
+
+/// Finding 5: both granularities matter — bad T or bad P costs real factors.
+#[test]
+fn finding5_granularity_matters() {
+    let run = |p: usize, tpd: usize| {
+        mm::simulate(
+            &mm::MmConfig {
+                n: 2000,
+                tiles_per_dim: tpd,
+            },
+            PlatformConfig::phi_31sp(),
+            p,
+        )
+        .unwrap()
+        .0
+    };
+    let good = run(4, 4);
+    // T < P: idle partitions.
+    let starved = run(8, 2);
+    assert!(
+        starved > good * 1.2,
+        "T<P starves partitions: {starved} vs {good}"
+    );
+    // Misaligned P: core sharing.
+    let misaligned = run(13, 4);
+    let aligned = run(14, 4);
+    assert!(
+        misaligned > aligned * 1.1,
+        "misaligned P pays contention: {misaligned} vs {aligned}"
+    );
+}
+
+/// Finding 6: a non-overlappable app (Kmeans) can still gain — from the
+/// reduced per-invocation allocation cost.
+#[test]
+fn finding6_kmeans_gains_via_alloc() {
+    let base = kmeans::KmeansConfig {
+        points: 200_000,
+        dims: 34,
+        k: 8,
+        iterations: 10,
+        tiles: 1,
+        alloc_micros: 5,
+    };
+    let wo = kmeans::simulate(&base, PlatformConfig::phi_31sp(), 1).unwrap();
+    let w = kmeans::simulate(
+        &kmeans::KmeansConfig { tiles: 4, ..base },
+        PlatformConfig::phi_31sp(),
+        4,
+    )
+    .unwrap();
+    assert!(
+        w < wo,
+        "kmeans (non-overlappable) still gains from streams: {w} vs {wo}"
+    );
+}
+
+/// Sanity: every simulated makespan in this file is positive and finite.
+#[test]
+fn simulated_times_are_sane() {
+    let t = transfer_program(PlatformConfig::phi_31sp(), 1, 1, MB)
+        .unwrap()
+        .run_sim()
+        .unwrap()
+        .makespan();
+    assert!(t > SimDuration::ZERO);
+    assert!(t < SimDuration::from_millis(100));
+}

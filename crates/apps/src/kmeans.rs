@@ -455,7 +455,10 @@ mod tests {
         assert!(batches < 20, "converged after {batches} batches");
         // Same fixed point as a long serial reference run.
         let long_ref = reference(
-            &KmeansConfig { iterations: 100, ..cfg },
+            &KmeansConfig {
+                iterations: 100,
+                ..cfg
+            },
             &data,
         );
         crate::util::assert_close(&centroids, &long_ref, 1e-2, "converged centroids");

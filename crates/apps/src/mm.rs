@@ -342,7 +342,10 @@ mod tests {
     fn multi_device_mm_scales_sublinearly() {
         // The same streamed code on two cards: faster, but panel mirroring
         // keeps it below the 2x projection (Sec. VI generalized to MM).
-        let cfg = MmConfig { n: 8000, tiles_per_dim: 16 };
+        let cfg = MmConfig {
+            n: 8000,
+            tiles_per_dim: 16,
+        };
         let (one, _) = simulate(&cfg, PlatformConfig::phi_31sp(), 4).unwrap();
         let (two, _) = simulate(&cfg, PlatformConfig::phi_31sp_multi(2), 4).unwrap();
         let speedup = one / two;
@@ -354,7 +357,10 @@ mod tests {
 
     #[test]
     fn multi_device_mm_native_is_correct() {
-        let cfg = MmConfig { n: 48, tiles_per_dim: 4 };
+        let cfg = MmConfig {
+            n: 48,
+            tiles_per_dim: 4,
+        };
         let mut ctx = Context::builder(PlatformConfig::phi_31sp_multi(2))
             .partitions(2)
             .build()

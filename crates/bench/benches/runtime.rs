@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use hstreams::kernel::KernelDesc;
-use hstreams::Context;
+use hstreams::{Context, NativeConfig};
 use micsim::compute::KernelProfile;
 use micsim::PlatformConfig;
 
@@ -68,6 +68,40 @@ fn bench_native_executor(c: &mut Criterion) {
     .unwrap();
     group.bench_function("single_kernel_launch", |b| {
         b.iter(|| tiny.run_native().unwrap())
+    });
+
+    // Pure launch overhead at the paper's 4-partition geometry: 64 no-op
+    // kernels over 4 streams, persistent worker-pool path vs the
+    // spawn-per-run scoped baseline.
+    let mut launch = Context::builder(PlatformConfig::phi_31sp())
+        .partitions(4)
+        .build()
+        .unwrap();
+    for s_idx in 0..4 {
+        let s = launch.stream(s_idx).unwrap();
+        for k in 0..16 {
+            launch
+                .kernel(
+                    s,
+                    KernelDesc::simulated(
+                        format!("noop{s_idx}_{k}"),
+                        KernelProfile::streaming("noop", 1e9),
+                        1.0,
+                    )
+                    .with_native(|_| {}),
+                )
+                .unwrap();
+        }
+    }
+    group.bench_function("launch_overhead_64noop_4p_pooled", |b| {
+        b.iter(|| launch.run_native().unwrap())
+    });
+    let scoped = NativeConfig {
+        persistent: false,
+        ..NativeConfig::default()
+    };
+    group.bench_function("launch_overhead_64noop_4p_scoped", |b| {
+        b.iter(|| launch.run_native_with(&scoped).unwrap())
     });
 
     // Transfer round trip of 1 MiB.

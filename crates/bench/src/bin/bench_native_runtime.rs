@@ -1,0 +1,105 @@
+//! Runtime overhead calibration: per-kernel-launch cost of the native
+//! executor's persistent worker-pool path vs the scoped-spawn baseline.
+//!
+//! The program is pure launch overhead — no-op kernels, no transfers — at
+//! the paper's 4-partition geometry, repeated with the paper's
+//! warmup/discard protocol. Emits a machine-readable
+//! `results/BENCH_native_runtime.json` with both per-launch figures and
+//! the speedup, and fails (exit 1) if the pool-backed path is not at least
+//! 5x cheaper per launch.
+
+use std::io::Write;
+
+use hstreams::kernel::KernelDesc;
+use hstreams::{Context, NativeConfig};
+use micsim::compute::KernelProfile;
+use micsim::stats::Repetitions;
+use micsim::PlatformConfig;
+
+const PARTITIONS: usize = 4;
+const KERNELS_PER_STREAM: usize = 16;
+const RUNS: Repetitions = Repetitions {
+    total: 40,
+    warmup: 8,
+};
+
+fn noop_context() -> Context {
+    let mut ctx = Context::builder(PlatformConfig::phi_31sp())
+        .partitions(PARTITIONS)
+        .build()
+        .unwrap();
+    for s_idx in 0..PARTITIONS {
+        let s = ctx.stream(s_idx).unwrap();
+        for k in 0..KERNELS_PER_STREAM {
+            ctx.kernel(
+                s,
+                KernelDesc::simulated(
+                    format!("noop{s_idx}_{k}"),
+                    KernelProfile::streaming("noop", 1e9),
+                    1.0,
+                )
+                .with_native(|_| {}),
+            )
+            .unwrap();
+        }
+    }
+    ctx
+}
+
+/// Mean caller-visible seconds per `run_native_with` call (includes
+/// validation and, on the scoped path, all per-run thread spawn/teardown).
+fn mean_run_seconds(cfg: &NativeConfig) -> f64 {
+    let ctx = noop_context();
+    RUNS.measure(|| {
+        let started = std::time::Instant::now();
+        ctx.run_native_with(cfg).unwrap();
+        started.elapsed().as_secs_f64()
+    })
+    .mean
+}
+
+fn main() {
+    let kernels_per_run = PARTITIONS * KERNELS_PER_STREAM;
+    let scoped = mean_run_seconds(&NativeConfig {
+        persistent: false,
+        ..NativeConfig::default()
+    });
+    let pooled = mean_run_seconds(&NativeConfig::default());
+    let scoped_us = scoped / kernels_per_run as f64 * 1e6;
+    let pooled_us = pooled / kernels_per_run as f64 * 1e6;
+    let speedup = scoped_us / pooled_us;
+    let pass = speedup >= 5.0;
+
+    println!("native launch overhead, {PARTITIONS} partitions, {kernels_per_run} no-op kernels/run, {} runs ({} warmup):", RUNS.total, RUNS.warmup);
+    println!("  scoped baseline : {scoped_us:>9.3} us/launch");
+    println!("  persistent pool : {pooled_us:>9.3} us/launch");
+    println!(
+        "  speedup         : {speedup:>9.2}x  (target >= 5x: {})",
+        if pass { "PASS" } else { "FAIL" }
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"native_runtime_launch_overhead\",\n  \"partitions\": {PARTITIONS},\n  \"streams\": {PARTITIONS},\n  \"kernels_per_run\": {kernels_per_run},\n  \"runs\": {},\n  \"warmup\": {},\n  \"scoped_per_launch_us\": {scoped_us:.4},\n  \"pooled_per_launch_us\": {pooled_us:.4},\n  \"speedup\": {speedup:.3},\n  \"pass_5x\": {pass}\n}}\n",
+        RUNS.total, RUNS.warmup
+    );
+    let dir = mic_bench::results_dir();
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+    } else {
+        let path = dir.join("BENCH_native_runtime.json");
+        match std::fs::File::create(&path) {
+            Ok(mut f) => {
+                if let Err(e) = f.write_all(json.as_bytes()) {
+                    eprintln!("warning: write {} failed: {e}", path.display());
+                } else {
+                    println!("[wrote {}]", path.display());
+                }
+            }
+            Err(e) => eprintln!("warning: create {} failed: {e}", path.display()),
+        }
+    }
+
+    if !pass {
+        std::process::exit(1);
+    }
+}

@@ -28,13 +28,19 @@ fn main() {
     for cards in 1..=4usize {
         let platform = PlatformConfig::phi_31sp_multi(cards);
         let (_, mm_gf) = mm::simulate(
-            &mm::MmConfig { n: 8000, tiles_per_dim: 16 },
+            &mm::MmConfig {
+                n: 8000,
+                tiles_per_dim: 16,
+            },
             platform.clone(),
             4,
         )
         .unwrap();
         let (_, cf_gf) = cholesky::simulate(
-            &cholesky::CfConfig { n: 16000, tiles_per_dim: 16 },
+            &cholesky::CfConfig {
+                n: 16000,
+                tiles_per_dim: 16,
+            },
             platform,
             4,
         )

@@ -28,10 +28,11 @@ fn measure(n: usize, tiles_per_dim: usize, partitions: usize, bw: f64) -> f64 {
     // The paper's protocol: 11 runs, discard the first, average the rest.
     // (Trimmed to 5 runs here to keep the study fast; the protocol type is
     // the same one the paper's numbers used.)
-    let reps = Repetitions { total: 5, warmup: 1 };
-    let summary = reps.measure(|| {
-        ctx.run_native_with(&native).unwrap().wall.as_secs_f64()
-    });
+    let reps = Repetitions {
+        total: 5,
+        warmup: 1,
+    };
+    let summary = reps.measure(|| ctx.run_native_with(&native).unwrap().wall.as_secs_f64());
     summary.mean
 }
 

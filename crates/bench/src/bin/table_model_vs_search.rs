@@ -65,9 +65,7 @@ fn main() {
     let (model_p, model_t) = p_set
         .iter()
         .map(|&p| (p, model.optimal_tiles(p, bounds.max_tiles)))
-        .min_by(|&(pa, ta), &(pb, tb)| {
-            model.makespan(pa, ta).total_cmp(&model.makespan(pb, tb))
-        })
+        .min_by(|&(pa, ta), &(pb, tb)| model.makespan(pa, ta).total_cmp(&model.makespan(pb, tb)))
         .unwrap();
     let model_measured = objective(model_p, model_t).unwrap();
 
@@ -81,8 +79,18 @@ fn main() {
         );
     };
     row("exhaustive", full.best, full.best_value, full.evaluations);
-    row("pruned (Sec. V-C)", pruned.best, pruned.best_value, pruned.evaluations);
-    row("adaptive hill-climb", adaptive.best, adaptive.best_value, adaptive.evaluations);
+    row(
+        "pruned (Sec. V-C)",
+        pruned.best,
+        pruned.best_value,
+        pruned.evaluations,
+    );
+    row(
+        "adaptive hill-climb",
+        adaptive.best,
+        adaptive.best_value,
+        adaptive.evaluations,
+    );
     row("analytical model", (model_p, model_t), model_measured, 1);
     println!(
         "\nThe model predicts makespans without any simulation; the adaptive \

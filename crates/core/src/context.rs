@@ -98,6 +98,7 @@ impl ContextBuilder {
             streams_per_partition: self.streams_per_partition,
             buffers: Vec::new(),
             program,
+            native_rt: std::sync::OnceLock::new(),
         })
     }
 }
@@ -109,6 +110,10 @@ pub struct Context {
     streams_per_partition: usize,
     pub(crate) buffers: Vec<Buffer>,
     pub(crate) program: Program,
+    /// Persistent native execution state (drivers, worker pools, copy
+    /// engines), built lazily on the first persistent native run and torn
+    /// down when the context drops.
+    native_rt: std::sync::OnceLock<crate::executor::native::NativeRuntime>,
 }
 
 impl std::fmt::Debug for Context {
@@ -340,6 +345,20 @@ impl Context {
         cfg: &crate::executor::native::NativeConfig,
     ) -> Result<crate::executor::native::NativeReport> {
         crate::executor::native::run(self, cfg)
+    }
+
+    /// The persistent native runtime, built on first use.
+    pub(crate) fn native_runtime(&self) -> &crate::executor::native::NativeRuntime {
+        self.native_rt
+            .get_or_init(|| crate::executor::native::NativeRuntime::new(self))
+    }
+
+    /// Number of persistent threads owned by this context's native runtime
+    /// (stream drivers, partition pool workers, copy engines), or `None`
+    /// before the first persistent native run builds it. Repeated
+    /// `run_native` calls reuse these threads; this count must not grow.
+    pub fn native_thread_count(&self) -> Option<usize> {
+        self.native_rt.get().map(|rt| rt.thread_count())
     }
 }
 

@@ -14,13 +14,30 @@
 //! * events are flag+condvar pairs, barriers are `std::sync::Barrier`s over
 //!   all streams.
 //!
+//! # Persistent runtime
+//!
+//! By default ([`NativeConfig::persistent`]) the context lazily builds a
+//! [`NativeRuntime`] on its first native run and reuses it for every run
+//! after that: the stream drivers are a parked
+//! [`WorkerGroup`](crate::pool::WorkerGroup), the copy engines are
+//! long-lived threads fed over persistent channels, and each `(device,
+//! partition)` pair owns a partition-pinned worker group that
+//! [`par_chunks_mut`](crate::parallel::par_chunks_mut) and
+//! [`par_reduce`](crate::parallel::par_reduce) pick up inside kernel
+//! bodies. Repeated runs of the same context — the paper's measurement
+//! loop — therefore spawn no OS threads at all, and each driver completes
+//! transfers through one reusable completion slot instead of allocating a
+//! channel per copy. Setting `persistent: false` selects the original
+//! spawn-per-run scoped executor, kept as the launch-overhead baseline.
+//!
 //! A panicking kernel does not poison the run: the stream switches to a
 //! skipping mode that still fires its events and joins its barriers so the
 //! other drivers can drain, and the error is reported at the end.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Barrier};
+use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
@@ -32,11 +49,12 @@ use crate::action::Action;
 use crate::buffer::Elem;
 use crate::context::Context;
 use crate::kernel::KernelCtx;
+use crate::pool::{self, WorkerGroup, WorkerPool};
+use crate::program::StreamRecord;
 use crate::types::{Error, Result};
 
 /// Settings for native execution.
 #[derive(Clone, Debug)]
-#[derive(Default)]
 pub struct NativeConfig {
     /// Upper bound on the `threads` hint given to kernels. `None` sizes it
     /// as `available_parallelism / partitions` (at least 1), so partitions
@@ -45,8 +63,22 @@ pub struct NativeConfig {
     /// Emulate PCIe bandwidth: each copy holds the engine for at least
     /// `bytes / bandwidth` seconds. `None` copies at memory speed.
     pub link_bandwidth: Option<f64>,
+    /// Reuse the context's persistent [`NativeRuntime`] — stream drivers,
+    /// partition worker pools, copy engines — across runs (the default).
+    /// `false` selects the original spawn-per-run scoped executor, kept as
+    /// a baseline for launch-overhead comparisons.
+    pub persistent: bool,
 }
 
+impl Default for NativeConfig {
+    fn default() -> NativeConfig {
+        NativeConfig {
+            max_threads_per_partition: None,
+            link_bandwidth: None,
+            persistent: true,
+        }
+    }
+}
 
 /// Result of a native run.
 #[derive(Debug)]
@@ -84,6 +116,11 @@ impl EventFlag {
             self.cv.wait(&mut guard);
         }
     }
+
+    /// Re-arm the flag so it can complete another wait (reusable slot).
+    fn reset(&self) {
+        *self.fired.lock() = false;
+    }
 }
 
 /// A buffer id, write-intent flag, and its storage Arc, collected before
@@ -98,10 +135,14 @@ struct CopyJob {
     src: Arc<RwLock<Vec<Elem>>>,
     dst: Arc<RwLock<Vec<Elem>>>,
     bytes: u64,
-    done: Sender<()>,
+    /// Throttle for this job (engines outlive any single run's config).
+    bandwidth: Option<f64>,
+    /// Completion slot the submitting driver waits on — reset and reused
+    /// across the driver's transfers rather than allocated per copy.
+    done: Arc<EventFlag>,
 }
 
-fn copy_engine(rx: Receiver<CopyJob>, bandwidth: Option<f64>) {
+fn copy_engine(rx: Receiver<CopyJob>) {
     while let Ok(job) = rx.recv() {
         let started = Instant::now();
         {
@@ -109,24 +150,317 @@ fn copy_engine(rx: Receiver<CopyJob>, bandwidth: Option<f64>) {
             let mut dst = job.dst.write();
             dst.copy_from_slice(&src);
         }
-        if let Some(bw) = bandwidth {
+        if let Some(bw) = job.bandwidth {
             let target = Duration::from_secs_f64(job.bytes as f64 / bw);
             let elapsed = started.elapsed();
             if target > elapsed {
                 std::thread::sleep(target - elapsed);
             }
         }
-        // Receiver may have given up (run aborted); ignore send failure.
-        let _ = job.done.send(());
+        job.done.fire();
     }
+}
+
+fn channels_for(duplex: Duplex) -> usize {
+    match duplex {
+        Duplex::Serial => 1,
+        Duplex::Full => 2,
+    }
+}
+
+/// Default kernel `threads` hint: share the host across partitions the way
+/// partitions share the card.
+fn default_threads_per_partition(ctx: &Context) -> usize {
+    let host_par = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    (host_par / ctx.partitions().max(1)).max(1)
+}
+
+// ----- persistent runtime ---------------------------------------------------
+
+/// Long-lived execution state a [`Context`] reuses across native runs: the
+/// stream-driver group, partition-pinned kernel worker pools, copy-engine
+/// threads, and the locks that model partition/host exclusivity. Built
+/// lazily on the first persistent run; torn down when the context drops.
+pub(crate) struct NativeRuntime {
+    /// Serializes whole runs: drivers and engines are shared state.
+    run_lock: Mutex<()>,
+    /// One executor per stream (`run_fixed`): streams block on each other
+    /// through events and barriers, so each needs a dedicated thread.
+    drivers: WorkerGroup,
+    /// Partition-pinned groups kernel bodies split work across.
+    pool: WorkerPool,
+    /// Partition mutexes: `[device][partition]`.
+    partition_locks: Vec<Vec<Mutex<()>>>,
+    /// Host kernels serialize on the host, exactly as the simulator prices
+    /// them on its single host resource.
+    host_lock: Mutex<()>,
+    /// Per-device, per-channel feeds into the persistent copy engines.
+    engine_tx: Vec<Vec<Sender<CopyJob>>>,
+    engine_handles: Vec<JoinHandle<()>>,
+}
+
+impl NativeRuntime {
+    pub(crate) fn new(ctx: &Context) -> NativeRuntime {
+        let n_streams = ctx.program().streams.len();
+        let n_devices = ctx.device_count();
+        let parts_per_dev = ctx.partitions().max(1);
+        let width = default_threads_per_partition(ctx);
+        let channels_per_dev = channels_for(ctx.config().link.duplex);
+        let mut engine_tx: Vec<Vec<Sender<CopyJob>>> = Vec::with_capacity(n_devices);
+        let mut engine_handles = Vec::new();
+        for d in 0..n_devices {
+            let mut chans = Vec::with_capacity(channels_per_dev);
+            for c in 0..channels_per_dev {
+                let (tx, rx) = unbounded::<CopyJob>();
+                engine_handles.push(
+                    std::thread::Builder::new()
+                        .name(format!("hsp-copy-d{d}c{c}"))
+                        .spawn(move || copy_engine(rx))
+                        .expect("spawn copy engine"),
+                );
+                chans.push(tx);
+            }
+            engine_tx.push(chans);
+        }
+        NativeRuntime {
+            run_lock: Mutex::new(()),
+            drivers: WorkerGroup::new("drv", n_streams.saturating_sub(1)),
+            pool: WorkerPool::for_geometry(n_devices, parts_per_dev, width),
+            partition_locks: (0..n_devices)
+                .map(|_| (0..parts_per_dev).map(|_| Mutex::new(())).collect())
+                .collect(),
+            host_lock: Mutex::new(()),
+            engine_tx,
+            engine_handles,
+        }
+    }
+
+    /// Persistent threads owned by the runtime (drivers + pool + engines).
+    pub(crate) fn thread_count(&self) -> usize {
+        self.drivers.worker_count() + self.pool.thread_count() + self.engine_handles.len()
+    }
+}
+
+impl Drop for NativeRuntime {
+    fn drop(&mut self) {
+        // Disconnect the engines' feeds, then reap them.
+        self.engine_tx.clear();
+        for h in self.engine_handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+// ----- per-run state --------------------------------------------------------
+
+/// Everything a stream driver needs for one run, shared by reference. Both
+/// executors (persistent and scoped) build one of these, so the drivers'
+/// interpretation of the program is identical on either path.
+struct RunShared<'a> {
+    ctx: &'a Context,
+    threads_hint: usize,
+    link_bandwidth: Option<f64>,
+    events: Vec<EventFlag>,
+    barriers: Vec<Barrier>,
+    partition_locks: &'a [Vec<Mutex<()>>],
+    host_lock: &'a Mutex<()>,
+    engine_tx: &'a [Vec<Sender<CopyJob>>],
+    /// Partition-pinned worker groups for kernel bodies; `None` on the
+    /// scoped baseline path (parallel helpers then spawn scoped threads).
+    pool: Option<&'a WorkerPool>,
+    first_error: Mutex<Option<Error>>,
+    executed: AtomicUsize,
+    bytes_moved: AtomicU64,
+}
+
+/// Interpret one stream's FIFO. Runs on a driver thread (persistent group
+/// worker or scoped spawn).
+fn drive_stream(shared: &RunShared<'_>, stream: &StreamRecord) {
+    let ctx = shared.ctx;
+    let dev = stream.placement.device.0;
+    let part = stream.placement.partition;
+    // One reusable completion slot for this driver's transfers: reset, hand
+    // to the engine, wait — no per-transfer channel allocation.
+    let done = Arc::new(EventFlag::new());
+    let mut skipping = false;
+    for action in &stream.actions {
+        match action {
+            Action::Barrier(n) => {
+                shared.barriers[*n].wait();
+            }
+            Action::RecordEvent(e) => {
+                shared.events[e.0].fire();
+            }
+            Action::WaitEvent(e) => {
+                shared.events[e.0].wait();
+            }
+            Action::Transfer { dir, buf } => {
+                if skipping {
+                    continue;
+                }
+                let buffer = ctx.buffer(*buf).expect("buffer validated at enqueue time");
+                let (src, dst) = match dir {
+                    Direction::HostToDevice => (buffer.host.clone(), buffer.device.clone()),
+                    Direction::DeviceToHost => (buffer.device.clone(), buffer.host.clone()),
+                };
+                let chan = match ctx.config().link.duplex {
+                    Duplex::Serial => 0,
+                    Duplex::Full => match dir {
+                        Direction::HostToDevice => 0,
+                        Direction::DeviceToHost => 1,
+                    },
+                };
+                let bytes = buffer.bytes();
+                done.reset();
+                shared.engine_tx[dev][chan]
+                    .send(CopyJob {
+                        src,
+                        dst,
+                        bytes,
+                        bandwidth: shared.link_bandwidth,
+                        done: done.clone(),
+                    })
+                    .expect("copy engine alive for run duration");
+                done.wait();
+                shared.bytes_moved.fetch_add(bytes, Ordering::Relaxed);
+                shared.executed.fetch_add(1, Ordering::Relaxed);
+            }
+            Action::Kernel(desc) => {
+                if skipping {
+                    continue;
+                }
+                // Host kernels take the host lock instead of a partition
+                // lock (they occupy the host, not the card) and act on the
+                // buffers' host copies.
+                let (_partition_guard, _host_guard) = if desc.host {
+                    (None, Some(shared.host_lock.lock()))
+                } else {
+                    (Some(shared.partition_locks[dev][part].lock()), None)
+                };
+                let side = |b: &crate::buffer::Buffer| {
+                    if desc.host {
+                        b.host.clone()
+                    } else {
+                        b.device.clone()
+                    }
+                };
+                // Lock declared buffers in global id order (deadlock-free
+                // across concurrent kernels), but keep read and write guards
+                // in separate vectors so views can borrow them
+                // independently.
+                let mut wanted: Vec<(crate::types::BufId, bool)> = desc
+                    .reads
+                    .iter()
+                    .map(|b| (*b, false))
+                    .chain(desc.writes.iter().map(|b| (*b, true)))
+                    .collect();
+                wanted.sort_by_key(|(b, _)| *b);
+                // Storage Arcs are collected first so the guards below
+                // (declared after, dropped before) can safely borrow them.
+                let storages: Vec<StorageEntry> = wanted
+                    .iter()
+                    .map(|&(b, w)| {
+                        let buffer = ctx.buffer(b).expect("validated at enqueue time");
+                        (b, w, side(buffer))
+                    })
+                    .collect();
+                let mut read_guards: Vec<(
+                    crate::types::BufId,
+                    parking_lot::RwLockReadGuard<'_, Vec<Elem>>,
+                )> = Vec::with_capacity(desc.reads.len());
+                let mut write_guards: Vec<(
+                    crate::types::BufId,
+                    parking_lot::RwLockWriteGuard<'_, Vec<Elem>>,
+                )> = Vec::with_capacity(desc.writes.len());
+                for (b, is_write, storage) in &storages {
+                    if *is_write {
+                        write_guards.push((*b, storage.write()));
+                    } else {
+                        read_guards.push((*b, storage.read()));
+                    }
+                }
+                // Read views in declaration order.
+                let reads: Vec<&[Elem]> = desc
+                    .reads
+                    .iter()
+                    .map(|b| {
+                        read_guards
+                            .iter()
+                            .find(|(id, _)| id == b)
+                            .expect("guard acquired above")
+                            .1
+                            .as_slice()
+                    })
+                    .collect();
+                // Write views in declaration order: compute for each held
+                // guard its slot in `desc.writes`, then place the mutable
+                // slices by permutation.
+                let mut slots: Vec<Option<&mut [Elem]>> =
+                    (0..desc.writes.len()).map(|_| None).collect();
+                for (id, guard) in write_guards.iter_mut() {
+                    let pos = desc
+                        .writes
+                        .iter()
+                        .position(|b| b == id)
+                        .expect("guard acquired above");
+                    slots[pos] = Some(guard.as_mut_slice());
+                }
+                let writes: Vec<&mut [Elem]> = slots
+                    .into_iter()
+                    .map(|s| s.expect("every declared write locked"))
+                    .collect();
+                let mut kctx = KernelCtx {
+                    reads,
+                    writes,
+                    threads: shared.threads_hint,
+                };
+                let body = desc.native.as_ref().expect("checked above").clone();
+                // Route the body's parallel helpers onto the kernel's
+                // partition-pinned group while it runs.
+                let _pool_install = shared.pool.map(|p| {
+                    let group = if desc.host {
+                        p.host()
+                    } else {
+                        p.partition(dev, part)
+                    };
+                    pool::install(group.clone())
+                });
+                let outcome = catch_unwind(AssertUnwindSafe(|| body(&mut kctx)));
+                if outcome.is_err() {
+                    let mut slot = shared.first_error.lock();
+                    if slot.is_none() {
+                        *slot = Some(Error::KernelPanicked {
+                            kernel: desc.label.clone(),
+                        });
+                    }
+                    skipping = true;
+                } else {
+                    shared.executed.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+}
+
+fn finish(shared: RunShared<'_>, wall: Duration) -> Result<NativeReport> {
+    if let Some(err) = shared.first_error.into_inner() {
+        return Err(err);
+    }
+    Ok(NativeReport {
+        wall,
+        actions_executed: shared.executed.into_inner(),
+        bytes_transferred: shared.bytes_moved.into_inner(),
+    })
 }
 
 /// Validate and execute the context's program natively.
 pub fn run(ctx: &Context, cfg: &NativeConfig) -> Result<NativeReport> {
-    ctx.program.validate()?;
+    ctx.program().validate()?;
 
-    // Every kernel needs a native body — check before spawning anything.
-    for stream in &ctx.program.streams {
+    // Every kernel needs a native body — check before running anything.
+    for stream in &ctx.program().streams {
         for action in &stream.actions {
             if let Action::Kernel(k) = action {
                 if k.native.is_none() {
@@ -138,8 +472,7 @@ pub fn run(ctx: &Context, cfg: &NativeConfig) -> Result<NativeReport> {
         }
     }
 
-    let n_streams = ctx.program.streams.len();
-    if n_streams == 0 {
+    if ctx.program().streams.is_empty() {
         return Ok(NativeReport {
             wall: Duration::ZERO,
             actions_executed: 0,
@@ -149,7 +482,7 @@ pub fn run(ctx: &Context, cfg: &NativeConfig) -> Result<NativeReport> {
 
     // Materialize every buffer the program touches (storage is lazy so
     // simulator-scale programs cost nothing until they really run).
-    for stream in &ctx.program.streams {
+    for stream in &ctx.program().streams {
         for action in &stream.actions {
             match action {
                 Action::Transfer { buf, .. } => {
@@ -165,243 +498,110 @@ pub fn run(ctx: &Context, cfg: &NativeConfig) -> Result<NativeReport> {
         }
     }
 
-    // Threads hint per partition.
-    let host_par = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    let parts_per_dev = ctx.partitions().max(1);
     let threads_hint = cfg
         .max_threads_per_partition
-        .unwrap_or_else(|| (host_par / parts_per_dev).max(1));
+        .unwrap_or_else(|| default_threads_per_partition(ctx));
 
-    // Copy engines: one per link channel per device.
-    let n_devices = ctx.device_count();
-    let channels_per_dev = match ctx.config().link.duplex {
-        Duplex::Serial => 1,
-        Duplex::Full => 2,
+    if cfg.persistent {
+        run_persistent(ctx, cfg, threads_hint)
+    } else {
+        run_scoped(ctx, cfg, threads_hint)
+    }
+}
+
+/// Execute on the context's persistent runtime: parked drivers, pinned
+/// kernel pools, long-lived copy engines. No threads are spawned.
+fn run_persistent(ctx: &Context, cfg: &NativeConfig, threads_hint: usize) -> Result<NativeReport> {
+    let rt = ctx.native_runtime();
+    let _active = rt.run_lock.lock();
+    let streams = &ctx.program().streams;
+    let shared = RunShared {
+        ctx,
+        threads_hint,
+        link_bandwidth: cfg.link_bandwidth,
+        events: (0..ctx.program().events.len())
+            .map(|_| EventFlag::new())
+            .collect(),
+        barriers: (0..ctx.program().barriers)
+            .map(|_| Barrier::new(streams.len()))
+            .collect(),
+        partition_locks: &rt.partition_locks,
+        host_lock: &rt.host_lock,
+        engine_tx: &rt.engine_tx,
+        pool: Some(&rt.pool),
+        first_error: Mutex::new(None),
+        executed: AtomicUsize::new(0),
+        bytes_moved: AtomicU64::new(0),
     };
+    let started = Instant::now();
+    rt.drivers
+        .run_fixed(streams.len(), &|idx| drive_stream(&shared, &streams[idx]));
+    let wall = started.elapsed();
+    finish(shared, wall)
+}
+
+/// The original spawn-per-run executor: scoped driver threads, per-run copy
+/// engines and locks. Kept as the launch-overhead baseline.
+fn run_scoped(ctx: &Context, cfg: &NativeConfig, threads_hint: usize) -> Result<NativeReport> {
+    let streams = &ctx.program().streams;
+    let n_streams = streams.len();
+    let n_devices = ctx.device_count();
+    let parts_per_dev = ctx.partitions().max(1);
+    let channels_per_dev = channels_for(ctx.config().link.duplex);
+
     let mut engine_tx: Vec<Vec<Sender<CopyJob>>> = Vec::with_capacity(n_devices);
     let mut engine_handles = Vec::new();
     for _ in 0..n_devices {
         let mut chans = Vec::with_capacity(channels_per_dev);
         for _ in 0..channels_per_dev {
             let (tx, rx) = unbounded::<CopyJob>();
-            let bw = cfg.link_bandwidth;
-            engine_handles.push(std::thread::spawn(move || copy_engine(rx, bw)));
+            engine_handles.push(std::thread::spawn(move || copy_engine(rx)));
             chans.push(tx);
         }
         engine_tx.push(chans);
     }
 
-    // Shared synchronization state.
-    let events: Vec<Arc<EventFlag>> = (0..ctx.program.events.len())
-        .map(|_| Arc::new(EventFlag::new()))
+    let partition_locks: Vec<Vec<Mutex<()>>> = (0..n_devices)
+        .map(|_| (0..parts_per_dev).map(|_| Mutex::new(())).collect())
         .collect();
-    let barriers: Vec<Arc<Barrier>> = (0..ctx.program.barriers)
-        .map(|_| Arc::new(Barrier::new(n_streams)))
-        .collect();
-    // Partition mutexes: [device][partition].
-    let partition_locks: Vec<Vec<Arc<Mutex<()>>>> = (0..n_devices)
-        .map(|_| {
-            (0..parts_per_dev)
-                .map(|_| Arc::new(Mutex::new(())))
-                .collect()
-        })
-        .collect();
+    let host_lock = Mutex::new(());
 
-    // Host kernels serialize on the host, exactly as the simulator prices
-    // them on its single host resource.
-    let host_lock: Mutex<()> = Mutex::new(());
-    let first_error: Mutex<Option<Error>> = Mutex::new(None);
-    let executed = AtomicUsize::new(0);
-    let bytes_moved = AtomicUsize::new(0);
+    let shared = RunShared {
+        ctx,
+        threads_hint,
+        link_bandwidth: cfg.link_bandwidth,
+        events: (0..ctx.program().events.len())
+            .map(|_| EventFlag::new())
+            .collect(),
+        barriers: (0..ctx.program().barriers)
+            .map(|_| Barrier::new(n_streams))
+            .collect(),
+        partition_locks: &partition_locks,
+        host_lock: &host_lock,
+        engine_tx: &engine_tx,
+        pool: None,
+        first_error: Mutex::new(None),
+        executed: AtomicUsize::new(0),
+        bytes_moved: AtomicU64::new(0),
+    };
 
     let started = Instant::now();
     std::thread::scope(|scope| {
-        for stream in &ctx.program.streams {
-            let events = &events;
-            let barriers = &barriers;
-            let partition_locks = &partition_locks;
-            let engine_tx = &engine_tx;
-            let host_lock = &host_lock;
-            let first_error = &first_error;
-            let executed = &executed;
-            let bytes_moved = &bytes_moved;
-            scope.spawn(move || {
-                let dev = stream.placement.device.0;
-                let part = stream.placement.partition;
-                let mut skipping = false;
-                for action in &stream.actions {
-                    match action {
-                        Action::Barrier(n) => {
-                            barriers[*n].wait();
-                        }
-                        Action::RecordEvent(e) => {
-                            events[e.0].fire();
-                        }
-                        Action::WaitEvent(e) => {
-                            events[e.0].wait();
-                        }
-                        Action::Transfer { dir, buf } => {
-                            if skipping {
-                                continue;
-                            }
-                            let buffer =
-                                ctx.buffer(*buf).expect("buffer validated at enqueue time");
-                            let (src, dst) = match dir {
-                                Direction::HostToDevice => {
-                                    (buffer.host.clone(), buffer.device.clone())
-                                }
-                                Direction::DeviceToHost => {
-                                    (buffer.device.clone(), buffer.host.clone())
-                                }
-                            };
-                            let chan = match ctx.config().link.duplex {
-                                Duplex::Serial => 0,
-                                Duplex::Full => match dir {
-                                    Direction::HostToDevice => 0,
-                                    Direction::DeviceToHost => 1,
-                                },
-                            };
-                            let (done_tx, done_rx) = unbounded::<()>();
-                            let bytes = buffer.bytes();
-                            engine_tx[dev][chan]
-                                .send(CopyJob {
-                                    src,
-                                    dst,
-                                    bytes,
-                                    done: done_tx,
-                                })
-                                .expect("copy engine alive for run duration");
-                            done_rx.recv().expect("copy engine completes jobs");
-                            bytes_moved.fetch_add(bytes as usize, Ordering::Relaxed);
-                            executed.fetch_add(1, Ordering::Relaxed);
-                        }
-                        Action::Kernel(desc) => {
-                            if skipping {
-                                continue;
-                            }
-                            // Host kernels take the host lock instead of a
-                            // partition lock (they occupy the host, not the
-                            // card) and act on the buffers' host copies.
-                            let (_partition_guard, _host_guard) = if desc.host {
-                                (None, Some(host_lock.lock()))
-                            } else {
-                                (Some(partition_locks[dev][part].lock()), None)
-                            };
-                            let side = |b: &crate::buffer::Buffer| {
-                                if desc.host {
-                                    b.host.clone()
-                                } else {
-                                    b.device.clone()
-                                }
-                            };
-                            // Lock declared buffers in global id order
-                            // (deadlock-free across concurrent kernels), but
-                            // keep read and write guards in separate vectors
-                            // so views can borrow them independently.
-                            let mut wanted: Vec<(crate::types::BufId, bool)> = desc
-                                .reads
-                                .iter()
-                                .map(|b| (*b, false))
-                                .chain(desc.writes.iter().map(|b| (*b, true)))
-                                .collect();
-                            wanted.sort_by_key(|(b, _)| *b);
-                            // Storage Arcs are collected first so the guards
-                            // below (declared after, dropped before) can
-                            // safely borrow them.
-                            let storages: Vec<StorageEntry> = wanted
-                                .iter()
-                                .map(|&(b, w)| {
-                                    let buffer = ctx.buffer(b).expect("validated at enqueue time");
-                                    (b, w, side(buffer))
-                                })
-                                .collect();
-                            let mut read_guards: Vec<(
-                                crate::types::BufId,
-                                parking_lot::RwLockReadGuard<'_, Vec<Elem>>,
-                            )> = Vec::with_capacity(desc.reads.len());
-                            let mut write_guards: Vec<(
-                                crate::types::BufId,
-                                parking_lot::RwLockWriteGuard<'_, Vec<Elem>>,
-                            )> = Vec::with_capacity(desc.writes.len());
-                            for (b, is_write, storage) in &storages {
-                                if *is_write {
-                                    write_guards.push((*b, storage.write()));
-                                } else {
-                                    read_guards.push((*b, storage.read()));
-                                }
-                            }
-                            // Read views in declaration order.
-                            let reads: Vec<&[Elem]> = desc
-                                .reads
-                                .iter()
-                                .map(|b| {
-                                    read_guards
-                                        .iter()
-                                        .find(|(id, _)| id == b)
-                                        .expect("guard acquired above")
-                                        .1
-                                        .as_slice()
-                                })
-                                .collect();
-                            // Write views in declaration order: compute for
-                            // each held guard its slot in `desc.writes`, then
-                            // place the mutable slices by permutation.
-                            let mut slots: Vec<Option<&mut [Elem]>> =
-                                (0..desc.writes.len()).map(|_| None).collect();
-                            for (id, guard) in write_guards.iter_mut() {
-                                let pos = desc
-                                    .writes
-                                    .iter()
-                                    .position(|b| b == id)
-                                    .expect("guard acquired above");
-                                slots[pos] = Some(guard.as_mut_slice());
-                            }
-                            let writes: Vec<&mut [Elem]> = slots
-                                .into_iter()
-                                .map(|s| s.expect("every declared write locked"))
-                                .collect();
-                            let mut kctx = KernelCtx {
-                                reads,
-                                writes,
-                                threads: threads_hint,
-                            };
-                            let body = desc.native.as_ref().expect("checked above").clone();
-                            let outcome = catch_unwind(AssertUnwindSafe(|| body(&mut kctx)));
-                            if outcome.is_err() {
-                                let mut slot = first_error.lock();
-                                if slot.is_none() {
-                                    *slot = Some(Error::KernelPanicked {
-                                        kernel: desc.label.clone(),
-                                    });
-                                }
-                                skipping = true;
-                            } else {
-                                executed.fetch_add(1, Ordering::Relaxed);
-                            }
-                        }
-                    }
-                }
-            });
+        for stream in streams {
+            let shared = &shared;
+            scope.spawn(move || drive_stream(shared, stream));
         }
     });
     let wall = started.elapsed();
 
-    // Shut the copy engines down.
+    let report = finish(shared, wall);
+
+    // Shut the per-run copy engines down.
     drop(engine_tx);
     for h in engine_handles {
         let _ = h.join();
     }
-
-    if let Some(err) = first_error.into_inner() {
-        return Err(err);
-    }
-    Ok(NativeReport {
-        wall,
-        actions_executed: executed.into_inner(),
-        bytes_transferred: bytes_moved.into_inner() as u64,
-    })
+    report
 }
 
 #[cfg(test)]
@@ -421,6 +621,13 @@ mod tests {
 
     fn native_kernel(label: &str) -> KernelDesc {
         KernelDesc::simulated(label, KernelProfile::streaming("k", 1e9), 1.0)
+    }
+
+    fn scoped_cfg() -> NativeConfig {
+        NativeConfig {
+            persistent: false,
+            ..NativeConfig::default()
+        }
     }
 
     #[test]
@@ -452,6 +659,47 @@ mod tests {
             ctx.read_host(b).unwrap(),
             vec![2., 3., 4., 5., 6., 7., 8., 9.]
         );
+    }
+
+    #[test]
+    fn scoped_baseline_matches_persistent() {
+        // The same program, run on both executors, must produce identical
+        // numerics and identical reports (modulo wall time).
+        let mut ctx = small_ctx(2);
+        let a = ctx.alloc("a", 64);
+        let b = ctx.alloc("b", 64);
+        ctx.write_host(a, &[1.5; 64]).unwrap();
+        let (s0, s1) = (ctx.stream(0).unwrap(), ctx.stream(1).unwrap());
+        ctx.h2d(s0, a).unwrap();
+        let e = ctx.record_event(s0).unwrap();
+        ctx.wait_event(s1, e).unwrap();
+        ctx.kernel(
+            s1,
+            native_kernel("x3")
+                .reading([a])
+                .writing([b])
+                .with_native(|k| {
+                    let parts = k.threads;
+                    let input = k.reads[0];
+                    crate::parallel::par_chunks_mut(k.writes[0], parts, |_, off, chunk| {
+                        for (i, o) in chunk.iter_mut().enumerate() {
+                            *o = input[off + i] * 3.0;
+                        }
+                    });
+                }),
+        )
+        .unwrap();
+        ctx.d2h(s1, b).unwrap();
+
+        let persistent = ctx.run_native().unwrap();
+        let out_persistent = ctx.read_host(b).unwrap();
+        let scoped = ctx.run_native_with(&scoped_cfg()).unwrap();
+        let out_scoped = ctx.read_host(b).unwrap();
+
+        assert_eq!(out_persistent, vec![4.5; 64]);
+        assert_eq!(out_persistent, out_scoped);
+        assert_eq!(persistent.actions_executed, scoped.actions_executed);
+        assert_eq!(persistent.bytes_transferred, scoped.bytes_transferred);
     }
 
     #[test]
@@ -508,6 +756,34 @@ mod tests {
             .unwrap();
         let err = ctx.run_native().unwrap_err();
         assert!(matches!(err, Error::KernelPanicked { .. }), "{err}");
+    }
+
+    #[test]
+    fn kernel_panic_does_not_poison_later_runs() {
+        // The persistent runtime must survive a failed run and execute the
+        // next one normally.
+        let mut ctx = small_ctx(1);
+        let a = ctx.alloc("a", 1);
+        let s = ctx.stream(0).unwrap();
+        ctx.kernel(
+            s,
+            native_kernel("boom")
+                .writing([a])
+                .with_native(|_| panic!("boom")),
+        )
+        .unwrap();
+        assert!(ctx.run_native().is_err());
+        ctx.reset_program();
+        ctx.kernel(
+            s,
+            native_kernel("fine").writing([a]).with_native(|k| {
+                k.writes[0][0] = 5.0;
+            }),
+        )
+        .unwrap();
+        ctx.d2h(s, a).unwrap();
+        ctx.run_native().unwrap();
+        assert_eq!(ctx.read_host(a).unwrap(), vec![5.0]);
     }
 
     #[test]
@@ -671,9 +947,8 @@ mod tests {
     #[test]
     fn streams_sharing_partition_serialize_kernels() {
         use std::sync::atomic::{AtomicBool, AtomicUsize};
-        static CONCURRENT: AtomicBool = AtomicBool::new(false);
-        static ACTIVE: AtomicUsize = AtomicUsize::new(0);
-        CONCURRENT.store(false, Ordering::SeqCst);
+        let concurrent = Arc::new(AtomicBool::new(false));
+        let active = Arc::new(AtomicUsize::new(0));
 
         let mut ctx = Context::builder(PlatformConfig::phi_31sp())
             .partitions(1)
@@ -682,22 +957,95 @@ mod tests {
             .unwrap();
         for i in 0..4 {
             let s = ctx.stream(i).unwrap();
+            let concurrent = concurrent.clone();
+            let active = active.clone();
             ctx.kernel(
                 s,
-                native_kernel(&format!("k{i}")).with_native(|_| {
-                    if ACTIVE.fetch_add(1, Ordering::SeqCst) > 0 {
-                        CONCURRENT.store(true, Ordering::SeqCst);
+                native_kernel(&format!("k{i}")).with_native(move |_| {
+                    if active.fetch_add(1, Ordering::SeqCst) > 0 {
+                        concurrent.store(true, Ordering::SeqCst);
                     }
                     std::thread::sleep(Duration::from_millis(5));
-                    ACTIVE.fetch_sub(1, Ordering::SeqCst);
+                    active.fetch_sub(1, Ordering::SeqCst);
                 }),
             )
             .unwrap();
         }
         ctx.run_native().unwrap();
         assert!(
-            !CONCURRENT.load(Ordering::SeqCst),
+            !concurrent.load(Ordering::SeqCst),
             "kernels on one partition must serialize"
         );
+    }
+
+    #[test]
+    fn kernels_on_distinct_partitions_overlap() {
+        use std::sync::atomic::AtomicBool;
+        // Two kernels on different partitions, each waiting (bounded) for
+        // the other to be inside its body: the flag can only be set if the
+        // partitions genuinely run concurrently — sleeps alone would also
+        // pass on a serialized runtime, this cannot.
+        let inside = Arc::new(AtomicUsize::new(0));
+        let overlapped = Arc::new(AtomicBool::new(false));
+        let mut ctx = small_ctx(2);
+        for i in 0..2 {
+            let s = ctx.stream(i).unwrap();
+            let inside = inside.clone();
+            let overlapped = overlapped.clone();
+            ctx.kernel(
+                s,
+                native_kernel(&format!("k{i}")).with_native(move |_| {
+                    inside.fetch_add(1, Ordering::SeqCst);
+                    let deadline = Instant::now() + Duration::from_secs(5);
+                    while Instant::now() < deadline {
+                        // Break as soon as either body observed both inside.
+                        if inside.load(Ordering::SeqCst) == 2 || overlapped.load(Ordering::SeqCst) {
+                            overlapped.store(true, Ordering::SeqCst);
+                            break;
+                        }
+                        std::thread::yield_now();
+                    }
+                    inside.fetch_sub(1, Ordering::SeqCst);
+                }),
+            )
+            .unwrap();
+        }
+        ctx.run_native().unwrap();
+        assert!(
+            overlapped.load(Ordering::SeqCst),
+            "kernels on distinct partitions must overlap"
+        );
+    }
+
+    #[test]
+    fn persistent_runtime_is_reused_across_runs() {
+        let mut ctx = small_ctx(2);
+        let a = ctx.alloc("a", 16);
+        for i in 0..2 {
+            let s = ctx.stream(i).unwrap();
+            ctx.kernel(
+                s,
+                native_kernel(&format!("k{i}"))
+                    .writing([a])
+                    .with_native(|k| {
+                        k.writes[0][0] += 1.0;
+                    }),
+            )
+            .unwrap();
+        }
+        assert_eq!(ctx.native_thread_count(), None, "runtime built lazily");
+        ctx.run_native().unwrap();
+        let after_first = ctx.native_thread_count().expect("runtime exists");
+        for _ in 0..20 {
+            ctx.run_native().unwrap();
+        }
+        assert_eq!(
+            ctx.native_thread_count().unwrap(),
+            after_first,
+            "repeated runs must not grow the runtime"
+        );
+        // Scoped runs don't touch the persistent runtime either.
+        ctx.run_native_with(&scoped_cfg()).unwrap();
+        assert_eq!(ctx.native_thread_count().unwrap(), after_first);
     }
 }

@@ -67,6 +67,7 @@ pub mod kernel;
 pub mod parallel;
 pub mod place;
 pub mod plan;
+pub mod pool;
 pub mod program;
 pub mod residency;
 pub mod types;
@@ -77,6 +78,6 @@ pub use executor::native::{NativeConfig, NativeReport};
 pub use executor::sim::SimReport;
 pub use kernel::{KernelCtx, KernelDesc, KernelFn};
 pub use place::ResourceView;
-pub use residency::ResidencyTracker;
 pub use plan::{enqueue_tiles, FlowMode, TileTask};
+pub use residency::ResidencyTracker;
 pub use types::{BufId, Error, EventId, Result, StreamId};

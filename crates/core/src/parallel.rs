@@ -2,9 +2,18 @@
 //!
 //! A kernel body in this runtime plays the role of an OpenMP region in the
 //! paper's benchmarks: it receives a `threads` hint (its partition's width)
-//! and splits its own output across that many workers. These helpers do the
-//! splitting with `std::thread::scope`, so everything stays safe borrowed
-//! code — no `unsafe`, no shared-mutable aliasing.
+//! and splits its own output across that many workers.
+//!
+//! When the native executor runs a kernel it installs the kernel's
+//! partition-pinned [`WorkerGroup`](crate::pool::WorkerGroup) as the
+//! thread's current group, and both helpers route their chunks onto those
+//! persistent, parked threads — no OS thread is spawned per launch. Called
+//! from anywhere else (unit tests, the scoped baseline executor, a nested
+//! call inside a chunk) they fall back to `std::thread::scope`, preserving
+//! the original spawn-per-call semantics. Chunk boundaries and reduce fold
+//! order are identical on both paths, so results are bit-for-bit the same.
+
+use crate::pool::CurrentGroup;
 
 /// Split `data` into `parts` contiguous chunks and run `f(chunk_index,
 /// element_offset, chunk)` on each, in parallel.
@@ -25,13 +34,27 @@ where
         f(0, 0, data);
         return;
     }
-    let base = len / parts;
-    let extra = len % parts;
+    let split = Splits::new(len, parts);
+    if let Some(group) = CurrentGroup::take() {
+        let chunks = PtrChunks {
+            ptr: data.as_mut_ptr(),
+            split,
+        };
+        group.run_chunked(parts, &|idx| {
+            let (offset, ptr, len) = chunks.raw_chunk(idx);
+            // SAFETY: the pool hands out each index at most once, so the
+            // slices materialized across workers are pairwise disjoint
+            // views into the exclusive borrow held by this call.
+            let chunk = unsafe { std::slice::from_raw_parts_mut(ptr, len) };
+            f(idx, offset, chunk);
+        });
+        return;
+    }
     std::thread::scope(|scope| {
         let mut rest = data;
         let mut offset = 0usize;
         for idx in 0..parts {
-            let take = base + usize::from(idx < extra);
+            let take = split.take(idx);
             let (chunk, tail) = rest.split_at_mut(take);
             rest = tail;
             let f = &f;
@@ -57,30 +80,93 @@ where
     if parts == 1 {
         return reduce(identity, map(0..len));
     }
-    let base = len / parts;
-    let extra = len % parts;
-    let partials: Vec<R> = std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(parts);
-        let mut start = 0usize;
-        for idx in 0..parts {
-            let take = base + usize::from(idx < extra);
-            let range = start..start + take;
-            start += take;
-            let map = &map;
-            handles.push(scope.spawn(move || map(range)));
-        }
-        handles
+    let split = Splits::new(len, parts);
+    let partials: Vec<R> = if let Some(group) = CurrentGroup::take() {
+        let slots: Vec<parking_lot::Mutex<Option<R>>> =
+            (0..parts).map(|_| parking_lot::Mutex::new(None)).collect();
+        group.run_chunked(parts, &|idx| {
+            *slots[idx].lock() = Some(map(split.range(idx)));
+        });
+        slots
             .into_iter()
-            .map(|h| h.join().expect("par_reduce worker panicked"))
+            .map(|s| s.into_inner().expect("chunk ran"))
             .collect()
-    });
+    } else {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..parts)
+                .map(|idx| {
+                    let range = split.range(idx);
+                    let map = &map;
+                    scope.spawn(move || map(range))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("par_reduce worker panicked"))
+                .collect()
+        })
+    };
     partials.into_iter().fold(identity, reduce)
+}
+
+/// Chunk geometry shared by both execution paths: `parts` contiguous pieces
+/// of `len` elements, the first `len % parts` one element longer.
+#[derive(Clone, Copy)]
+struct Splits {
+    base: usize,
+    extra: usize,
+}
+
+impl Splits {
+    fn new(len: usize, parts: usize) -> Splits {
+        Splits {
+            base: len / parts,
+            extra: len % parts,
+        }
+    }
+
+    fn take(&self, idx: usize) -> usize {
+        self.base + usize::from(idx < self.extra)
+    }
+
+    fn start(&self, idx: usize) -> usize {
+        idx * self.base + idx.min(self.extra)
+    }
+
+    fn range(&self, idx: usize) -> std::ops::Range<usize> {
+        let start = self.start(idx);
+        start..start + self.take(idx)
+    }
+}
+
+/// Raw-pointer view of a `&mut [T]` handed across pool workers.
+struct PtrChunks<T> {
+    ptr: *mut T,
+    split: Splits,
+}
+
+// SAFETY: workers access disjoint chunks (the pool hands out each index at
+// most once), and `T: Send` in `par_chunks_mut` makes moving element access
+// across threads sound.
+unsafe impl<T: Send> Sync for PtrChunks<T> {}
+
+impl<T> PtrChunks<T> {
+    /// The `(offset, pointer, length)` of chunk `idx`. Materializing the
+    /// slice is the caller's obligation: it must do so at most once per
+    /// `idx` across all threads while the underlying exclusive borrow is
+    /// alive, so no two slices alias.
+    fn raw_chunk(&self, idx: usize) -> (usize, *mut T, usize) {
+        let start = self.split.start(idx);
+        (start, unsafe { self.ptr.add(start) }, self.split.take(idx))
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pool::{self, WorkerGroup};
     use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
 
     #[test]
     fn chunks_cover_everything_once() {
@@ -149,5 +235,58 @@ mod tests {
     fn reduce_single_part() {
         let r = par_reduce(5, 1, |range| range.len(), |a, b| a + b, 0);
         assert_eq!(r, 5);
+    }
+
+    #[test]
+    fn pooled_chunks_match_scoped_chunks() {
+        let fill = |data: &mut [u32], parts| {
+            par_chunks_mut(data, parts, |idx, offset, chunk| {
+                for (i, x) in chunk.iter_mut().enumerate() {
+                    *x = (idx * 100_000 + offset + i) as u32;
+                }
+            });
+        };
+        let mut scoped = vec![0u32; 103];
+        fill(&mut scoped, 7);
+        let group = Arc::new(WorkerGroup::new("pt0", 3));
+        let _g = pool::install(group);
+        let mut pooled = vec![0u32; 103];
+        fill(&mut pooled, 7);
+        assert_eq!(pooled, scoped);
+    }
+
+    #[test]
+    fn pooled_reduce_matches_scoped_reduce() {
+        let run = || {
+            par_reduce(
+                1003,
+                6,
+                |range| range.map(|i| (i as f32).sqrt()).sum::<f32>(),
+                |a, b| a + b,
+                0.0f32,
+            )
+        };
+        let scoped = run();
+        let group = Arc::new(WorkerGroup::new("pt1", 3));
+        let _g = pool::install(group);
+        let pooled = run();
+        // Same chunking and fold order: results are bit-identical.
+        assert_eq!(pooled.to_bits(), scoped.to_bits());
+    }
+
+    #[test]
+    fn nested_call_inside_pooled_chunk_does_not_deadlock() {
+        let group = Arc::new(WorkerGroup::new("pt2", 1));
+        let _g = pool::install(group);
+        let mut outer = vec![0u64; 8];
+        par_chunks_mut(&mut outer, 2, |_, _, chunk| {
+            // Nested helper inside a pool chunk: must take the scoped
+            // fallback (the group is busy with the outer job).
+            let s = par_reduce(64, 4, |r| r.map(|i| i as u64).sum(), |a, b| a + b, 0);
+            for x in chunk.iter_mut() {
+                *x = s;
+            }
+        });
+        assert!(outer.iter().all(|&x| x == 2016));
     }
 }

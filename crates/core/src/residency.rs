@@ -197,11 +197,8 @@ mod tests {
         tracker.ensure_readable(&mut ctx, b, s1).unwrap();
         assert_eq!(tracker.copies(), 2);
         // Card 1 writes a new version.
-        ctx.kernel(
-            s1,
-            KernelDesc::simulated("w", prof(), 1.0).writing([b]),
-        )
-        .unwrap();
+        ctx.kernel(s1, KernelDesc::simulated("w", prof(), 1.0).writing([b]))
+            .unwrap();
         tracker.produced(&mut ctx, b, s1).unwrap();
         assert_eq!(tracker.copies(), 1, "card 0's copy is stale");
         // Card 0 reading again needs a fresh mirror.

@@ -64,7 +64,9 @@ fn barrier_ladder_consistency() {
         .partitions(streams)
         .build()
         .unwrap();
-    let counters: Vec<_> = (0..streams).map(|i| ctx.alloc(format!("c{i}"), 1)).collect();
+    let counters: Vec<_> = (0..streams)
+        .map(|i| ctx.alloc(format!("c{i}"), 1))
+        .collect();
     let check = ctx.alloc("check", 1);
     for round in 0..rounds {
         for (i, &c) in counters.iter().enumerate() {
@@ -114,7 +116,9 @@ fn copy_engine_hammering() {
         .build()
         .unwrap();
     let n_bufs = 64;
-    let bufs: Vec<_> = (0..n_bufs).map(|i| ctx.alloc(format!("b{i}"), 16)).collect();
+    let bufs: Vec<_> = (0..n_bufs)
+        .map(|i| ctx.alloc(format!("b{i}"), 16))
+        .collect();
     for (i, &b) in bufs.iter().enumerate() {
         ctx.write_host(b, &[i as f32; 16]).unwrap();
         let s = ctx.stream(i % 4).unwrap();

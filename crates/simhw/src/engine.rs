@@ -126,12 +126,7 @@ impl Timeline {
             std::collections::BTreeMap::new();
         for id in self.critical_path() {
             let r = &self.records[id.0];
-            let key = r
-                .label
-                .split(['(', ' '])
-                .next()
-                .unwrap_or("?")
-                .to_string();
+            let key = r.label.split(['(', ' ']).next().unwrap_or("?").to_string();
             *agg.entry(key).or_default() += r.finish - r.start;
         }
         let mut out: Vec<_> = agg.into_iter().collect();

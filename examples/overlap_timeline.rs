@@ -49,7 +49,11 @@ fn show(title: &str, report: &hstreams::SimReport) {
     let total: f64 = breakdown.iter().map(|(_, d)| d.as_millis_f64()).sum();
     print!("critical path: ");
     for (label, d) in &breakdown {
-        print!("{label} {:.1} ms ({:.0}%)  ", d.as_millis_f64(), d.as_millis_f64() / total * 100.0);
+        print!(
+            "{label} {:.1} ms ({:.0}%)  ",
+            d.as_millis_f64(),
+            d.as_millis_f64() / total * 100.0
+        );
     }
     println!("\n");
 }

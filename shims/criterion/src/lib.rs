@@ -1,0 +1,251 @@
+//! Minimal offline stand-in for the `criterion` crate.
+//!
+//! Implements the benchmarking surface this workspace uses — `Criterion`,
+//! benchmark groups, `Bencher::iter`, `BenchmarkId`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros — over a simple harness:
+//! each benchmark is warmed up, then timed over `sample_size` samples whose
+//! batch size targets a fixed per-sample duration; the reported figure is
+//! the median per-iteration time, printed as
+//! `name                time: [<median>]  (min <..>, max <..>)`.
+//!
+//! `CRITERION_SAMPLE_MS` and `CRITERION_WARMUP_MS` override the per-sample
+//! and warmup budgets (milliseconds) for quicker smoke runs.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+fn env_millis(var: &str, default: u64) -> Duration {
+    Duration::from_millis(
+        std::env::var(var)
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default),
+    )
+}
+
+/// A per-iteration measurement result, in nanoseconds.
+#[derive(Clone, Copy, Debug)]
+pub struct Estimate {
+    /// Median across samples.
+    pub median_ns: f64,
+    /// Fastest sample.
+    pub min_ns: f64,
+    /// Slowest sample.
+    pub max_ns: f64,
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Passed to benchmark closures; runs and times the measured routine.
+pub struct Bencher {
+    samples: usize,
+    estimate: Option<Estimate>,
+}
+
+impl Bencher {
+    /// Measure `f`, called repeatedly in adaptively sized batches.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let warmup_budget = env_millis("CRITERION_WARMUP_MS", 300);
+        let sample_budget = env_millis("CRITERION_SAMPLE_MS", 60);
+        // Warmup, and estimate the per-iteration cost for batch sizing.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < warmup_budget {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let batch = ((sample_budget.as_secs_f64() / per_iter).ceil() as u64).max(1);
+        let mut per_iter_ns = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            per_iter_ns.push(start.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+        self.estimate = Some(Estimate {
+            median_ns: per_iter_ns[per_iter_ns.len() / 2],
+            min_ns: per_iter_ns[0],
+            max_ns: *per_iter_ns.last().expect("samples nonempty"),
+        });
+    }
+}
+
+fn run_one(name: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        samples,
+        estimate: None,
+    };
+    f(&mut b);
+    match b.estimate {
+        Some(e) => println!(
+            "{name:<48} time: [{}]  (min {}, max {})",
+            format_ns(e.median_ns),
+            format_ns(e.min_ns),
+            format_ns(e.max_ns)
+        ),
+        None => println!("{name:<48} (no measurement: Bencher::iter never called)"),
+    }
+}
+
+/// Top-level benchmark registry and runner.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        // cargo-bench passes `--bench` plus optional name filters; keep the
+        // first free-standing argument as a substring filter like criterion.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'))
+            .filter(|a| !a.is_empty());
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    fn enabled(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+
+    /// Run a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        if self.enabled(name) {
+            run_one(name, 20, &mut f);
+        }
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: 20,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timing samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, name.into().0);
+        if self.criterion.enabled(&full) {
+            run_one(&full, self.sample_size, &mut f);
+        }
+        self
+    }
+
+    /// Run one parameterized benchmark in the group.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Finish the group (formatting no-op in this shim).
+    pub fn finish(self) {}
+}
+
+/// A benchmark name, optionally parameterized.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId(format!("{}/{}", function_name.into(), parameter))
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId(s)
+    }
+}
+
+/// Group benchmark functions under one registry entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        std::env::set_var("CRITERION_WARMUP_MS", "5");
+        std::env::set_var("CRITERION_SAMPLE_MS", "2");
+        let mut b = Bencher {
+            samples: 5,
+            estimate: None,
+        };
+        b.iter(|| black_box(2u64).pow(10));
+        let e = b.estimate.expect("estimate recorded");
+        assert!(e.min_ns <= e.median_ns && e.median_ns <= e.max_ns);
+        assert!(e.median_ns > 0.0);
+    }
+
+    #[test]
+    fn id_formatting() {
+        assert_eq!(BenchmarkId::new("f", 32).0, "f/32");
+    }
+}

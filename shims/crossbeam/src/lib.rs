@@ -1,0 +1,199 @@
+//! Minimal offline stand-in for the `crossbeam` crate.
+//!
+//! Provides `crossbeam::channel::{unbounded, Sender, Receiver}` with
+//! crossbeam's semantics where this workspace relies on them: both ends are
+//! `Send + Sync + Clone` (MPMC), `recv` blocks until a message arrives or
+//! every sender is dropped, and `send` fails once every receiver is gone.
+
+/// Multi-producer multi-consumer FIFO channels.
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Shared<T> {
+        queue: Mutex<State<T>>,
+        ready: Condvar,
+    }
+
+    struct State<T> {
+        items: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    /// Sending half of an unbounded channel.
+    pub struct Sender<T>(Arc<Shared<T>>);
+
+    /// Receiving half of an unbounded channel.
+    pub struct Receiver<T>(Arc<Shared<T>>);
+
+    /// Error returned by [`Sender::send`] when all receivers are dropped.
+    #[derive(PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    // Like the real crossbeam, Debug does not require `T: Debug`.
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "SendError(..)")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// all senders are dropped.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "receiving on an empty, disconnected channel")
+        }
+    }
+
+    /// Create an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(State {
+                items: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            ready: Condvar::new(),
+        });
+        (Sender(shared.clone()), Receiver(shared))
+    }
+
+    impl<T> Sender<T> {
+        /// Push a message; fails only if every receiver has been dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut state = self.0.queue.lock().expect("channel lock");
+            if state.receivers == 0 {
+                return Err(SendError(value));
+            }
+            state.items.push_back(value);
+            drop(state);
+            self.0.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Pop the next message, blocking while the channel is empty and at
+        /// least one sender is alive.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut state = self.0.queue.lock().expect("channel lock");
+            loop {
+                if let Some(item) = state.items.pop_front() {
+                    return Ok(item);
+                }
+                if state.senders == 0 {
+                    return Err(RecvError);
+                }
+                state = self.0.ready.wait(state).expect("channel lock");
+            }
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Sender<T> {
+            self.0.queue.lock().expect("channel lock").senders += 1;
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Receiver<T> {
+            self.0.queue.lock().expect("channel lock").receivers += 1;
+            Receiver(self.0.clone())
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = self.0.queue.lock().expect("channel lock");
+            state.senders -= 1;
+            let disconnect = state.senders == 0;
+            drop(state);
+            if disconnect {
+                // Wake blocked receivers so they observe the disconnect.
+                self.0.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.0.queue.lock().expect("channel lock").receivers -= 1;
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn fifo_round_trip() {
+            let (tx, rx) = unbounded();
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Ok(2));
+        }
+
+        #[test]
+        fn recv_unblocks_on_sender_drop() {
+            let (tx, rx) = unbounded::<u32>();
+            let t = std::thread::spawn(move || rx.recv());
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            drop(tx);
+            assert_eq!(t.join().unwrap(), Err(RecvError));
+        }
+
+        #[test]
+        fn send_fails_without_receivers() {
+            let (tx, rx) = unbounded();
+            drop(rx);
+            assert_eq!(tx.send(7), Err(SendError(7)));
+        }
+
+        #[test]
+        fn multi_producer_multi_consumer() {
+            let (tx, rx) = unbounded();
+            let producers: Vec<_> = (0..4)
+                .map(|i| {
+                    let tx = tx.clone();
+                    std::thread::spawn(move || {
+                        for j in 0..100 {
+                            tx.send(i * 100 + j).unwrap();
+                        }
+                    })
+                })
+                .collect();
+            drop(tx);
+            let consumers: Vec<_> = (0..2)
+                .map(|_| {
+                    let rx = rx.clone();
+                    std::thread::spawn(move || {
+                        let mut n = 0usize;
+                        while rx.recv().is_ok() {
+                            n += 1;
+                        }
+                        n
+                    })
+                })
+                .collect();
+            for p in producers {
+                p.join().unwrap();
+            }
+            drop(rx);
+            let total: usize = consumers.into_iter().map(|c| c.join().unwrap()).sum();
+            assert_eq!(total, 400);
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Minimal offline stand-in for the `rand` crate.
+//!
+//! Covers the surface this workspace uses: `rngs::StdRng`,
+//! `SeedableRng::seed_from_u64`, and `Rng::gen_range` over half-open
+//! ranges. The generator is SplitMix64 — deterministic per seed with good
+//! 64-bit avalanche — rather than the real `StdRng`'s ChaCha12; every test
+//! in the workspace derives its expected values from the same generated
+//! data, so the distribution swap is observationally safe.
+
+/// Types that can be built from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Construct a deterministic generator from `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling interface over a random generator.
+pub trait Rng {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform sample from `range` (half-open or inclusive).
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+}
+
+/// Ranges [`Rng::gen_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draw one uniform sample using `rng`.
+    fn sample<R: Rng>(self, rng: &mut R) -> T;
+}
+
+/// Standard generators.
+pub mod rngs {
+    /// The workspace's deterministic generator (SplitMix64; see crate docs).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl super::SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            StdRng { state: seed }
+        }
+    }
+
+    impl super::Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (Steele, Lea, Flood 2014).
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+impl SampleRange<f32> for std::ops::Range<f32> {
+    fn sample<R: Rng>(self, rng: &mut R) -> f32 {
+        assert!(self.start < self.end, "empty range");
+        // 53 uniform bits through f64 keep the f32 result unbiased.
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        let v = self.start as f64 + unit * (self.end as f64 - self.start as f64);
+        (v as f32).min(f32_prev(self.end))
+    }
+}
+
+// No SampleRange<f64> impl: float literals in `gen_range(-0.5..0.5)` must
+// infer f32 from context, and a second float impl would push inference to
+// the f64 literal default instead.
+
+impl SampleRange<usize> for std::ops::Range<usize> {
+    fn sample<R: Rng>(self, rng: &mut R) -> usize {
+        assert!(self.start < self.end, "empty range");
+        let span = (self.end - self.start) as u64;
+        self.start + (rng.next_u64() % span) as usize
+    }
+}
+
+impl SampleRange<u64> for std::ops::Range<u64> {
+    fn sample<R: Rng>(self, rng: &mut R) -> u64 {
+        assert!(self.start < self.end, "empty range");
+        self.start + rng.next_u64() % (self.end - self.start)
+    }
+}
+
+/// Largest f32 strictly below `x` (keeps half-open ranges half-open after
+/// the f64→f32 rounding above).
+fn f32_prev(x: f32) -> f32 {
+    if x.is_finite() {
+        f32::from_bits(if x > 0.0 {
+            x.to_bits() - 1
+        } else {
+            x.to_bits() + 1
+        })
+    } else {
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let vc: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn float_range_in_bounds() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x = r.gen_range(-0.5f32..0.5);
+            assert!((-0.5..0.5).contains(&x), "{x}");
+        }
+    }
+
+    #[test]
+    fn int_range_covers() {
+        let mut r = StdRng::seed_from_u64(2);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            seen[r.gen_range(0usize..5)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -65,21 +65,30 @@ fn main() {
         ..NativeConfig::default()
     });
     let pooled = mean_run_seconds(&NativeConfig::default());
+    let traced = mean_run_seconds(&NativeConfig {
+        trace: true,
+        ..NativeConfig::default()
+    });
     let scoped_us = scoped / kernels_per_run as f64 * 1e6;
     let pooled_us = pooled / kernels_per_run as f64 * 1e6;
+    let traced_us = traced / kernels_per_run as f64 * 1e6;
     let speedup = scoped_us / pooled_us;
+    let trace_overhead_us = traced_us - pooled_us;
     let pass = speedup >= 5.0;
 
     println!("native launch overhead, {PARTITIONS} partitions, {kernels_per_run} no-op kernels/run, {} runs ({} warmup):", RUNS.total, RUNS.warmup);
     println!("  scoped baseline : {scoped_us:>9.3} us/launch");
     println!("  persistent pool : {pooled_us:>9.3} us/launch");
     println!(
+        "  pool + tracing  : {traced_us:>9.3} us/launch  (+{trace_overhead_us:.3} us trace cost)"
+    );
+    println!(
         "  speedup         : {speedup:>9.2}x  (target >= 5x: {})",
         if pass { "PASS" } else { "FAIL" }
     );
 
     let json = format!(
-        "{{\n  \"bench\": \"native_runtime_launch_overhead\",\n  \"partitions\": {PARTITIONS},\n  \"streams\": {PARTITIONS},\n  \"kernels_per_run\": {kernels_per_run},\n  \"runs\": {},\n  \"warmup\": {},\n  \"scoped_per_launch_us\": {scoped_us:.4},\n  \"pooled_per_launch_us\": {pooled_us:.4},\n  \"speedup\": {speedup:.3},\n  \"pass_5x\": {pass}\n}}\n",
+        "{{\n  \"bench\": \"native_runtime_launch_overhead\",\n  \"partitions\": {PARTITIONS},\n  \"streams\": {PARTITIONS},\n  \"kernels_per_run\": {kernels_per_run},\n  \"runs\": {},\n  \"warmup\": {},\n  \"scoped_per_launch_us\": {scoped_us:.4},\n  \"pooled_per_launch_us\": {pooled_us:.4},\n  \"traced_per_launch_us\": {traced_us:.4},\n  \"trace_overhead_per_launch_us\": {trace_overhead_us:.4},\n  \"speedup\": {speedup:.3},\n  \"pass_5x\": {pass}\n}}\n",
         RUNS.total, RUNS.warmup
     );
     let dir = mic_bench::results_dir();

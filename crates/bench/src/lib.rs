@@ -18,6 +18,7 @@
 //! | `table_model_vs_search` | (ext) tuning strategies head-to-head |
 //! | `ablation_platform` | (ext) mechanism-to-figure ablations |
 //! | `native_overlap_study` | (ext) Fig. 6 regimes on the native executor |
+//! | `native_vs_sim_trace` | (ext) same program, sim vs traced-native overlap |
 //! | `ext_multi_mic_scaling` | (ext) Sec. VI on 1–4 cards |
 
 #![warn(missing_docs)]

@@ -99,6 +99,7 @@ impl ContextBuilder {
             buffers: Vec::new(),
             program,
             native_rt: std::sync::OnceLock::new(),
+            last_native_trace: parking_lot::Mutex::new(None),
         })
     }
 }
@@ -114,6 +115,9 @@ pub struct Context {
     /// engines), built lazily on the first persistent native run and torn
     /// down when the context drops.
     native_rt: std::sync::OnceLock<crate::executor::native::NativeRuntime>,
+    /// The most recent traced native run's timeline, published even when the
+    /// run failed partway (see [`Context::take_native_trace`]).
+    last_native_trace: parking_lot::Mutex<Option<crate::trace::NativeTrace>>,
 }
 
 impl std::fmt::Debug for Context {
@@ -359,6 +363,22 @@ impl Context {
     /// `run_native` calls reuse these threads; this count must not grow.
     pub fn native_thread_count(&self) -> Option<usize> {
         self.native_rt.get().map(|rt| rt.thread_count())
+    }
+
+    /// Stash the trace of the latest traced native run (called from the
+    /// executor's trace guard on every exit path, including panics).
+    pub(crate) fn store_native_trace(&self, trace: crate::trace::NativeTrace) {
+        *self.last_native_trace.lock() = Some(trace);
+    }
+
+    /// Take the trace of the most recent traced native run, if any. This is
+    /// how a **partial** timeline is recovered when `run_native_with` (with
+    /// [`NativeConfig::trace`](crate::executor::native::NativeConfig) set)
+    /// returned an error: every span recorded before the failure is there,
+    /// so the Gantt chart names the kernel that blew up. Successful runs
+    /// also attach the same trace to the report directly.
+    pub fn take_native_trace(&self) -> Option<crate::trace::NativeTrace> {
+        self.last_native_trace.lock().take()
     }
 }
 

@@ -51,6 +51,7 @@ use crate::context::Context;
 use crate::kernel::KernelCtx;
 use crate::pool::{self, WorkerGroup, WorkerPool};
 use crate::program::StreamRecord;
+use crate::trace::{CopyStamp, NativeTrace, Recorder};
 use crate::types::{Error, Result};
 
 /// Settings for native execution.
@@ -68,6 +69,13 @@ pub struct NativeConfig {
     /// `false` selects the original spawn-per-run scoped executor, kept as
     /// a baseline for launch-overhead comparisons.
     pub persistent: bool,
+    /// Record the run into a [`NativeTrace`] — the same `Timeline`
+    /// representation the simulator produces, so overlap stats, Gantt and
+    /// Chrome-trace export work on real runs unchanged. Off by default:
+    /// the untraced path pays one branch per action. On error the partial
+    /// trace is still retrievable via
+    /// [`Context::take_native_trace`](crate::context::Context::take_native_trace).
+    pub trace: bool,
 }
 
 impl Default for NativeConfig {
@@ -76,6 +84,7 @@ impl Default for NativeConfig {
             max_threads_per_partition: None,
             link_bandwidth: None,
             persistent: true,
+            trace: false,
         }
     }
 }
@@ -89,6 +98,9 @@ pub struct NativeReport {
     pub actions_executed: usize,
     /// Total bytes moved through the copy engine(s).
     pub bytes_transferred: u64,
+    /// The measured timeline, when [`NativeConfig::trace`] was set (`None`
+    /// for untraced runs and for empty programs).
+    pub trace: Option<NativeTrace>,
 }
 
 struct EventFlag {
@@ -140,10 +152,17 @@ struct CopyJob {
     /// Completion slot the submitting driver waits on — reset and reused
     /// across the driver's transfers rather than allocated per copy.
     done: Arc<EventFlag>,
+    /// Tracing stamps (engine start/end, queue-depth gauge); `None` when
+    /// the run is untraced. Reused across the driver's transfers like
+    /// `done`.
+    trace: Option<Arc<CopyStamp>>,
 }
 
 fn copy_engine(rx: Receiver<CopyJob>) {
     while let Ok(job) = rx.recv() {
+        if let Some(stamp) = &job.trace {
+            stamp.picked_up();
+        }
         let started = Instant::now();
         {
             let src = job.src.read();
@@ -156,6 +175,11 @@ fn copy_engine(rx: Receiver<CopyJob>) {
             if target > elapsed {
                 std::thread::sleep(target - elapsed);
             }
+        }
+        // Stamp before firing: the flag's lock publishes the slot to the
+        // waiting driver.
+        if let Some(stamp) = &job.trace {
+            stamp.stamp(started, Instant::now());
         }
         job.done.fire();
     }
@@ -270,6 +294,9 @@ struct RunShared<'a> {
     /// Partition-pinned worker groups for kernel bodies; `None` on the
     /// scoped baseline path (parallel helpers then spawn scoped threads).
     pool: Option<&'a WorkerPool>,
+    /// Span recorder; `None` when the run is untraced (the zero-cost
+    /// default — every instrumentation site is a branch on this option).
+    recorder: Option<&'a Recorder>,
     first_error: Mutex<Option<Error>>,
     executed: AtomicUsize,
     bytes_moved: AtomicU64,
@@ -279,22 +306,42 @@ struct RunShared<'a> {
 /// worker or scoped spawn).
 fn drive_stream(shared: &RunShared<'_>, stream: &StreamRecord) {
     let ctx = shared.ctx;
+    let si = stream.id.0;
     let dev = stream.placement.device.0;
     let part = stream.placement.partition;
     // One reusable completion slot for this driver's transfers: reset, hand
     // to the engine, wait — no per-transfer channel allocation.
     let done = Arc::new(EventFlag::new());
+    // Tracing state, allocated once per driver: the engine-stamp slot and
+    // the sink that routes pool-job spans from kernel bodies into this
+    // driver's buffer.
+    let stamp = shared.recorder.map(|rec| rec.copy_stamp());
+    let _pool_sink = shared
+        .recorder
+        .map(|rec| crate::trace::install_pool_sink(rec.pool_sink(si)));
     let mut skipping = false;
     for action in &stream.actions {
         match action {
             Action::Barrier(n) => {
+                let t0 = shared.recorder.map(|_| Instant::now());
                 shared.barriers[*n].wait();
+                if let Some(rec) = shared.recorder {
+                    rec.record_span(si, None, action.label(), t0.unwrap(), Instant::now());
+                }
             }
             Action::RecordEvent(e) => {
                 shared.events[e.0].fire();
+                if let Some(rec) = shared.recorder {
+                    let now = Instant::now();
+                    rec.record_span(si, None, action.label(), now, now);
+                }
             }
             Action::WaitEvent(e) => {
+                let t0 = shared.recorder.map(|_| Instant::now());
                 shared.events[e.0].wait();
+                if let Some(rec) = shared.recorder {
+                    rec.record_span(si, None, action.label(), t0.unwrap(), Instant::now());
+                }
             }
             Action::Transfer { dir, buf } => {
                 if skipping {
@@ -314,6 +361,10 @@ fn drive_stream(shared: &RunShared<'_>, stream: &StreamRecord) {
                 };
                 let bytes = buffer.bytes();
                 done.reset();
+                let submitted = shared.recorder.map(|rec| {
+                    rec.copy_submitted();
+                    Instant::now()
+                });
                 shared.engine_tx[dev][chan]
                     .send(CopyJob {
                         src,
@@ -321,9 +372,19 @@ fn drive_stream(shared: &RunShared<'_>, stream: &StreamRecord) {
                         bytes,
                         bandwidth: shared.link_bandwidth,
                         done: done.clone(),
+                        trace: stamp.clone(),
                     })
                     .expect("copy engine alive for run duration");
                 done.wait();
+                if let Some(rec) = shared.recorder {
+                    rec.record_transfer(
+                        si,
+                        rec.link_lane(dev, chan),
+                        action.label(),
+                        submitted.unwrap(),
+                        stamp.as_ref().unwrap(),
+                    );
+                }
                 shared.bytes_moved.fetch_add(bytes, Ordering::Relaxed);
                 shared.executed.fetch_add(1, Ordering::Relaxed);
             }
@@ -331,6 +392,7 @@ fn drive_stream(shared: &RunShared<'_>, stream: &StreamRecord) {
                 if skipping {
                     continue;
                 }
+                let t_dispatch = shared.recorder.map(|_| Instant::now());
                 // Host kernels take the host lock instead of a partition
                 // lock (they occupy the host, not the card) and act on the
                 // buffers' host copies.
@@ -427,7 +489,28 @@ fn drive_stream(shared: &RunShared<'_>, stream: &StreamRecord) {
                     };
                     pool::install(group.clone())
                 });
+                let t_start = shared.recorder.map(|rec| {
+                    let now = Instant::now();
+                    // Launch overhead: dispatch to body start (partition
+                    // lock, buffer locks, view setup).
+                    rec.record_launch_overhead(
+                        si,
+                        now.saturating_duration_since(t_dispatch.unwrap()),
+                    );
+                    now
+                });
                 let outcome = catch_unwind(AssertUnwindSafe(|| body(&mut kctx)));
+                if let Some(rec) = shared.recorder {
+                    // Recorded even when the body panicked: the partial
+                    // timeline then names the kernel that failed.
+                    rec.record_span(
+                        si,
+                        Some(rec.kernel_lane(desc.host, dev, part)),
+                        desc.label.clone(),
+                        t_start.unwrap(),
+                        Instant::now(),
+                    );
+                }
                 if outcome.is_err() {
                     let mut slot = shared.first_error.lock();
                     if slot.is_none() {
@@ -452,7 +535,38 @@ fn finish(shared: RunShared<'_>, wall: Duration) -> Result<NativeReport> {
         wall,
         actions_executed: shared.executed.into_inner(),
         bytes_transferred: shared.bytes_moved.into_inner(),
+        trace: None, // attached by `run` from the trace guard
     })
+}
+
+/// Drains the recorder's span buffers into the context **on every exit
+/// path**: normal completion, a reported kernel panic, and unwinding out of
+/// the driver group (a driver panicking outside the kernel `catch_unwind`
+/// re-raises on the submitting thread). Spans are pushed per-action, so
+/// whatever completed before a failure survives as a partial timeline,
+/// retrievable via [`Context::take_native_trace`].
+struct TraceGuard<'a> {
+    ctx: &'a Context,
+    recorder: Option<Recorder>,
+}
+
+impl TraceGuard<'_> {
+    /// Merge the buffers into a trace, publish it to the context, and hand
+    /// it back for the report. Idempotent: the drop handler after this is a
+    /// no-op.
+    fn publish(&mut self) -> Option<NativeTrace> {
+        let trace = self.recorder.take().map(Recorder::into_trace);
+        if let Some(t) = &trace {
+            self.ctx.store_native_trace(t.clone());
+        }
+        trace
+    }
+}
+
+impl Drop for TraceGuard<'_> {
+    fn drop(&mut self) {
+        let _ = self.publish();
+    }
 }
 
 /// Validate and execute the context's program natively.
@@ -477,6 +591,7 @@ pub fn run(ctx: &Context, cfg: &NativeConfig) -> Result<NativeReport> {
             wall: Duration::ZERO,
             actions_executed: 0,
             bytes_transferred: 0,
+            trace: None,
         });
     }
 
@@ -502,16 +617,32 @@ pub fn run(ctx: &Context, cfg: &NativeConfig) -> Result<NativeReport> {
         .max_threads_per_partition
         .unwrap_or_else(|| default_threads_per_partition(ctx));
 
-    if cfg.persistent {
-        run_persistent(ctx, cfg, threads_hint)
+    let mut guard = TraceGuard {
+        ctx,
+        recorder: cfg.trace.then(|| Recorder::new(ctx)),
+    };
+    let result = if cfg.persistent {
+        run_persistent(ctx, cfg, threads_hint, guard.recorder.as_ref())
     } else {
-        run_scoped(ctx, cfg, threads_hint)
-    }
+        run_scoped(ctx, cfg, threads_hint, guard.recorder.as_ref())
+    };
+    // Publish on the success path too, then attach the trace to the report;
+    // on Err (kernel panic) the trace stays retrievable from the context.
+    let trace = guard.publish();
+    result.map(|mut report| {
+        report.trace = trace;
+        report
+    })
 }
 
 /// Execute on the context's persistent runtime: parked drivers, pinned
 /// kernel pools, long-lived copy engines. No threads are spawned.
-fn run_persistent(ctx: &Context, cfg: &NativeConfig, threads_hint: usize) -> Result<NativeReport> {
+fn run_persistent(
+    ctx: &Context,
+    cfg: &NativeConfig,
+    threads_hint: usize,
+    recorder: Option<&Recorder>,
+) -> Result<NativeReport> {
     let rt = ctx.native_runtime();
     let _active = rt.run_lock.lock();
     let streams = &ctx.program().streams;
@@ -529,6 +660,7 @@ fn run_persistent(ctx: &Context, cfg: &NativeConfig, threads_hint: usize) -> Res
         host_lock: &rt.host_lock,
         engine_tx: &rt.engine_tx,
         pool: Some(&rt.pool),
+        recorder,
         first_error: Mutex::new(None),
         executed: AtomicUsize::new(0),
         bytes_moved: AtomicU64::new(0),
@@ -542,7 +674,12 @@ fn run_persistent(ctx: &Context, cfg: &NativeConfig, threads_hint: usize) -> Res
 
 /// The original spawn-per-run executor: scoped driver threads, per-run copy
 /// engines and locks. Kept as the launch-overhead baseline.
-fn run_scoped(ctx: &Context, cfg: &NativeConfig, threads_hint: usize) -> Result<NativeReport> {
+fn run_scoped(
+    ctx: &Context,
+    cfg: &NativeConfig,
+    threads_hint: usize,
+    recorder: Option<&Recorder>,
+) -> Result<NativeReport> {
     let streams = &ctx.program().streams;
     let n_streams = streams.len();
     let n_devices = ctx.device_count();
@@ -580,6 +717,7 @@ fn run_scoped(ctx: &Context, cfg: &NativeConfig, threads_hint: usize) -> Result<
         host_lock: &host_lock,
         engine_tx: &engine_tx,
         pool: None,
+        recorder,
         first_error: Mutex::new(None),
         executed: AtomicUsize::new(0),
         bytes_moved: AtomicU64::new(0),

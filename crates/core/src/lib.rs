@@ -70,6 +70,7 @@ pub mod plan;
 pub mod pool;
 pub mod program;
 pub mod residency;
+pub mod trace;
 pub mod types;
 
 pub use buffer::{Buffer, Elem};
@@ -80,4 +81,5 @@ pub use kernel::{KernelCtx, KernelDesc, KernelFn};
 pub use place::ResourceView;
 pub use plan::{enqueue_tiles, FlowMode, TileTask};
 pub use residency::ResidencyTracker;
+pub use trace::{LaunchHistogram, NativeCounters, NativeTrace};
 pub use types::{BufId, Error, EventId, Result, StreamId};

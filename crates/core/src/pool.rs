@@ -124,14 +124,22 @@ impl WorkerGroup {
     /// across this group's threads and the calling thread. Returns when all
     /// parts completed. Indices are claimed dynamically, so `parts` may be
     /// smaller or larger than the thread count.
+    ///
+    /// When the calling thread has a trace sink installed (native tracing
+    /// on), the whole job is stamped as one span; otherwise the only added
+    /// cost is a thread-local read.
     pub fn run_chunked(&self, parts: usize, task: &(dyn Fn(usize) + Sync)) {
+        let traced = crate::trace::pool_job_start();
         if parts <= 1 || self.handles.is_empty() {
             for idx in 0..parts {
                 task(idx);
             }
-            return;
+        } else {
+            self.run_protocol(parts, false, task);
         }
-        self.run_protocol(parts, false, task);
+        if let Some(start) = traced {
+            crate::trace::record_pool_job(start, parts, self.handles.len() + 1);
+        }
     }
 
     /// Run `task(idx)` for every `idx in 0..parts` with a **dedicated**

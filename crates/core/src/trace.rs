@@ -1,0 +1,531 @@
+//! Wall-clock tracing for the native executor.
+//!
+//! The paper's headline claims are *shapes on a timeline* — H2D/D2H
+//! serialization (Fig. 5), partial compute/transfer overlap (Fig. 6) — and
+//! until now only the simulator could show them. This module records real
+//! execution into the **same [`micsim::engine::Timeline`] representation
+//! the simulator produces**, so every existing analysis tool
+//! ([`overlap_stats`], [`render_gantt`](micsim::trace::render_gantt),
+//! [`chrome_trace`](micsim::trace::chrome_trace)) works on native runs
+//! unchanged.
+//!
+//! Design, in order of who stamps what:
+//!
+//! * each **stream driver** owns a private span buffer (one buffer per
+//!   driver thread, touched by nobody else while the run is live, merged
+//!   only after the drivers joined — the per-buffer mutex is therefore
+//!   uncontended and never blocks the hot path);
+//! * the **copy-engine threads** stamp start/end [`Instant`]s into a
+//!   per-driver reusable slot carried by each [`CopyJob`]; the submitting
+//!   driver folds the stamps into its own buffer after the completion
+//!   handshake, so engine threads never allocate;
+//! * the **pool workers** in [`pool`](crate::pool) report chunked-job spans
+//!   through a thread-local sink the driver installs around the run (see
+//!   [`record_pool_job`]).
+//!
+//! Lanes mirror the sim executor's resource layout exactly — per-device
+//! link channels, the host, per-device partitions — so a native timeline
+//! and a simulated timeline of the same program classify one-to-one.
+//!
+//! Everything here is behind `NativeConfig { trace: true }`; with tracing
+//! off the executor carries a `None` recorder and pays one branch per
+//! action (verified by `bench_native_runtime`).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use micsim::engine::{ResourceId, TaskRecord, Timeline};
+use micsim::time::{SimDuration, SimTime};
+use micsim::trace::{
+    chrome_trace, merge_intervals, overlap_stats, render_gantt, total_length, Interval,
+    OverlapStats, ResourceKinds,
+};
+
+use crate::context::Context;
+
+// ----- lanes ----------------------------------------------------------------
+
+/// Resource ids for a native run, laid out exactly like the sim executor
+/// builds them: every device's link channels first, then the host, then
+/// every device's partitions.
+#[derive(Clone, Debug)]
+pub(crate) struct LaneMap {
+    links: Vec<Vec<ResourceId>>,
+    host: ResourceId,
+    partitions: Vec<Vec<ResourceId>>,
+    names: BTreeMap<ResourceId, String>,
+    kinds: ResourceKinds,
+}
+
+impl LaneMap {
+    fn new(devices: usize, channels: usize, partitions: usize) -> LaneMap {
+        let mut next = 0usize;
+        let mut fresh = |name: String, names: &mut BTreeMap<ResourceId, String>| {
+            let id = ResourceId(next);
+            next += 1;
+            names.insert(id, name);
+            id
+        };
+        let mut names = BTreeMap::new();
+        let mut kinds = ResourceKinds::default();
+        let mut links = Vec::with_capacity(devices);
+        for d in 0..devices {
+            let mut chans = Vec::with_capacity(channels);
+            for c in 0..channels {
+                let r = fresh(format!("mic{d}.link{c}"), &mut names);
+                kinds.links.push(r);
+                chans.push(r);
+            }
+            links.push(chans);
+        }
+        let host = fresh("host".to_string(), &mut names);
+        kinds.partitions.push(host);
+        let mut parts = Vec::with_capacity(devices);
+        for d in 0..devices {
+            let mut res = Vec::with_capacity(partitions);
+            for p in 0..partitions {
+                let r = fresh(format!("mic{d}.p{p}"), &mut names);
+                kinds.partitions.push(r);
+                res.push(r);
+            }
+            parts.push(res);
+        }
+        LaneMap {
+            links,
+            host,
+            partitions: parts,
+            names,
+            kinds,
+        }
+    }
+}
+
+// ----- spans ----------------------------------------------------------------
+
+/// One measured interval on a lane (`None` = pure control, rendered on the
+/// synthetic row of the Chrome trace, ignored by overlap stats).
+#[derive(Clone, Debug)]
+struct Span {
+    lane: Option<ResourceId>,
+    label: String,
+    start: Instant,
+    end: Instant,
+}
+
+/// Per-driver recording state. Each buffer is owned by exactly one driver
+/// thread for the duration of the run, so its mutex is uncontended.
+struct StreamBuf {
+    spans: Arc<Mutex<Vec<Span>>>,
+    queue_wait: Mutex<Duration>,
+    launch: Mutex<LaunchHistogram>,
+}
+
+/// Start/end stamps for one in-flight copy, written by the engine thread
+/// before the completion flag fires and read by the submitting driver after
+/// its wait returns (the flag's lock orders the accesses). One slot per
+/// driver, reset and reused across that driver's transfers.
+pub(crate) struct CopyStamp {
+    slot: Mutex<Option<(Instant, Instant)>>,
+    queue_depth: Arc<AtomicUsize>,
+}
+
+impl CopyStamp {
+    /// Engine side: the copy queue shrank by one job.
+    pub(crate) fn picked_up(&self) {
+        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Engine side: record when the copy held the engine.
+    pub(crate) fn stamp(&self, start: Instant, end: Instant) {
+        *self.slot.lock() = Some((start, end));
+    }
+}
+
+// ----- derived counters -----------------------------------------------------
+
+/// Log₂-bucketed latency histogram (bucket `i` covers `[2^i, 2^(i+1))`
+/// nanoseconds; the last bucket absorbs everything larger).
+#[derive(Clone, Debug, Default)]
+pub struct LaunchHistogram {
+    /// Sample count per power-of-two bucket, up to ~8.4 s.
+    pub buckets: [u64; 24],
+    /// Total samples recorded.
+    pub count: u64,
+    /// Sum of all samples, for the mean.
+    pub total_ns: u64,
+    /// Largest sample seen.
+    pub max_ns: u64,
+}
+
+impl LaunchHistogram {
+    /// Record one latency sample.
+    pub fn record(&mut self, ns: u64) {
+        let idx = (63 - ns.max(1).leading_zeros() as usize).min(self.buckets.len() - 1);
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.total_ns += ns;
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Mean sample, in nanoseconds (0 with no samples).
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        self.total_ns as f64 / self.count as f64
+    }
+
+    fn merge(&mut self, other: &LaunchHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.total_ns += other.total_ns;
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+}
+
+/// Counters derived from the recorded spans, beyond what the timeline
+/// itself answers.
+#[derive(Clone, Debug)]
+pub struct NativeCounters {
+    /// Per-kernel-launch overhead — time from action dispatch to the kernel
+    /// body actually running (partition lock + buffer locks + view setup).
+    pub launch_overhead: LaunchHistogram,
+    /// Per-stream total time transfers sat in the copy-engine queue before
+    /// the engine picked them up, indexed by stream id.
+    pub queue_wait: Vec<Duration>,
+    /// Busy fraction of each copy-engine lane over the makespan, keyed by
+    /// lane name (`mic0.link0`, ...).
+    pub copy_busy_fraction: Vec<(String, f64)>,
+    /// High-water mark of jobs sitting in copy-engine queues.
+    pub copy_queue_depth_hwm: usize,
+    /// High-water mark of chunk parts queued beyond a worker group's width
+    /// in one pool job (0 = the pool never had more work than threads).
+    pub pool_queue_depth_hwm: usize,
+    /// Chunked pool jobs submitted by kernel bodies during the run.
+    pub pool_jobs: usize,
+}
+
+// ----- the public trace -----------------------------------------------------
+
+/// A native run's recorded timeline plus the classification and names the
+/// analysis tools need — the native analogue of
+/// [`SimReport`](crate::executor::sim::SimReport).
+#[derive(Clone, Debug)]
+pub struct NativeTrace {
+    /// Measured spans as engine task records (wall-clock nanoseconds since
+    /// run start).
+    pub timeline: Timeline,
+    /// Which lanes are links vs partitions (the host counts as a
+    /// partition, as in the sim executor).
+    pub kinds: ResourceKinds,
+    /// Lane names for Gantt/Chrome rendering.
+    pub names: BTreeMap<ResourceId, String>,
+    /// Derived counters (launch overhead, queue wait, engine busy).
+    pub counters: NativeCounters,
+}
+
+impl NativeTrace {
+    /// Temporal-sharing statistics: link busy, compute busy, overlap.
+    pub fn overlap(&self) -> OverlapStats {
+        overlap_stats(&self.timeline, &self.kinds)
+    }
+
+    /// ASCII Gantt chart of the run, `width` columns wide.
+    pub fn gantt(&self, width: usize) -> String {
+        render_gantt(&self.timeline, &self.names, width)
+    }
+
+    /// Chrome trace-event JSON (open at `chrome://tracing` or Perfetto).
+    pub fn chrome_trace(&self) -> String {
+        chrome_trace(&self.timeline, &self.names)
+    }
+}
+
+// ----- the recorder ---------------------------------------------------------
+
+/// Per-run recording state, created by the native executor when
+/// `NativeConfig::trace` is set and drained into a [`NativeTrace`] when the
+/// run's guard drops — including on panic paths, so a failed run still
+/// yields the partial timeline recorded up to the failure.
+pub(crate) struct Recorder {
+    epoch: Instant,
+    lanes: LaneMap,
+    streams: Vec<StreamBuf>,
+    copy_queue_depth: Arc<AtomicUsize>,
+    copy_queue_hwm: AtomicUsize,
+    pool_queue_hwm: Arc<AtomicUsize>,
+    pool_jobs: Arc<AtomicUsize>,
+}
+
+impl Recorder {
+    pub(crate) fn new(ctx: &Context) -> Recorder {
+        let devices = ctx.device_count();
+        let channels = ctx.config().link.channels();
+        let partitions = ctx.partitions().max(1);
+        Recorder {
+            epoch: Instant::now(),
+            lanes: LaneMap::new(devices, channels, partitions),
+            streams: (0..ctx.stream_count())
+                .map(|_| StreamBuf {
+                    spans: Arc::new(Mutex::new(Vec::new())),
+                    queue_wait: Mutex::new(Duration::ZERO),
+                    launch: Mutex::new(LaunchHistogram::default()),
+                })
+                .collect(),
+            copy_queue_depth: Arc::new(AtomicUsize::new(0)),
+            copy_queue_hwm: AtomicUsize::new(0),
+            pool_queue_hwm: Arc::new(AtomicUsize::new(0)),
+            pool_jobs: Arc::new(AtomicUsize::new(0)),
+        }
+    }
+
+    pub(crate) fn link_lane(&self, device: usize, channel: usize) -> ResourceId {
+        self.lanes.links[device][channel]
+    }
+
+    pub(crate) fn kernel_lane(&self, host: bool, device: usize, partition: usize) -> ResourceId {
+        if host {
+            self.lanes.host
+        } else {
+            self.lanes.partitions[device][partition]
+        }
+    }
+
+    /// A fresh per-driver copy stamp slot, wired to the queue-depth gauge.
+    pub(crate) fn copy_stamp(&self) -> Arc<CopyStamp> {
+        Arc::new(CopyStamp {
+            slot: Mutex::new(None),
+            queue_depth: self.copy_queue_depth.clone(),
+        })
+    }
+
+    /// Driver side, at submit time: the copy queue grew by one.
+    pub(crate) fn copy_submitted(&self) {
+        let depth = self.copy_queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
+        self.copy_queue_hwm.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Record any span on `stream`'s buffer.
+    pub(crate) fn record_span(
+        &self,
+        stream: usize,
+        lane: Option<ResourceId>,
+        label: String,
+        start: Instant,
+        end: Instant,
+    ) {
+        self.streams[stream].spans.lock().push(Span {
+            lane,
+            label,
+            start,
+            end,
+        });
+    }
+
+    /// Record a completed transfer: the engine-lane span plus the queue
+    /// wait between submit and engine pickup.
+    pub(crate) fn record_transfer(
+        &self,
+        stream: usize,
+        lane: ResourceId,
+        label: String,
+        submitted: Instant,
+        stamp: &CopyStamp,
+    ) {
+        let Some((start, end)) = stamp.slot.lock().take() else {
+            return;
+        };
+        *self.streams[stream].queue_wait.lock() += start.saturating_duration_since(submitted);
+        self.record_span(stream, Some(lane), label, start, end);
+    }
+
+    /// Record one kernel's dispatch-to-body-start overhead.
+    pub(crate) fn record_launch_overhead(&self, stream: usize, overhead: Duration) {
+        let ns = u64::try_from(overhead.as_nanos()).unwrap_or(u64::MAX);
+        self.streams[stream].launch.lock().record(ns);
+    }
+
+    /// The sink `stream`'s driver thread installs so pool jobs submitted
+    /// from kernel bodies land in that driver's buffer.
+    pub(crate) fn pool_sink(&self, stream: usize) -> PoolSink {
+        PoolSink {
+            spans: self.streams[stream].spans.clone(),
+            pool_queue_hwm: self.pool_queue_hwm.clone(),
+            pool_jobs: self.pool_jobs.clone(),
+        }
+    }
+
+    /// Merge every buffer into a [`NativeTrace`]. Safe to call after the
+    /// drivers joined (success or panic); spans are pushed per-action, so a
+    /// partial run drains whatever completed before the failure.
+    pub(crate) fn into_trace(self) -> NativeTrace {
+        let mut records: Vec<TaskRecord> = Vec::new();
+        let mut launch = LaunchHistogram::default();
+        let mut queue_wait = Vec::with_capacity(self.streams.len());
+        for buf in &self.streams {
+            for span in buf.spans.lock().iter() {
+                let start = SimTime::from_wall(span.start.saturating_duration_since(self.epoch));
+                let finish = SimTime::from_wall(span.end.saturating_duration_since(self.epoch));
+                records.push(TaskRecord::measured(
+                    span.lane,
+                    start,
+                    finish,
+                    span.label.clone(),
+                ));
+            }
+            launch.merge(&buf.launch.lock());
+            queue_wait.push(*buf.queue_wait.lock());
+        }
+        let timeline = Timeline::from_records(records);
+        let makespan = timeline.makespan;
+        let copy_busy_fraction = self
+            .lanes
+            .kinds
+            .links
+            .iter()
+            .map(|&lane| {
+                let busy: Vec<Interval> = timeline
+                    .records
+                    .iter()
+                    .filter(|r| r.resource == Some(lane))
+                    .map(|r| Interval {
+                        start: r.start,
+                        end: r.finish,
+                    })
+                    .collect();
+                let busy = total_length(&merge_intervals(busy));
+                let frac = if makespan == SimDuration::ZERO {
+                    0.0
+                } else {
+                    busy.nanos() as f64 / makespan.nanos() as f64
+                };
+                (self.lanes.names[&lane].clone(), frac)
+            })
+            .collect();
+        NativeTrace {
+            timeline,
+            kinds: self.lanes.kinds,
+            names: self.lanes.names,
+            counters: NativeCounters {
+                launch_overhead: launch,
+                queue_wait,
+                copy_busy_fraction,
+                copy_queue_depth_hwm: self.copy_queue_hwm.load(Ordering::Relaxed),
+                pool_queue_depth_hwm: self.pool_queue_hwm.load(Ordering::Relaxed),
+                pool_jobs: self.pool_jobs.load(Ordering::Relaxed),
+            },
+        }
+    }
+}
+
+// ----- pool sink (thread-local) ---------------------------------------------
+
+/// Where a driver thread's pool-job spans go while it runs kernel bodies.
+pub(crate) struct PoolSink {
+    spans: Arc<Mutex<Vec<Span>>>,
+    pool_queue_hwm: Arc<AtomicUsize>,
+    pool_jobs: Arc<AtomicUsize>,
+}
+
+thread_local! {
+    static POOL_SINK: std::cell::RefCell<Option<PoolSink>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// Installs `sink` as the calling thread's pool-span sink; restores the
+/// previous sink on drop (drivers install one per run).
+pub(crate) struct PoolSinkGuard {
+    previous: Option<PoolSink>,
+}
+
+pub(crate) fn install_pool_sink(sink: PoolSink) -> PoolSinkGuard {
+    let previous = POOL_SINK.with(|s| s.borrow_mut().replace(sink));
+    PoolSinkGuard { previous }
+}
+
+impl Drop for PoolSinkGuard {
+    fn drop(&mut self) {
+        POOL_SINK.with(|s| *s.borrow_mut() = self.previous.take());
+    }
+}
+
+/// Called by the pool before a chunked job: `Some(now)` when the calling
+/// thread has a sink installed (tracing on), `None` otherwise — the only
+/// cost on the untraced path is this thread-local read.
+pub(crate) fn pool_job_start() -> Option<Instant> {
+    POOL_SINK.with(|s| s.borrow().is_some().then(Instant::now))
+}
+
+/// Called by the pool after a chunked job of `parts` tasks on a group
+/// `width` threads wide, paired with a [`pool_job_start`] that returned
+/// `Some`.
+pub(crate) fn record_pool_job(start: Instant, parts: usize, width: usize) {
+    let end = Instant::now();
+    POOL_SINK.with(|s| {
+        if let Some(sink) = s.borrow().as_ref() {
+            sink.pool_jobs.fetch_add(1, Ordering::Relaxed);
+            sink.pool_queue_hwm
+                .fetch_max(parts.saturating_sub(width), Ordering::Relaxed);
+            sink.spans.lock().push(Span {
+                lane: None,
+                label: format!("pool({parts})"),
+                start,
+                end,
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lane_map_mirrors_sim_layout() {
+        // 2 devices, 1 channel, 3 partitions: links first, host, partitions.
+        let lanes = LaneMap::new(2, 1, 3);
+        assert_eq!(lanes.links[0][0], ResourceId(0));
+        assert_eq!(lanes.links[1][0], ResourceId(1));
+        assert_eq!(lanes.host, ResourceId(2));
+        assert_eq!(lanes.partitions[0][0], ResourceId(3));
+        assert_eq!(lanes.partitions[1][2], ResourceId(8));
+        assert_eq!(lanes.names[&ResourceId(0)], "mic0.link0");
+        assert_eq!(lanes.names[&ResourceId(2)], "host");
+        assert_eq!(lanes.names[&ResourceId(8)], "mic1.p2");
+        assert_eq!(lanes.kinds.links.len(), 2);
+        // Host + 6 partitions.
+        assert_eq!(lanes.kinds.partitions.len(), 7);
+    }
+
+    #[test]
+    fn histogram_buckets_and_mean() {
+        let mut h = LaunchHistogram::default();
+        h.record(1); // bucket 0
+        h.record(1024); // bucket 10
+        h.record(1500); // bucket 10
+        h.record(u64::MAX); // clamped to last bucket
+        assert_eq!(h.buckets[0], 1);
+        assert_eq!(h.buckets[10], 2);
+        assert_eq!(h.buckets[23], 1);
+        assert_eq!(h.count, 4);
+        assert_eq!(h.max_ns, u64::MAX);
+        let mut other = LaunchHistogram::default();
+        other.record(2);
+        h.merge(&other);
+        assert_eq!(h.count, 5);
+        assert_eq!(h.buckets[1], 1);
+    }
+
+    #[test]
+    fn pool_sink_noop_without_install() {
+        assert!(pool_job_start().is_none());
+        // Calling record without a sink is a silent no-op.
+        record_pool_job(Instant::now(), 8, 4);
+    }
+}

@@ -1,0 +1,359 @@
+//! Integration tests for native-executor tracing: the measured timeline
+//! must behave like a simulator timeline under the existing analysis tools,
+//! and the structural claims of the platform model (serialized copy engine,
+//! overlap only with multiple streams) must show up in real measurements.
+
+use std::time::Duration;
+
+use hstreams::context::Context;
+use hstreams::kernel::KernelDesc;
+use hstreams::NativeConfig;
+use micsim::compute::KernelProfile;
+use micsim::trace::{intersect, merge_intervals, Interval};
+use micsim::PlatformConfig;
+
+fn small_ctx(partitions: usize) -> Context {
+    Context::builder(PlatformConfig::phi_31sp())
+        .partitions(partitions)
+        .build()
+        .unwrap()
+}
+
+fn native_kernel(label: &str) -> KernelDesc {
+    KernelDesc::simulated(label, KernelProfile::streaming("k", 1e9), 1.0)
+}
+
+fn traced_cfg() -> NativeConfig {
+    NativeConfig {
+        trace: true,
+        ..NativeConfig::default()
+    }
+}
+
+#[test]
+fn bytes_transferred_is_sum_of_transfer_sizes() {
+    // Satellite (b): the report's byte counter must equal the sum of the
+    // H2D and D2H buffer sizes, element size included.
+    let mut ctx = small_ctx(1);
+    let a = ctx.alloc("a", 100); // 400 bytes
+    let b = ctx.alloc("b", 7); // 28 bytes
+    let s = ctx.stream(0).unwrap();
+    ctx.h2d(s, a).unwrap();
+    ctx.h2d(s, b).unwrap();
+    ctx.kernel(
+        s,
+        native_kernel("touch")
+            .reading([a])
+            .writing([b])
+            .with_native(|k| {
+                k.writes[0][0] = k.reads[0][0];
+            }),
+    )
+    .unwrap();
+    ctx.d2h(s, b).unwrap();
+    let elem = std::mem::size_of::<hstreams::Elem>() as u64;
+    let expected = (100 + 7) * elem + 7 * elem;
+    let report = ctx.run_native().unwrap();
+    assert_eq!(report.bytes_transferred, expected);
+    // And the traced path counts identically.
+    let report = ctx.run_native_with(&traced_cfg()).unwrap();
+    assert_eq!(report.bytes_transferred, expected);
+}
+
+#[test]
+fn untraced_run_reports_no_trace() {
+    let mut ctx = small_ctx(1);
+    let a = ctx.alloc("a", 4);
+    let s = ctx.stream(0).unwrap();
+    ctx.h2d(s, a).unwrap();
+    let report = ctx.run_native().unwrap();
+    assert!(report.trace.is_none());
+    assert!(ctx.take_native_trace().is_none());
+}
+
+#[test]
+fn traced_run_yields_analyzable_timeline() {
+    // The tentpole claim: trace:true returns a Timeline the existing sim
+    // tooling consumes unchanged.
+    let mut ctx = small_ctx(2);
+    let a = ctx.alloc("a", 1 << 12);
+    let b = ctx.alloc("b", 1 << 12);
+    let (s0, s1) = (ctx.stream(0).unwrap(), ctx.stream(1).unwrap());
+    ctx.h2d(s0, a).unwrap();
+    let e = ctx.record_event(s0).unwrap();
+    ctx.wait_event(s1, e).unwrap();
+    ctx.kernel(
+        s1,
+        native_kernel("scale")
+            .reading([a])
+            .writing([b])
+            .with_native(|k| {
+                for (o, i) in k.writes[0].iter_mut().zip(k.reads[0]) {
+                    *o = i * 2.0;
+                }
+            }),
+    )
+    .unwrap();
+    ctx.d2h(s1, b).unwrap();
+
+    let report = ctx.run_native_with(&traced_cfg()).unwrap();
+    let trace = report.trace.expect("trace requested");
+
+    // Timeline: every action produced at least one record, spans are within
+    // the makespan, resource lanes resolve to names.
+    assert!(trace.timeline.records.len() >= 5, "{:?}", trace.timeline);
+    for r in &trace.timeline.records {
+        assert!(r.finish >= r.start);
+        assert!(r.finish.since(micsim::time::SimTime::ZERO) <= trace.timeline.makespan);
+        if let Some(res) = r.resource {
+            assert!(trace.names.contains_key(&res), "unnamed lane {res:?}");
+        }
+    }
+
+    // overlap_stats runs unchanged and is self-consistent.
+    let stats = trace.overlap();
+    assert!(
+        stats.link_busy.nanos() > 0,
+        "transfers must occupy the link"
+    );
+    assert!(stats.compute_busy.nanos() > 0, "kernel must occupy a lane");
+    assert!(stats.overlap <= stats.link_busy);
+    assert!(stats.overlap <= stats.compute_busy);
+    assert!((0.0..=1.0).contains(&stats.hidden_fraction()));
+
+    // Gantt and Chrome export run unchanged.
+    let gantt = trace.gantt(72);
+    assert!(gantt.contains("mic0.link0"), "{gantt}");
+    assert!(
+        gantt.contains("mic0.p1") || gantt.contains("mic0.p0"),
+        "{gantt}"
+    );
+    let chrome = trace.chrome_trace();
+    assert!(chrome.contains("\"scale\""), "{chrome}");
+    assert!(chrome.contains("h2d b0"), "{chrome}");
+
+    // Counters: one kernel launch was measured, queue waits exist per
+    // stream.
+    assert_eq!(trace.counters.launch_overhead.count, 1);
+    assert_eq!(trace.counters.queue_wait.len(), 2);
+    assert!(!trace.counters.copy_busy_fraction.is_empty());
+
+    // The same trace is also published on the context.
+    assert!(ctx.take_native_trace().is_some());
+}
+
+#[test]
+fn copy_engine_lane_never_overlaps_itself() {
+    // Acceptance criterion (a): on a serial-duplex link the H2D and D2H
+    // intervals share one engine, so the merged lane intervals of the raw
+    // records must already be disjoint — merging must not shrink the count,
+    // and consecutive intervals must not intersect. A throttled link makes
+    // the copies long enough that any double-booking would be visible.
+    let mut ctx = small_ctx(2);
+    let bufs: Vec<_> = (0..4)
+        .map(|i| ctx.alloc(format!("t{i}"), 1 << 14))
+        .collect();
+    for (i, b) in bufs.iter().enumerate() {
+        let s = ctx.stream(i % 2).unwrap();
+        ctx.h2d(s, *b).unwrap();
+        ctx.d2h(s, *b).unwrap();
+    }
+    let report = ctx
+        .run_native_with(&NativeConfig {
+            trace: true,
+            link_bandwidth: Some(50.0e6), // 64 KiB per copy -> ~1.3 ms each
+            ..NativeConfig::default()
+        })
+        .unwrap();
+    let trace = report.trace.unwrap();
+    let raw: Vec<Interval> = trace
+        .timeline
+        .records
+        .iter()
+        .filter(|r| r.resource == Some(trace.kinds.links[0]))
+        .map(|r| Interval {
+            start: r.start,
+            end: r.finish,
+        })
+        .collect();
+    assert_eq!(raw.len(), 8, "4 h2d + 4 d2h on the single serial channel");
+    let merged = merge_intervals(raw.clone());
+    assert_eq!(
+        merged.len(),
+        raw.len(),
+        "copy intervals double-booked the engine: {raw:?}"
+    );
+    // Pairwise: each interval intersected with the union of the others is
+    // empty.
+    for (i, iv) in merged.iter().enumerate() {
+        let others: Vec<Interval> = merged
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| *j != i)
+            .map(|(_, o)| *o)
+            .collect();
+        assert!(
+            intersect(&[*iv], &others).is_empty(),
+            "interval {iv:?} overlaps another engine interval"
+        );
+    }
+}
+
+#[test]
+fn two_streams_hide_transfers_single_stream_does_not() {
+    // Acceptance criterion (b): an overlappable 2-stream program measures a
+    // strictly positive hidden fraction; the single-stream version of the
+    // same work measures ~zero. Deterministic by construction: stream 0
+    // launches a long kernel strictly after its transfer (event-ordered),
+    // and stream 1's throttled transfer runs entirely inside that kernel's
+    // window.
+    let mut ctx = small_ctx(2);
+    let a = ctx.alloc("a", 1 << 10);
+    let b = ctx.alloc("b", 1 << 16); // 256 KiB -> ~5 ms at 50 MB/s
+    let (s0, s1) = (ctx.stream(0).unwrap(), ctx.stream(1).unwrap());
+    ctx.h2d(s0, a).unwrap();
+    let e = ctx.record_event(s0).unwrap();
+    ctx.kernel(
+        s0,
+        native_kernel("long")
+            .reading([a])
+            .with_native(|_| std::thread::sleep(Duration::from_millis(40))),
+    )
+    .unwrap();
+    ctx.wait_event(s1, e).unwrap();
+    ctx.h2d(s1, b).unwrap();
+    let cfg = NativeConfig {
+        trace: true,
+        link_bandwidth: Some(50.0e6),
+        ..NativeConfig::default()
+    };
+    let overlapped = ctx.run_native_with(&cfg).unwrap().trace.unwrap().overlap();
+    assert!(
+        overlapped.hidden_fraction() > 0.2,
+        "2-stream overlap must hide the big transfer: {overlapped:?}"
+    );
+
+    // Same actions on one stream: FIFO order forbids overlap.
+    let mut ctx = small_ctx(1);
+    let a = ctx.alloc("a", 1 << 10);
+    let b = ctx.alloc("b", 1 << 16);
+    let s = ctx.stream(0).unwrap();
+    ctx.h2d(s, a).unwrap();
+    ctx.kernel(
+        s,
+        native_kernel("long")
+            .reading([a])
+            .with_native(|_| std::thread::sleep(Duration::from_millis(40))),
+    )
+    .unwrap();
+    ctx.h2d(s, b).unwrap();
+    let serial = ctx.run_native_with(&cfg).unwrap().trace.unwrap().overlap();
+    assert!(
+        serial.hidden_fraction() < 0.01,
+        "single stream must not overlap: {serial:?}"
+    );
+}
+
+#[test]
+fn panicking_kernel_still_yields_partial_trace() {
+    // Satellite (f): run_native used to drop all stats on the panic path;
+    // the RAII guard now publishes whatever was recorded before the failure.
+    let mut ctx = small_ctx(1);
+    let a = ctx.alloc("a", 1 << 10);
+    let s = ctx.stream(0).unwrap();
+    ctx.h2d(s, a).unwrap();
+    ctx.kernel(s, native_kernel("ok").reading([a]).with_native(|_| {}))
+        .unwrap();
+    ctx.kernel(
+        s,
+        native_kernel("boom")
+            .reading([a])
+            .with_native(|_| panic!("boom")),
+    )
+    .unwrap();
+    ctx.kernel(s, native_kernel("never").reading([a]).with_native(|_| {}))
+        .unwrap();
+
+    let err = ctx.run_native_with(&traced_cfg()).unwrap_err();
+    assert!(matches!(err, hstreams::Error::KernelPanicked { .. }));
+
+    let trace = ctx
+        .take_native_trace()
+        .expect("partial trace published on the error path");
+    let labels: Vec<&str> = trace
+        .timeline
+        .records
+        .iter()
+        .map(|r| r.label.as_str())
+        .collect();
+    assert!(labels.contains(&"h2d b0"), "{labels:?}");
+    assert!(labels.contains(&"ok"), "{labels:?}");
+    // The failing kernel's span is recorded too — the Gantt names the
+    // culprit.
+    assert!(labels.contains(&"boom"), "{labels:?}");
+    // Skipped work after the panic is absent.
+    assert!(!labels.contains(&"never"), "{labels:?}");
+}
+
+#[test]
+fn pool_jobs_are_counted_when_kernels_chunk_work() {
+    let mut ctx = small_ctx(1);
+    let a = ctx.alloc("a", 1 << 12);
+    let b = ctx.alloc("b", 1 << 12);
+    let s = ctx.stream(0).unwrap();
+    ctx.h2d(s, a).unwrap();
+    ctx.kernel(
+        s,
+        native_kernel("par")
+            .reading([a])
+            .writing([b])
+            .with_native(|k| {
+                let parts = k.threads.max(2);
+                let input = k.reads[0];
+                hstreams::parallel::par_chunks_mut(k.writes[0], parts, |_, off, chunk| {
+                    for (i, o) in chunk.iter_mut().enumerate() {
+                        *o = input[off + i] + 1.0;
+                    }
+                });
+            }),
+    )
+    .unwrap();
+    let report = ctx.run_native_with(&traced_cfg()).unwrap();
+    let trace = report.trace.unwrap();
+    assert!(
+        trace.counters.pool_jobs >= 1,
+        "chunked kernel body must count a pool job: {:?}",
+        trace.counters
+    );
+    // The pool span rides on the control lane with its part count.
+    assert!(
+        trace
+            .timeline
+            .records
+            .iter()
+            .any(|r| r.resource.is_none() && r.label.starts_with("pool(")),
+        "pool span missing"
+    );
+}
+
+#[test]
+fn scoped_executor_traces_identically() {
+    // The baseline spawn-per-run path uses the same RunShared driver loop,
+    // so tracing must work there too.
+    let mut ctx = small_ctx(1);
+    let a = ctx.alloc("a", 1 << 10);
+    let s = ctx.stream(0).unwrap();
+    ctx.h2d(s, a).unwrap();
+    ctx.kernel(s, native_kernel("k").reading([a]).with_native(|_| {}))
+        .unwrap();
+    let report = ctx
+        .run_native_with(&NativeConfig {
+            trace: true,
+            persistent: false,
+            ..NativeConfig::default()
+        })
+        .unwrap();
+    let trace = report.trace.unwrap();
+    assert!(trace.timeline.records.iter().any(|r| r.label == "k"));
+    assert!(trace.timeline.records.iter().any(|r| r.label == "h2d b0"));
+}

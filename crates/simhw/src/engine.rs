@@ -73,10 +73,55 @@ pub struct Timeline {
     pub makespan: SimDuration,
 }
 
+impl TaskRecord {
+    /// A record sourced from an external **measurement** (e.g. a wall-clock
+    /// span stamped by the native executor) rather than simulation: `ready`
+    /// coincides with `start` and there is no gating predecessor — measured
+    /// spans carry no dependency information. The task id is provisional;
+    /// [`Timeline::from_records`] renumbers it.
+    pub fn measured(
+        resource: Option<ResourceId>,
+        start: SimTime,
+        finish: SimTime,
+        label: impl Into<String>,
+    ) -> TaskRecord {
+        TaskRecord {
+            task: TaskId(0),
+            resource,
+            ready: start,
+            start,
+            finish,
+            label: label.into(),
+            critical_pred: None,
+        }
+    }
+}
+
 impl Timeline {
     /// Record for `task`.
     pub fn record(&self, task: TaskId) -> &TaskRecord {
         &self.records[task.0]
+    }
+
+    /// Assemble a timeline from externally produced records — the entry
+    /// point for wall-clock-sourced spans (native-executor traces). Records
+    /// are sorted by `(start, finish)` and renumbered so that
+    /// `record(TaskId)` indexing holds; `critical_pred` is cleared because
+    /// renumbering invalidates the original ids and measured records have
+    /// none. The makespan is the latest finish.
+    pub fn from_records(mut records: Vec<TaskRecord>) -> Timeline {
+        records.sort_by_key(|r| (r.start, r.finish));
+        for (i, r) in records.iter_mut().enumerate() {
+            r.task = TaskId(i);
+            r.critical_pred = None;
+        }
+        let makespan = records
+            .iter()
+            .map(|r| r.finish)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+            - SimTime::ZERO;
+        Timeline { records, makespan }
     }
 
     /// Total busy time of `resource` across the run.
@@ -530,6 +575,27 @@ mod tests {
         assert_eq!(tl.record(q).start, SimTime::ZERO);
         assert_eq!(tl.record(w).start, SimTime(50_000));
         assert_eq!(tl.record(w).ready, SimTime(5_000));
+    }
+
+    #[test]
+    fn from_records_sorts_renumbers_and_spans() {
+        let recs = vec![
+            TaskRecord::measured(Some(ResourceId(1)), SimTime(50), SimTime(90), "late"),
+            TaskRecord::measured(None, SimTime(0), SimTime(10), "early"),
+            TaskRecord::measured(Some(ResourceId(0)), SimTime(5), SimTime(70), "mid"),
+        ];
+        let tl = Timeline::from_records(recs);
+        assert_eq!(tl.makespan, SimDuration(90));
+        let labels: Vec<&str> = tl.records.iter().map(|r| r.label.as_str()).collect();
+        assert_eq!(labels, vec!["early", "mid", "late"]);
+        for (i, r) in tl.records.iter().enumerate() {
+            assert_eq!(r.task, TaskId(i));
+            assert_eq!(r.ready, r.start);
+            assert_eq!(r.critical_pred, None);
+        }
+        // The analysis helpers work on measured records unchanged.
+        assert_eq!(tl.resource_busy(ResourceId(0)), SimDuration(65));
+        assert!(Timeline::from_records(Vec::new()).records.is_empty());
     }
 
     #[test]

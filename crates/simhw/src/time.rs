@@ -51,6 +51,15 @@ impl SimTime {
         SimDuration(self.0.saturating_sub(earlier.0))
     }
 
+    /// An instant sourced from a **wall-clock** offset since some run epoch,
+    /// saturating at `u64::MAX` nanoseconds (~584 years). This is how
+    /// measured (native-executor) spans enter the simulated-time domain so
+    /// the timeline analysis tools work on real runs unchanged.
+    #[inline]
+    pub fn from_wall(since_epoch: std::time::Duration) -> SimTime {
+        SimTime(u64::try_from(since_epoch.as_nanos()).unwrap_or(u64::MAX))
+    }
+
     /// The later of two instants.
     #[inline]
     pub fn max(self, other: SimTime) -> SimTime {
@@ -98,6 +107,14 @@ impl SimDuration {
     #[inline]
     pub fn from_micros_f64(us: f64) -> SimDuration {
         SimDuration::from_secs_f64(us * 1e-6)
+    }
+
+    /// Construct from a **wall-clock** duration, saturating at `u64::MAX`
+    /// nanoseconds (the measured-span counterpart of
+    /// [`SimTime::from_wall`]).
+    #[inline]
+    pub fn from_std(d: std::time::Duration) -> SimDuration {
+        SimDuration(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX))
     }
 
     /// Nanoseconds in this duration.
@@ -289,6 +306,17 @@ mod tests {
             SimDuration::from_micros(10) / 4,
             SimDuration::from_nanos(2_500)
         );
+    }
+
+    #[test]
+    fn wall_clock_conversions() {
+        let d = std::time::Duration::from_micros(7);
+        assert_eq!(SimTime::from_wall(d), SimTime(7_000));
+        assert_eq!(SimDuration::from_std(d), SimDuration(7_000));
+        // Saturation instead of overflow for absurd wall durations.
+        let huge = std::time::Duration::from_secs(u64::MAX);
+        assert_eq!(SimTime::from_wall(huge), SimTime(u64::MAX));
+        assert_eq!(SimDuration::from_std(huge), SimDuration(u64::MAX));
     }
 
     #[test]

@@ -203,6 +203,57 @@ proptest! {
         prop_assert!(total_length(&both) <= total_length(&b).max(SimDuration::ZERO));
     }
 
+    /// Merge produces a sorted, pairwise-disjoint set that conserves
+    /// covered length: re-merging any subset union never exceeds the whole.
+    #[test]
+    fn merge_output_sorted_disjoint(raw in proptest::collection::vec((0u64..1000, 0u64..100), 0..60)) {
+        let ivs: Vec<Interval> = raw
+            .iter()
+            .map(|&(s, l)| Interval { start: SimTime(s), end: SimTime(s + l) })
+            .collect();
+        let merged = merge_intervals(ivs.clone());
+        for iv in &merged {
+            prop_assert!(iv.end > iv.start, "degenerate interval survived: {iv:?}");
+        }
+        for w in merged.windows(2) {
+            prop_assert!(w[0].end < w[1].start, "not disjoint/sorted: {w:?}");
+        }
+        // Every input instant is covered by the merge.
+        for iv in &ivs {
+            if iv.end > iv.start {
+                prop_assert!(
+                    merged.iter().any(|m| m.start <= iv.start && iv.end <= m.end),
+                    "{iv:?} not covered by {merged:?}"
+                );
+            }
+        }
+        // Covered length never exceeds the raw sum.
+        prop_assert!(total_length(&merged) <= ivs.iter().map(|iv| iv.end - iv.start).sum());
+    }
+
+    /// Intersection commutes, is bounded by both operands, and
+    /// self-intersection is the identity on merged sets.
+    #[test]
+    fn intersect_commutes_and_bounds(raw in proptest::collection::vec((0u64..1000, 0u64..100), 0..60)) {
+        let to_iv = |v: &[(u64, u64)]| -> Vec<Interval> {
+            v.iter()
+                .map(|&(s, l)| Interval { start: SimTime(s), end: SimTime(s + l) })
+                .collect()
+        };
+        let half = raw.len() / 2;
+        let a = merge_intervals(to_iv(&raw[..half]));
+        let b = merge_intervals(to_iv(&raw[half..]));
+        let ab = intersect(&a, &b);
+        let ba = intersect(&b, &a);
+        prop_assert_eq!(&ab, &ba, "intersection must commute");
+        prop_assert!(total_length(&ab) <= total_length(&a));
+        prop_assert!(total_length(&ab) <= total_length(&b));
+        prop_assert_eq!(intersect(&a, &a), a.clone(), "self-intersection is identity");
+        // The intersection of disjoint sorted sets is itself disjoint and
+        // sorted (safe input for total_length).
+        prop_assert_eq!(merge_intervals(ab.clone()), ab);
+    }
+
     /// Link model: transfer time is monotone in bytes and batch time is
     /// exactly additive.
     #[test]

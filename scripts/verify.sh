@@ -13,7 +13,13 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> tier-1: cargo build --release"
 cargo build --release
 
+echo "==> build examples"
+cargo build --release --examples
+
 echo "==> tier-1: cargo test -q"
 cargo test -q
+
+echo "==> sim-vs-native trace comparator (tiny workload)"
+cargo run --release -p mic-bench --bin native_vs_sim_trace -- --quick
 
 echo "verify: OK"

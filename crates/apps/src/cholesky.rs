@@ -226,10 +226,44 @@ pub fn build(ctx: &mut Context, cfg: &CfConfig) -> Result<CfBuffers> {
     let tpd = cfg.tiles_per_dim;
     let b = cfg.tile();
 
-    if tpd == 1 {
+    let bufs = if tpd == 1 {
         // Monolithic non-streamed version.
         let n = cfg.n;
         let buf = ctx.alloc("A", n * n);
+        CfBuffers {
+            tiles_per_dim: 1,
+            tile: n,
+            tiles: vec![buf],
+        }
+    } else {
+        let mut tiles = Vec::with_capacity(tpd * (tpd + 1) / 2);
+        for i in 0..tpd {
+            for j in 0..=i {
+                tiles.push(ctx.alloc(format!("A{i}_{j}"), b * b));
+            }
+        }
+        CfBuffers {
+            tiles_per_dim: tpd,
+            tile: b,
+            tiles,
+        }
+    };
+    record(ctx, cfg, &bufs)?;
+    Ok(bufs)
+}
+
+/// Record the CF action sequence (uploads, per-step POTRF/TRSM/update
+/// phases, panel downloads) against already-allocated tile buffers; used by
+/// [`build`] and by autotuning sweeps that replan the stream geometry and
+/// re-record the same problem without reallocating.
+pub fn record(ctx: &mut Context, cfg: &CfConfig, bufs: &CfBuffers) -> Result<()> {
+    cfg.validate().map_err(hstreams::Error::Config)?;
+    let tpd = cfg.tiles_per_dim;
+    let b = cfg.tile();
+
+    if tpd == 1 {
+        let n = cfg.n;
+        let buf = bufs.tiles[0];
         let s = ctx.stream(0)?;
         ctx.h2d(s, buf)?;
         ctx.kernel(
@@ -239,24 +273,8 @@ pub fn build(ctx: &mut Context, cfg: &CfConfig) -> Result<CfBuffers> {
                 .with_native(move |k| serial_potrf(k.writes[0], n)),
         )?;
         ctx.d2h(s, buf)?;
-        return Ok(CfBuffers {
-            tiles_per_dim: 1,
-            tile: n,
-            tiles: vec![buf],
-        });
+        return Ok(());
     }
-
-    let mut tiles = Vec::with_capacity(tpd * (tpd + 1) / 2);
-    for i in 0..tpd {
-        for j in 0..=i {
-            tiles.push(ctx.alloc(format!("A{i}_{j}"), b * b));
-        }
-    }
-    let bufs = CfBuffers {
-        tiles_per_dim: tpd,
-        tile: b,
-        tiles,
-    };
 
     // Dependency tracking via the runtime's residency tracker: per
     // (tile, card) the current copy's producing stream + readiness event,
@@ -334,7 +352,7 @@ pub fn build(ctx: &mut Context, cfg: &CfConfig) -> Result<CfBuffers> {
             }
         }
     }
-    Ok(bufs)
+    Ok(())
 }
 
 /// Generate a deterministic SPD matrix (symmetric, diagonally dominant) and

@@ -162,7 +162,6 @@ fn reduce_kernel(label: String, cfg: &KmeansConfig, tiles: usize) -> KernelDesc 
 /// paper's non-streamed version.
 pub fn build(ctx: &mut Context, cfg: &KmeansConfig) -> Result<KmeansBuffers> {
     cfg.validate().map_err(hstreams::Error::Config)?;
-    let streams = ctx.stream_count();
     let ranges = util::split_ranges(cfg.points, cfg.tiles);
     let tile_sizes: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
 
@@ -175,43 +174,54 @@ pub fn build(ctx: &mut Context, cfg: &KmeansConfig) -> Result<KmeansBuffers> {
     let partials: Vec<BufId> = (0..tile_sizes.len())
         .map(|t| ctx.alloc(format!("partial{t}"), cfg.k * (cfg.dims + 1)))
         .collect();
+    let bufs = KmeansBuffers {
+        point_tiles,
+        centroids,
+        partials,
+        tile_sizes,
+    };
+    record(ctx, cfg, &bufs)?;
+    Ok(bufs)
+}
+
+/// Record the Kmeans action sequence (uploads, per-iteration assign/reduce
+/// phases separated by barriers, final download) against already-allocated
+/// buffers; used by [`build`] and by autotuning sweeps that replan the
+/// stream geometry and re-record the same problem without reallocating.
+pub fn record(ctx: &mut Context, cfg: &KmeansConfig, bufs: &KmeansBuffers) -> Result<()> {
+    cfg.validate().map_err(hstreams::Error::Config)?;
+    let streams = ctx.stream_count();
 
     // Upload points and the initial centroids, then synchronize.
-    for (t, &buf) in point_tiles.iter().enumerate() {
+    for (t, &buf) in bufs.point_tiles.iter().enumerate() {
         let s = ctx.stream(t % streams)?;
         ctx.h2d(s, buf)?;
     }
     let s0 = ctx.stream(0)?;
-    ctx.h2d(s0, centroids)?;
+    ctx.h2d(s0, bufs.centroids)?;
     ctx.barrier();
 
     for iter in 0..cfg.iterations {
-        for (t, &pts) in point_tiles.iter().enumerate() {
+        for (t, &pts) in bufs.point_tiles.iter().enumerate() {
             let s = ctx.stream(t % streams)?;
             ctx.kernel(
                 s,
-                assign_kernel(format!("assign({t},{iter})"), cfg, tile_sizes[t])
-                    .reading([pts, centroids])
-                    .writing([partials[t]]),
+                assign_kernel(format!("assign({t},{iter})"), cfg, bufs.tile_sizes[t])
+                    .reading([pts, bufs.centroids])
+                    .writing([bufs.partials[t]]),
             )?;
         }
         ctx.barrier();
         ctx.kernel(
             s0,
-            reduce_kernel(format!("reduce({iter})"), cfg, tile_sizes.len())
-                .reading(partials.iter().copied())
-                .writing([centroids]),
+            reduce_kernel(format!("reduce({iter})"), cfg, bufs.tile_sizes.len())
+                .reading(bufs.partials.iter().copied())
+                .writing([bufs.centroids]),
         )?;
         ctx.barrier();
     }
-    ctx.d2h(s0, centroids)?;
-
-    Ok(KmeansBuffers {
-        point_tiles,
-        centroids,
-        partials,
-        tile_sizes,
-    })
+    ctx.d2h(s0, bufs.centroids)?;
+    Ok(())
 }
 
 /// Deterministic clustered input: `k` well-separated Gaussian-ish blobs.

@@ -30,4 +30,5 @@ pub mod mm;
 pub mod nn;
 pub mod profiles;
 pub mod srad;
+pub mod tunable;
 pub mod util;

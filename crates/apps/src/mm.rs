@@ -97,7 +97,6 @@ pub fn build(ctx: &mut Context, cfg: &MmConfig) -> Result<MmBuffers> {
     let tpd = cfg.tiles_per_dim;
     let tile = cfg.tile();
     let n = cfg.n;
-    let streams = ctx.stream_count();
 
     let a_panels: Vec<BufId> = (0..tpd)
         .map(|i| ctx.alloc(format!("A_panel{i}"), tile * n))
@@ -108,6 +107,27 @@ pub fn build(ctx: &mut Context, cfg: &MmConfig) -> Result<MmBuffers> {
     let c_tiles: Vec<BufId> = (0..tpd * tpd)
         .map(|t| ctx.alloc(format!("C{}_{}", t / tpd, t % tpd), tile * tile))
         .collect();
+    let bufs = MmBuffers {
+        a_panels,
+        b_panels,
+        c_tiles,
+    };
+    record(ctx, cfg, &bufs)?;
+    Ok(bufs)
+}
+
+/// Record the streamed MM action sequence against already-allocated
+/// buffers. Called by [`build`]; also directly by autotuning sweeps, which
+/// allocate and fill the buffers once and then re-record the same problem
+/// against a replanned stream geometry (see
+/// [`Context::replan`](hstreams::context::Context::replan)).
+pub fn record(ctx: &mut Context, cfg: &MmConfig, bufs: &MmBuffers) -> Result<()> {
+    cfg.validate().map_err(hstreams::Error::Config)?;
+    let tpd = cfg.tiles_per_dim;
+    let tile = cfg.tile();
+    let n = cfg.n;
+    let streams = ctx.stream_count();
+    let (a_panels, b_panels, c_tiles) = (&bufs.a_panels, &bufs.b_panels, &bufs.c_tiles);
 
     // Panels transfer once, demand-driven: each panel's H2D is enqueued on
     // the stream of the *first* task that consumes it, immediately before
@@ -147,11 +167,7 @@ pub fn build(ctx: &mut Context, cfg: &MmConfig) -> Result<MmBuffers> {
             ctx.d2h(s, c_tiles[t])?;
         }
     }
-    Ok(MmBuffers {
-        a_panels,
-        b_panels,
-        c_tiles,
-    })
+    Ok(())
 }
 
 /// Write deterministic random `A` and `B` into the panel buffers.

@@ -85,7 +85,6 @@ fn distance_kernel(label: String, chunk: usize, target: (f32, f32)) -> KernelDes
 /// Build the streamed NN program (`tiles == 1`, one partition = "w/o").
 pub fn build(ctx: &mut Context, cfg: &NnConfig) -> Result<NnBuffers> {
     cfg.validate().map_err(hstreams::Error::Config)?;
-    let streams = ctx.stream_count();
     let ranges = util::split_ranges(cfg.records, cfg.tiles);
     let tile_sizes: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
     let record_tiles: Vec<BufId> = tile_sizes
@@ -98,22 +97,33 @@ pub fn build(ctx: &mut Context, cfg: &NnConfig) -> Result<NnBuffers> {
         .enumerate()
         .map(|(t, &n)| ctx.alloc(format!("dist{t}"), n))
         .collect();
-    for t in 0..tile_sizes.len() {
-        let s = ctx.stream(t % streams)?;
-        ctx.h2d(s, record_tiles[t])?;
-        ctx.kernel(
-            s,
-            distance_kernel(format!("nn({t})"), tile_sizes[t], cfg.target)
-                .reading([record_tiles[t]])
-                .writing([dist_tiles[t]]),
-        )?;
-        ctx.d2h(s, dist_tiles[t])?;
-    }
-    Ok(NnBuffers {
+    let bufs = NnBuffers {
         record_tiles,
         dist_tiles,
         tile_sizes,
-    })
+    };
+    record(ctx, cfg, &bufs)?;
+    Ok(bufs)
+}
+
+/// Record the NN action sequence against already-allocated buffers; used by
+/// [`build`] and by autotuning sweeps that replan the stream geometry and
+/// re-record the same problem without reallocating.
+pub fn record(ctx: &mut Context, cfg: &NnConfig, bufs: &NnBuffers) -> Result<()> {
+    cfg.validate().map_err(hstreams::Error::Config)?;
+    let streams = ctx.stream_count();
+    for t in 0..bufs.tile_sizes.len() {
+        let s = ctx.stream(t % streams)?;
+        ctx.h2d(s, bufs.record_tiles[t])?;
+        ctx.kernel(
+            s,
+            distance_kernel(format!("nn({t})"), bufs.tile_sizes[t], cfg.target)
+                .reading([bufs.record_tiles[t]])
+                .writing([bufs.dist_tiles[t]]),
+        )?;
+        ctx.d2h(s, bufs.dist_tiles[t])?;
+    }
+    Ok(())
 }
 
 /// Deterministic random records; returns the flat `records × 2` data.

@@ -1,0 +1,379 @@
+//! Closed-loop `(T, P)` autotuner driver: exhaustive vs pruned vs
+//! model-seeded search, on the simulator and on the pooled native executor.
+//!
+//! Full mode tunes all five tunable apps on the simulator under paper-scale
+//! bounds, then hBench on the native executor under small bounds; `--quick`
+//! runs only the small hBench comparison on both backends (wired into
+//! `scripts/verify.sh`). Both modes write
+//! `results/BENCH_autotune.json`, per-app `(P, T)` landscape CSVs from the
+//! exhaustive sweep, and enforce the acceptance gates:
+//!
+//! * pruned and model-seeded evaluate ≤ 1/8 of the exhaustive grid while
+//!   landing within 5 % of the exhaustive optimum (every overlappable app);
+//! * the native evaluator reuses one persistent runtime (thread count
+//!   stable across all trials);
+//! * repeating a native tuning pass is served entirely from the
+//!   measurement cache (zero evaluator calls).
+
+use std::io::Write;
+
+use mic_apps::tunable::{Tunable, TunableCf, TunableHbench, TunableKmeans, TunableMm, TunableNn};
+use micsim::PlatformConfig;
+use stream_tune::evaluator::{Evaluator, NativeEvaluator, SimEvaluator};
+use stream_tune::tuner::{RepeatPolicy, Strategy, TuneOutcome, Tuner};
+use stream_tune::{partition_class, TuneBounds};
+
+const STRATEGIES: [Strategy; 3] = [
+    Strategy::Exhaustive,
+    Strategy::Pruned,
+    Strategy::ModelSeeded,
+];
+
+/// One app's three-strategy comparison on one evaluator.
+struct AppResult {
+    app: &'static str,
+    problem: String,
+    overlappable: bool,
+    backend: &'static str,
+    /// Whether the 5 % optimum-delta gate applies (paper-scale apps yes,
+    /// the overhead-dominated quick workload no — see [`AppResult::gates_pass`]).
+    delta_gated: bool,
+    outcomes: Vec<TuneOutcome>,
+}
+
+impl AppResult {
+    fn exhaustive(&self) -> &TuneOutcome {
+        &self.outcomes[0]
+    }
+
+    /// Gate: every cheap strategy visits ≤ 1/8 of the grid's
+    /// configurations, and — when `require_delta` — lands within 5 % of
+    /// the exhaustive optimum. The delta gate applies to the paper-scale
+    /// apps; the deliberately overhead-dominated quick workload keeps its
+    /// true optimum at the excluded `P = 1`, so only the budget gate holds
+    /// there.
+    fn gates_pass(&self) -> bool {
+        let full = self.exhaustive();
+        self.outcomes[1..].iter().all(|o| {
+            (!self.delta_gated || o.winner_seconds <= full.winner_seconds * 1.05)
+                && o.candidates_visited * 8 <= full.grid_size
+        })
+    }
+}
+
+fn tune_all(
+    app: &mut dyn Tunable,
+    eval: &mut dyn Evaluator,
+    platform: &PlatformConfig,
+    bounds: &TuneBounds,
+    policy: RepeatPolicy,
+    delta_gated: bool,
+) -> AppResult {
+    let outcomes: Vec<TuneOutcome> = STRATEGIES
+        .iter()
+        .map(|&s| {
+            // Fresh cache per strategy: evaluation counts stay honest.
+            let mut tuner = Tuner::new(policy);
+            tuner.tune(app, eval, platform, bounds, s)
+        })
+        .collect();
+    AppResult {
+        app: app.name(),
+        problem: app.problem(),
+        overlappable: app.overlappable(),
+        backend: eval.backend(),
+        delta_gated,
+        outcomes,
+    }
+}
+
+fn print_result(r: &AppResult) {
+    let full = r.exhaustive();
+    println!(
+        "### {} ({}) on {} — grid {} candidates",
+        r.app, r.problem, r.backend, full.grid_size
+    );
+    println!("| strategy | winner (P,T) | seconds | configs | runs | of grid |");
+    println!("|---|---|---|---|---|---|");
+    for o in &r.outcomes {
+        println!(
+            "| {} | ({}, {}) | {:.6} | {} | {} | {:.1}% |",
+            o.strategy.label(),
+            o.winner.0,
+            o.winner.1,
+            o.winner_seconds,
+            o.candidates_visited,
+            o.evaluator_calls,
+            100.0 * o.candidates_visited as f64 / o.grid_size as f64
+        );
+    }
+    let delta = |o: &TuneOutcome| 100.0 * (o.winner_seconds / full.winner_seconds - 1.0);
+    println!(
+        "winner delta vs exhaustive: pruned {:+.2}%, model-seeded {:+.2}%  [{}]\n",
+        delta(&r.outcomes[1]),
+        delta(&r.outcomes[2]),
+        if r.gates_pass() { "PASS" } else { "FAIL" }
+    );
+}
+
+/// Write the exhaustive `(P, T)` landscape of one app as CSV.
+fn write_landscape(r: &AppResult) {
+    let dir = mic_bench::results_dir();
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let mut csv = String::from("p,t,seconds,hidden_fraction\n");
+    for rec in &r.exhaustive().landscape {
+        csv.push_str(&format!(
+            "{},{},{},{}\n",
+            rec.partitions, rec.tiles, rec.seconds, rec.hidden_fraction
+        ));
+    }
+    let path = dir.join(format!("autotune_landscape_{}.csv", r.app));
+    match std::fs::File::create(&path) {
+        Ok(mut f) => {
+            if let Err(e) = f.write_all(csv.as_bytes()) {
+                eprintln!("warning: write {} failed: {e}", path.display());
+            } else {
+                println!("[wrote {}]", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: create {} failed: {e}", path.display()),
+    }
+}
+
+fn json_outcome(o: &TuneOutcome) -> String {
+    format!(
+        "{{\"strategy\": \"{}\", \"winner_p\": {}, \"winner_t\": {}, \"seconds\": {:.9}, \"evaluations\": {}, \"visited\": {}, \"grid_size\": {}}}",
+        o.strategy.label(),
+        o.winner.0,
+        o.winner.1,
+        o.winner_seconds,
+        o.evaluator_calls,
+        o.candidates_visited,
+        o.grid_size
+    )
+}
+
+fn json_app(r: &AppResult) -> String {
+    let outcomes: Vec<String> = r.outcomes.iter().map(json_outcome).collect();
+    let full = r.exhaustive();
+    let delta = |o: &TuneOutcome| o.winner_seconds / full.winner_seconds - 1.0;
+    format!(
+        "    {{\n      \"app\": \"{}\",\n      \"problem\": \"{}\",\n      \"overlappable\": {},\n      \"evaluator\": \"{}\",\n      \"pruned_delta\": {:.6},\n      \"model_seeded_delta\": {:.6},\n      \"gates_pass\": {},\n      \"strategies\": [\n        {}\n      ]\n    }}",
+        r.app,
+        r.problem,
+        r.overlappable,
+        r.backend,
+        delta(&r.outcomes[1]),
+        delta(&r.outcomes[2]),
+        r.gates_pass(),
+        outcomes.join(",\n        ")
+    )
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let platform = PlatformConfig::phi_31sp();
+    let mut results: Vec<AppResult> = Vec::new();
+    let mut failures: Vec<String> = Vec::new();
+
+    if !quick {
+        // Sim, paper-scale bounds, all five tunable apps. The data-parallel
+        // apps use the paper's `T = m·P, m ≤ 8` rule; CF is a task graph
+        // whose lookahead wants many more tiles than streams (its optimum
+        // sits near `T/P ≈ 72`, cf. Fig. 8's tpd sweep), so its pruned
+        // space keeps the same divisor-aligned `P` but lets the multiple
+        // run up to the tile cap.
+        let dp_bounds = TuneBounds {
+            max_partitions: 56,
+            max_tiles: 64,
+            max_multiple: 8,
+        };
+        let cf_bounds = TuneBounds {
+            max_partitions: 56,
+            max_tiles: 196,
+            max_multiple: 98,
+        };
+        let mut apps: Vec<(Box<dyn Tunable>, TuneBounds)> = vec![
+            (Box::new(TunableHbench::new(1 << 22, 24, None)), dp_bounds),
+            (Box::new(TunableMm::new(840, None)), dp_bounds),
+            (Box::new(TunableCf::new(16800, None)), cf_bounds),
+            (Box::new(TunableNn::new(1 << 20, None)), dp_bounds),
+            (Box::new(TunableKmeans::new(1 << 15, 8, 3, None)), dp_bounds),
+        ];
+        for (app, bounds) in &mut apps {
+            let mut eval = SimEvaluator::new(platform.clone()).expect("sim evaluator");
+            let delta_gated = app.overlappable();
+            let r = tune_all(
+                app.as_mut(),
+                &mut eval,
+                &platform,
+                bounds,
+                RepeatPolicy::sim(),
+                delta_gated,
+            );
+            print_result(&r);
+            write_landscape(&r);
+            if !r.gates_pass() {
+                failures.push(format!("{} ({}) gates failed", r.app, r.backend));
+            }
+            results.push(r);
+        }
+    }
+
+    // hBench on both evaluators, small bounds — the `--quick` payload and
+    // the full run's sim-vs-native parity section.
+    let bounds = TuneBounds {
+        max_partitions: 8,
+        max_tiles: 16,
+        max_multiple: 2,
+    };
+    // Small on purpose: at this size per-action overhead (launch, stream
+    // sync) dominates both backends, so coarse granularity wins decisively
+    // on each — the parity check needs a landscape whose signal clears
+    // native wall-clock noise, not a photo-finish.
+    let elems = 1 << 14;
+    let iters = 4;
+
+    let mut sim_app = TunableHbench::new(elems, iters, None);
+    let mut sim_eval = SimEvaluator::new(platform.clone()).expect("sim evaluator");
+    let sim_r = tune_all(
+        &mut sim_app,
+        &mut sim_eval,
+        &platform,
+        &bounds,
+        RepeatPolicy::sim(),
+        false,
+    );
+    print_result(&sim_r);
+    if quick {
+        write_landscape(&sim_r);
+    }
+    if !sim_r.gates_pass() {
+        failures.push("hbench-quick (sim) gates failed".into());
+    }
+
+    let mut native_app = TunableHbench::new(elems, iters, Some(42));
+    let mut native_eval =
+        NativeEvaluator::new(platform.clone(), bounds.max_partitions).expect("native evaluator");
+    // Warm the persistent runtime (first trial pays pool spawn + page-in).
+    native_eval
+        .evaluate(&mut native_app, 2, 2)
+        .expect("warmup trial");
+    let native_r = tune_all(
+        &mut native_app,
+        &mut native_eval,
+        &platform,
+        &bounds,
+        RepeatPolicy::native(),
+        false,
+    );
+    print_result(&native_r);
+    let threads = native_eval.thread_count();
+
+    // Parity: both backends should settle on the same partition class.
+    let sim_class = partition_class(&platform.device, sim_r.outcomes[1].winner.0);
+    let native_class = partition_class(&platform.device, native_r.outcomes[1].winner.0);
+    let parity = sim_class == native_class;
+    println!(
+        "parity: sim pruned winner P={} ({sim_class:?}), native pruned winner P={} ({native_class:?}) => {}",
+        sim_r.outcomes[1].winner.0,
+        native_r.outcomes[1].winner.0,
+        if parity { "same class" } else { "DIFFERENT" }
+    );
+
+    // Cache: a repeated native pruned pass must cost zero evaluator calls.
+    let mut tuner = Tuner::new(RepeatPolicy::native());
+    let first = tuner.tune(
+        &mut native_app,
+        &mut native_eval,
+        &platform,
+        &bounds,
+        Strategy::Pruned,
+    );
+    let second = tuner.tune(
+        &mut native_app,
+        &mut native_eval,
+        &platform,
+        &bounds,
+        Strategy::Pruned,
+    );
+    let cache_ok = second.evaluator_calls == 0 && tuner.cache.hits() >= first.candidates_visited;
+    println!(
+        "cache: first native pass {} calls, repeat pass {} calls, {} hits => {}",
+        first.evaluator_calls,
+        second.evaluator_calls,
+        tuner.cache.hits(),
+        if cache_ok {
+            "served from cache"
+        } else {
+            "CACHE MISSED"
+        }
+    );
+    let threads_stable = native_eval.thread_count() == threads && threads.is_some();
+    println!(
+        "native runtime: {:?} threads, stable across {} trials => {}",
+        threads,
+        native_r
+            .outcomes
+            .iter()
+            .map(|o| o.evaluator_calls)
+            .sum::<usize>()
+            + first.evaluator_calls,
+        if threads_stable {
+            "one runtime"
+        } else {
+            "RESPAWNED"
+        }
+    );
+
+    if !parity {
+        failures.push("sim/native partition-class parity failed".into());
+    }
+    if !cache_ok {
+        failures.push("repeated native pass not served from cache".into());
+    }
+    if !threads_stable {
+        failures.push("native runtime thread count changed between trials".into());
+    }
+    results.push(sim_r);
+    results.push(native_r);
+
+    let apps_json: Vec<String> = results.iter().map(json_app).collect();
+    let json = format!(
+        "{{\n  \"bench\": \"autotune\",\n  \"mode\": \"{}\",\n  \"parity_same_class\": {},\n  \"cache_repeat_calls\": {},\n  \"native_threads\": {},\n  \"pass\": {},\n  \"apps\": [\n{}\n  ]\n}}\n",
+        if quick { "quick" } else { "full" },
+        parity,
+        second.evaluator_calls,
+        threads.unwrap_or(0),
+        failures.is_empty(),
+        apps_json.join(",\n")
+    );
+    let dir = mic_bench::results_dir();
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+    } else {
+        let path = dir.join("BENCH_autotune.json");
+        match std::fs::File::create(&path) {
+            Ok(mut f) => {
+                if let Err(e) = f.write_all(json.as_bytes()) {
+                    eprintln!("warning: write {} failed: {e}", path.display());
+                } else {
+                    println!("[wrote {}]", path.display());
+                }
+            }
+            Err(e) => eprintln!("warning: create {} failed: {e}", path.display()),
+        }
+    }
+
+    if !failures.is_empty() {
+        eprintln!("autotune gates FAILED:");
+        for f in &failures {
+            eprintln!("  - {f}");
+        }
+        std::process::exit(1);
+    }
+    println!("autotune gates passed");
+}

@@ -20,6 +20,7 @@
 //! | `native_overlap_study` | (ext) Fig. 6 regimes on the native executor |
 //! | `native_vs_sim_trace` | (ext) same program, sim vs traced-native overlap |
 //! | `ext_multi_mic_scaling` | (ext) Sec. VI on 1–4 cards |
+//! | `autotune` | (ext) closed-loop `(T, P)` tuning: exhaustive vs pruned vs model-seeded, sim + native |
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

@@ -49,6 +49,7 @@ pub struct ContextBuilder {
     cfg: PlatformConfig,
     partitions: usize,
     streams_per_partition: usize,
+    replan_capacity: Option<usize>,
 }
 
 impl ContextBuilder {
@@ -64,6 +65,16 @@ impl ContextBuilder {
         self
     }
 
+    /// Largest partition count a later [`Context::replan`] may switch to.
+    /// The persistent native runtime sizes its driver group, worker pools
+    /// and partition locks for this capacity, so one runtime serves trials
+    /// at any `P <= capacity` without respawning threads. Defaults to the
+    /// initial partition count (no headroom).
+    pub fn replan_capacity(mut self, p: usize) -> ContextBuilder {
+        self.replan_capacity = Some(p);
+        self
+    }
+
     /// Initialize the context: partition every card and create the streams.
     pub fn build(self) -> Result<Context> {
         if self.streams_per_partition == 0 {
@@ -71,31 +82,24 @@ impl ContextBuilder {
                 "streams_per_partition must be positive".into(),
             ));
         }
+        let replan_capacity = self.replan_capacity.unwrap_or(self.partitions);
+        if replan_capacity < self.partitions {
+            return Err(Error::Config(format!(
+                "replan_capacity {} below initial partition count {}",
+                replan_capacity, self.partitions
+            )));
+        }
         let mut platform = SimPlatform::new(self.cfg).map_err(Error::Config)?;
         let devices: Vec<DeviceId> = platform.devices().collect();
         for &dev in &devices {
             platform.init_partitions(dev, self.partitions)?;
         }
-        let mut program = Program::default();
-        for &dev in &devices {
-            for part in 0..self.partitions {
-                for _ in 0..self.streams_per_partition {
-                    let id = StreamId(program.streams.len());
-                    program.streams.push(StreamRecord {
-                        id,
-                        placement: StreamPlacement {
-                            device: dev,
-                            partition: part,
-                        },
-                        actions: Vec::new(),
-                    });
-                }
-            }
-        }
+        let program = streams_for(&devices, self.partitions, self.streams_per_partition);
         Ok(Context {
             platform,
             partitions: self.partitions,
             streams_per_partition: self.streams_per_partition,
+            replan_capacity,
             buffers: Vec::new(),
             program,
             native_rt: std::sync::OnceLock::new(),
@@ -104,11 +108,34 @@ impl ContextBuilder {
     }
 }
 
+/// Device-major stream layout for a partition count: every device gets
+/// `partitions * streams_per_partition` streams, partition-major.
+fn streams_for(devices: &[DeviceId], partitions: usize, streams_per_partition: usize) -> Program {
+    let mut program = Program::default();
+    for &dev in devices {
+        for part in 0..partitions {
+            for _ in 0..streams_per_partition {
+                let id = StreamId(program.streams.len());
+                program.streams.push(StreamRecord {
+                    id,
+                    placement: StreamPlacement {
+                        device: dev,
+                        partition: part,
+                    },
+                    actions: Vec::new(),
+                });
+            }
+        }
+    }
+    program
+}
+
 /// A live streaming context. See the [module docs](self).
 pub struct Context {
     pub(crate) platform: SimPlatform,
     partitions: usize,
     streams_per_partition: usize,
+    replan_capacity: usize,
     pub(crate) buffers: Vec<Buffer>,
     pub(crate) program: Program,
     /// Persistent native execution state (drivers, worker pools, copy
@@ -139,6 +166,7 @@ impl Context {
             cfg,
             partitions: 1,
             streams_per_partition: 1,
+            replan_capacity: None,
         }
     }
 
@@ -155,6 +183,55 @@ impl Context {
     /// Streams per partition.
     pub fn streams_per_partition(&self) -> usize {
         self.streams_per_partition
+    }
+
+    /// Largest partition count [`Context::replan`] may switch to (see
+    /// [`ContextBuilder::replan_capacity`]).
+    pub fn replan_capacity(&self) -> usize {
+        self.replan_capacity
+    }
+
+    /// Re-partition every card to a new `P` **without touching buffers**:
+    /// partitions are re-initialized, the stream set is rebuilt
+    /// (device-major, same streams-per-partition), and the recorded program
+    /// — actions, events, barriers — is discarded so a new one can be
+    /// recorded against the new geometry. Buffer ids, host copies and any
+    /// materialized native storage all survive, which is what makes an
+    /// autotuning sweep over `(T, P)` cheap: allocate and fill once, replan
+    /// and re-record per trial.
+    ///
+    /// Once the persistent native runtime exists (after the first
+    /// persistent `run_native`), `partitions` must not exceed
+    /// [`replan_capacity`](Context::replan_capacity) — the runtime's driver
+    /// group and partition pools were sized for that capacity. Before the
+    /// runtime is built, replanning past the capacity simply raises it.
+    ///
+    /// On error (e.g. more partitions than cores) the context keeps its
+    /// previous geometry.
+    pub fn replan(&mut self, partitions: usize) -> Result<()> {
+        if partitions > self.replan_capacity {
+            if self.native_rt.get().is_some() {
+                return Err(Error::Config(format!(
+                    "replan to {} partitions exceeds the native runtime's capacity {} \
+                     (set ContextBuilder::replan_capacity before the first native run)",
+                    partitions, self.replan_capacity
+                )));
+            }
+            self.replan_capacity = partitions;
+        }
+        let devices: Vec<DeviceId> = self.platform.devices().collect();
+        // Validate the geometry on the first device before committing: all
+        // devices share one DeviceSpec, so success there means success
+        // everywhere and the loop below cannot leave a partial state.
+        if let Some(&first) = devices.first() {
+            self.platform.init_partitions(first, partitions)?;
+        }
+        for &dev in devices.iter().skip(1) {
+            self.platform.init_partitions(dev, partitions)?;
+        }
+        self.partitions = partitions;
+        self.program = streams_for(&devices, partitions, self.streams_per_partition);
+        Ok(())
     }
 
     /// Total streams across all cards.

@@ -227,10 +227,18 @@ pub(crate) struct NativeRuntime {
 
 impl NativeRuntime {
     pub(crate) fn new(ctx: &Context) -> NativeRuntime {
-        let n_streams = ctx.program().streams.len();
+        // Size for the context's replan capacity, not its current geometry:
+        // one runtime then serves every `P <= capacity` an autotuning sweep
+        // replans to, without growing its thread count. With no capacity
+        // headroom configured (the default) this is exactly the current
+        // geometry.
         let n_devices = ctx.device_count();
-        let parts_per_dev = ctx.partitions().max(1);
-        let width = default_threads_per_partition(ctx);
+        let parts_per_dev = ctx.replan_capacity().max(ctx.partitions()).max(1);
+        let n_streams = n_devices * parts_per_dev * ctx.streams_per_partition();
+        let host_par = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let width = (host_par / parts_per_dev).max(1);
         let channels_per_dev = channels_for(ctx.config().link.duplex);
         let mut engine_tx: Vec<Vec<Sender<CopyJob>>> = Vec::with_capacity(n_devices);
         let mut engine_handles = Vec::new();

@@ -167,7 +167,7 @@ impl LaunchHistogram {
         let idx = (63 - ns.max(1).leading_zeros() as usize).min(self.buckets.len() - 1);
         self.buckets[idx] += 1;
         self.count += 1;
-        self.total_ns += ns;
+        self.total_ns = self.total_ns.saturating_add(ns);
         self.max_ns = self.max_ns.max(ns);
     }
 
@@ -184,7 +184,7 @@ impl LaunchHistogram {
             *a += b;
         }
         self.count += other.count;
-        self.total_ns += other.total_ns;
+        self.total_ns = self.total_ns.saturating_add(other.total_ns);
         self.max_ns = self.max_ns.max(other.max_ns);
     }
 }

@@ -1,0 +1,132 @@
+//! Measurement cache keyed by `(app, problem, P, T)`.
+//!
+//! Tuning sweeps revisit configurations constantly — three strategies over
+//! the same grid, a re-run with different bounds, the incumbent re-checked
+//! by a differential test. On the native evaluator every revisit is seconds
+//! of wall time, so aggregated trial results are memoized here: a hit
+//! returns the stored summary and performs **zero** evaluator calls (the
+//! parity smoke test asserts exactly that via [`MeasurementCache::hits`]).
+
+use std::collections::HashMap;
+
+use micsim::stats::Summary;
+
+/// Identity of one measured configuration.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// App identifier ([`Tunable::name`](mic_apps::tunable::Tunable::name)).
+    pub app: String,
+    /// Problem-size description
+    /// ([`Tunable::problem`](mic_apps::tunable::Tunable::problem)).
+    pub problem: String,
+    /// Resource granularity `P`.
+    pub partitions: usize,
+    /// Task granularity `T`.
+    pub tiles: usize,
+}
+
+/// Aggregated result of one configuration's repetitions.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Trial {
+    /// Summary over the retained seconds samples.
+    pub summary: Summary,
+    /// Mean hidden fraction across the samples.
+    pub hidden_fraction: f64,
+}
+
+/// Memoized trials with hit/miss accounting.
+#[derive(Default)]
+pub struct MeasurementCache {
+    map: HashMap<CacheKey, Trial>,
+    hits: usize,
+    misses: usize,
+}
+
+impl MeasurementCache {
+    /// Empty cache.
+    pub fn new() -> MeasurementCache {
+        MeasurementCache::default()
+    }
+
+    /// Look up a configuration, counting the access as a hit or miss.
+    pub fn lookup(&mut self, key: &CacheKey) -> Option<Trial> {
+        match self.map.get(key) {
+            Some(t) => {
+                self.hits += 1;
+                Some(*t)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Store a freshly measured trial.
+    pub fn insert(&mut self, key: CacheKey, trial: Trial) {
+        self.map.insert(key, trial);
+    }
+
+    /// Accesses served from the cache.
+    pub fn hits(&self) -> usize {
+        self.hits
+    }
+
+    /// Accesses that required a real measurement.
+    pub fn misses(&self) -> usize {
+        self.misses
+    }
+
+    /// Distinct configurations stored.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether nothing is stored yet.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(p: usize, t: usize) -> CacheKey {
+        CacheKey {
+            app: "hbench".into(),
+            problem: "elems=1024".into(),
+            partitions: p,
+            tiles: t,
+        }
+    }
+
+    fn trial(mean: f64) -> Trial {
+        Trial {
+            summary: Summary::of(&[mean]).unwrap(),
+            hidden_fraction: 0.5,
+        }
+    }
+
+    #[test]
+    fn hit_and_miss_accounting() {
+        let mut cache = MeasurementCache::new();
+        assert!(cache.lookup(&key(2, 4)).is_none());
+        cache.insert(key(2, 4), trial(1.0));
+        assert_eq!(cache.lookup(&key(2, 4)).unwrap().summary.mean, 1.0);
+        assert!(cache.lookup(&key(2, 8)).is_none());
+        assert_eq!((cache.hits(), cache.misses()), (1, 2));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn key_distinguishes_problem_sizes() {
+        let mut cache = MeasurementCache::new();
+        cache.insert(key(2, 4), trial(1.0));
+        let other = CacheKey {
+            problem: "elems=2048".into(),
+            ..key(2, 4)
+        };
+        assert!(cache.lookup(&other).is_none());
+    }
+}

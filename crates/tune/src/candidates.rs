@@ -90,6 +90,39 @@ pub fn pruned_space(device: &DeviceSpec, bounds: &TuneBounds) -> CandidateSpace 
     CandidateSpace { pairs }
 }
 
+/// Coarse equivalence class of a partition count, by how many whole cores
+/// each partition spans. Two backends that disagree on the exact winning
+/// `P` but agree on its class made the same granularity decision — the
+/// comparison the sim-vs-native parity check needs, since wall-clock noise
+/// can swap neighbouring divisors but not a whole regime.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum PartitionClass {
+    /// The undivided device (`P = 1`).
+    Whole,
+    /// Few large partitions: at least a quarter of the cores each.
+    Wide,
+    /// Mid-size partitions: 2 or more cores each.
+    Medium,
+    /// Core-or-smaller partitions.
+    Narrow,
+}
+
+/// Classify `p` partitions of `device` — see [`PartitionClass`].
+pub fn partition_class(device: &DeviceSpec, p: usize) -> PartitionClass {
+    if p <= 1 {
+        return PartitionClass::Whole;
+    }
+    let cores = device.usable_cores();
+    let per = cores / p;
+    if per >= cores.div_ceil(4) {
+        PartitionClass::Wide
+    } else if per >= 2 {
+        PartitionClass::Medium
+    } else {
+        PartitionClass::Narrow
+    }
+}
+
 /// How much smaller the pruned space is than the exhaustive one.
 pub fn reduction_factor(device: &DeviceSpec, bounds: &TuneBounds) -> f64 {
     let full = exhaustive_space(bounds).len();
@@ -148,6 +181,17 @@ mod tests {
         let r = reduction_factor(&phi(), &bounds);
         // 56*448 = 25088 exhaustive vs 7*8 = 56 pruned => ~448x.
         assert!(r > 100.0, "reduction factor {r}");
+    }
+
+    #[test]
+    fn partition_classes_on_the_31sp() {
+        let d = phi();
+        assert_eq!(partition_class(&d, 1), PartitionClass::Whole);
+        assert_eq!(partition_class(&d, 2), PartitionClass::Wide);
+        assert_eq!(partition_class(&d, 4), PartitionClass::Wide);
+        assert_eq!(partition_class(&d, 8), PartitionClass::Medium);
+        assert_eq!(partition_class(&d, 28), PartitionClass::Medium);
+        assert_eq!(partition_class(&d, 56), PartitionClass::Narrow);
     }
 
     #[test]

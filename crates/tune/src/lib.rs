@@ -19,14 +19,27 @@
 //! factor is measurable. [`model`] goes one step further — the analytical
 //! pipeline model the paper names as future work — predicting makespans in
 //! closed form and the optimal tile count by a square-root law.
+//!
+//! The loop is closed by the measurement-driven autotuner: a
+//! [`tuner::Tuner`] walks a [`tuner::Strategy`]'s candidate order and
+//! prices each `(P, T)` through an [`evaluator::Evaluator`] — the
+//! deterministic simulator or the pooled native executor — with a
+//! [`cache::MeasurementCache`] and early stopping keeping repeat visits
+//! and hopeless candidates cheap.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod cache;
 pub mod candidates;
+pub mod evaluator;
 pub mod model;
 pub mod search;
+pub mod tuner;
 
-pub use candidates::{pruned_space, CandidateSpace, TuneBounds};
+pub use cache::{CacheKey, MeasurementCache, Trial};
+pub use candidates::{partition_class, pruned_space, CandidateSpace, PartitionClass, TuneBounds};
+pub use evaluator::{Evaluator, Measurement, NativeEvaluator, SimEvaluator};
 pub use model::PipelineModel;
 pub use search::SearchOutcome;
+pub use tuner::{RepeatPolicy, Strategy, TuneOutcome, Tuner};

@@ -1,0 +1,103 @@
+//! Property tests for the pruned `(P, T)` candidate space (Sec. V-C):
+//! whatever the bounds, the pruning rules must hold structurally — core
+//! alignment, `T = m·P`, bound caps, containment in the exhaustive grid —
+//! and for paper-scale bounds the reduction must stay an order of
+//! magnitude.
+
+use micsim::device::DeviceSpec;
+use proptest::prelude::*;
+use stream_tune::candidates::{exhaustive_space, pruned_space, reduction_factor};
+use stream_tune::TuneBounds;
+
+fn phi() -> DeviceSpec {
+    DeviceSpec::phi_31sp()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Rule 1: every pruned P divides the usable core count (with the lone
+    /// fallback P = 1 when nothing else fits the bound).
+    #[test]
+    fn every_p_divides_usable_cores(max_p in 1usize..=64, max_m in 1usize..=10) {
+        let bounds = TuneBounds {
+            max_partitions: max_p,
+            max_tiles: 448,
+            max_multiple: max_m,
+        };
+        let device = phi();
+        let cores = device.usable_cores();
+        for (p, _) in pruned_space(&device, &bounds).pairs {
+            prop_assert!(
+                cores.is_multiple_of(p),
+                "P={} does not divide {} usable cores", p, cores
+            );
+        }
+    }
+
+    /// Rule 2: every pruned T is a multiple of its P.
+    #[test]
+    fn every_t_is_a_multiple_of_its_p(max_p in 1usize..=64, max_t in 1usize..=512, max_m in 1usize..=10) {
+        let bounds = TuneBounds {
+            max_partitions: max_p,
+            max_tiles: max_t,
+            max_multiple: max_m,
+        };
+        for (p, t) in pruned_space(&phi(), &bounds).pairs {
+            prop_assert!(t.is_multiple_of(p), "T={} not a multiple of P={}", t, p);
+        }
+    }
+
+    /// Rule 3: both bounds are respected, and the multiple cap holds.
+    #[test]
+    fn bounds_are_respected(max_p in 1usize..=64, max_t in 1usize..=512, max_m in 1usize..=10) {
+        let bounds = TuneBounds {
+            max_partitions: max_p,
+            max_tiles: max_t,
+            max_multiple: max_m,
+        };
+        for (p, t) in pruned_space(&phi(), &bounds).pairs {
+            prop_assert!(p <= bounds.max_partitions, "P={} over bound", p);
+            prop_assert!(t <= bounds.max_tiles, "T={} over bound", t);
+            prop_assert!(t / p <= bounds.max_multiple, "m={} over bound", t / p);
+        }
+    }
+
+    /// The pruned space is a subset of the exhaustive grid under the same
+    /// bounds, with no duplicate candidates.
+    #[test]
+    fn pruned_is_a_subset_of_exhaustive(max_p in 1usize..=64, max_t in 1usize..=512, max_m in 1usize..=10) {
+        let bounds = TuneBounds {
+            max_partitions: max_p,
+            max_tiles: max_t,
+            max_multiple: max_m,
+        };
+        let full: std::collections::HashSet<(usize, usize)> =
+            exhaustive_space(&bounds).pairs.into_iter().collect();
+        let pruned = pruned_space(&phi(), &bounds).pairs;
+        let unique: std::collections::HashSet<(usize, usize)> =
+            pruned.iter().copied().collect();
+        prop_assert_eq!(unique.len(), pruned.len(), "duplicates in pruned space");
+        for pair in pruned {
+            prop_assert!(full.contains(&pair), "{:?} not in exhaustive grid", pair);
+        }
+    }
+
+    /// For paper-scale bounds (enough partitions that the divisor set is
+    /// non-trivial, tile cap past the largest multiple) the pruning is at
+    /// least an order of magnitude.
+    #[test]
+    fn reduction_is_at_least_an_order_of_magnitude(
+        max_p in 14usize..=56,
+        max_m in 1usize..=8,
+        extra_t in 0usize..=64,
+    ) {
+        let bounds = TuneBounds {
+            max_partitions: max_p,
+            max_tiles: max_p * max_m + extra_t,
+            max_multiple: max_m,
+        };
+        let r = reduction_factor(&phi(), &bounds);
+        prop_assert!(r >= 10.0, "reduction {} below an order of magnitude", r);
+    }
+}

@@ -22,4 +22,7 @@ cargo test -q
 echo "==> sim-vs-native trace comparator (tiny workload)"
 cargo run --release -p mic-bench --bin native_vs_sim_trace -- --quick
 
+echo "==> autotuner gates (quick: parity, cache, one runtime)"
+cargo run --release -p mic-bench --bin autotune -- --quick
+
 echo "verify: OK"

@@ -200,7 +200,10 @@ mod tests {
             profile: &prof,
             work: 4.0 * 1024.0 * 1024.0 * 40.0,
         };
-        let ms = m.kernel_time(&inv, &plan.partitions[0]).as_millis_f64();
+        let ms = m
+            .kernel_time(&inv, &plan.partitions[0])
+            .unwrap()
+            .as_millis_f64();
         assert!((ms - 5.2).abs() < 0.8, "hbench 40-iter kernel = {ms} ms");
     }
 
@@ -216,7 +219,10 @@ mod tests {
             profile: &prof,
             work: flops,
         };
-        let secs = m.kernel_time(&inv, &plan.partitions[0]).as_secs_f64();
+        let secs = m
+            .kernel_time(&inv, &plan.partitions[0])
+            .unwrap()
+            .as_secs_f64();
         let gflops = flops / secs / 1e9;
         assert!(
             (300.0..700.0).contains(&gflops),
@@ -234,8 +240,8 @@ mod tests {
             profile: &prof,
             work: 20_000.0,
         };
-        let wide = m.kernel_time(&inv, &plan1.partitions[0]);
-        let narrow = m.kernel_time(&inv, &plan56.partitions[0]);
+        let wide = m.kernel_time(&inv, &plan1.partitions[0]).unwrap();
+        let narrow = m.kernel_time(&inv, &plan56.partitions[0]).unwrap();
         // 224 threads x 100 us alloc >> 4 threads x 100 us + slower compute.
         assert!(
             wide > narrow * 3,

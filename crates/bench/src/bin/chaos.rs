@@ -1,0 +1,209 @@
+//! Chaos suite: measures what fault recovery *costs* on the native
+//! executor, and proves it never costs *correctness*.
+//!
+//! Three MM conditions at the same `(P, T)` geometry, same inputs:
+//!
+//! 1. **clean** — no fault plan;
+//! 2. **retry** — every transfer's first 2 attempts fail, the default
+//!    [`RetryPolicy`](hstreams::RetryPolicy) absorbs them with backoff;
+//! 3. **degraded** — one kernel panic poisons a partition and the skipped
+//!    work is replayed on the survivor (`run_native_resilient`).
+//!
+//! Both faulted conditions must reproduce the clean run's output exactly
+//! (exit 1 otherwise). A final chaos sweep drives the autotuner's
+//! [`NativeEvaluator`] under an unrecoverable fault plan and shows killed
+//! trials are logged and skipped, not fatal. Emits
+//! `results/BENCH_chaos.json`; `--quick` shrinks the problem and the
+//! repetition protocol for CI.
+
+use std::io::Write;
+use std::sync::Arc;
+
+use hstreams::action::Action;
+use hstreams::{Context, FaultCounters, FaultPlan, NativeConfig};
+use mic_apps::mm::{self, MmConfig};
+use mic_apps::tunable::TunableMm;
+use micsim::stats::Repetitions;
+use micsim::PlatformConfig;
+use stream_tune::evaluator::{Evaluator, NativeEvaluator};
+
+const PARTITIONS: usize = 2;
+const SEED: u64 = 2026;
+
+struct MmRig {
+    ctx: Context,
+    cfg: MmConfig,
+    bufs: mm::MmBuffers,
+}
+
+impl MmRig {
+    fn new(n: usize) -> MmRig {
+        let cfg = MmConfig {
+            n,
+            tiles_per_dim: 2,
+        };
+        let mut ctx = Context::builder(PlatformConfig::phi_31sp())
+            .partitions(PARTITIONS)
+            .build()
+            .unwrap();
+        let bufs = mm::build(&mut ctx, &cfg).unwrap();
+        mm::fill_inputs(&ctx, &cfg, &bufs, SEED).unwrap();
+        MmRig { ctx, cfg, bufs }
+    }
+
+    fn result(&self) -> Vec<f32> {
+        mm::collect_result(&self.ctx, &self.cfg, &self.bufs)
+            .unwrap()
+            .data
+    }
+
+    /// `(stream, action_index)` of stream 1's first kernel — the panic site
+    /// for the degraded condition (stream 0 survives and hosts the replay).
+    fn panic_site(&self) -> (usize, usize) {
+        for s in &self.ctx.program().streams {
+            if s.id.0 != 1 {
+                continue;
+            }
+            for (ai, action) in s.actions.iter().enumerate() {
+                if matches!(action, Action::Kernel(_)) {
+                    return (1, ai);
+                }
+            }
+        }
+        panic!("stream 1 records no kernel");
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let n = if quick { 48 } else { 256 };
+    let runs = if quick {
+        Repetitions {
+            total: 4,
+            warmup: 1,
+        }
+    } else {
+        Repetitions {
+            total: 12,
+            warmup: 3,
+        }
+    };
+    let mut rig = MmRig::new(n);
+    let panic_site = rig.panic_site();
+
+    // 1. Clean baseline.
+    let clean_s = runs.measure(|| {
+        let started = std::time::Instant::now();
+        rig.ctx.run_native().unwrap();
+        started.elapsed().as_secs_f64()
+    });
+    let clean_out = rig.result();
+
+    // 2. Retry overhead: every transfer fails twice, then succeeds.
+    let retry_cfg = NativeConfig {
+        fault: Some(Arc::new(FaultPlan::seeded(SEED).transfer_failures(1.0, 2))),
+        ..NativeConfig::default()
+    };
+    let mut retry_faults = FaultCounters::default();
+    let retry_s = runs.measure(|| {
+        let started = std::time::Instant::now();
+        let report = rig.ctx.run_native_with(&retry_cfg).unwrap();
+        let s = started.elapsed().as_secs_f64();
+        retry_faults = report.faults;
+        s
+    });
+    let retry_ok = rig.result() == clean_out;
+
+    // 3. Degraded run: stream 1's first kernel panics, partition poisoned,
+    //    skipped work replayed on stream 0's partition.
+    let degraded_cfg = NativeConfig {
+        fault: Some(Arc::new(
+            FaultPlan::seeded(SEED).panic_kernel_at(panic_site.0, panic_site.1),
+        )),
+        ..NativeConfig::default()
+    };
+    let mut degraded_faults = FaultCounters::default();
+    let degraded_s = runs.measure(|| {
+        let started = std::time::Instant::now();
+        let resilient = rig.ctx.run_native_resilient(&degraded_cfg).unwrap();
+        let s = started.elapsed().as_secs_f64();
+        degraded_faults = resilient.faults;
+        s
+    });
+    let degraded_ok = rig.result() == clean_out;
+
+    // 4. Chaos sweep: unrecoverable transfer faults at a low rate must kill
+    //    individual trials, not the tuner.
+    let sweep_plan = FaultPlan::seeded(SEED ^ 0xc0de).transfer_failures(0.05, 10);
+    let mut ev = NativeEvaluator::new(PlatformConfig::phi_31sp(), 4)
+        .unwrap()
+        .with_fault_plan(sweep_plan);
+    let mut app = TunableMm::new(n, Some(SEED));
+    let mut evaluated = 0usize;
+    for p in [1usize, 2, 4] {
+        for t in [1usize, 4] {
+            if ev.evaluate(&mut app, p, t).is_some() {
+                evaluated += 1;
+            }
+        }
+    }
+    let faulted = ev.faulted_trials().len();
+
+    let retry_overhead = retry_s.mean / clean_s.mean - 1.0;
+    let degraded_overhead = degraded_s.mean / clean_s.mean - 1.0;
+    let pass = retry_ok && degraded_ok;
+
+    println!(
+        "chaos suite: MM n={n} T=4 P={PARTITIONS}, {} runs ({} warmup) per condition",
+        runs.total, runs.warmup
+    );
+    println!("  clean    : {:>8.3} ms", clean_s.mean * 1e3);
+    println!(
+        "  retry    : {:>8.3} ms  ({:+.1}%, {} retries/run, output identical: {retry_ok})",
+        retry_s.mean * 1e3,
+        retry_overhead * 100.0,
+        retry_faults.transfer_retries,
+    );
+    println!(
+        "  degraded : {:>8.3} ms  ({:+.1}%, {} partition lost, {} actions replayed, output identical: {degraded_ok})",
+        degraded_s.mean * 1e3,
+        degraded_overhead * 100.0,
+        degraded_faults.lost_partitions,
+        degraded_faults.replayed_actions,
+    );
+    println!("  sweep    : {evaluated} trials measured, {faulted} killed by faults and logged");
+
+    let json = format!(
+        "{{\n  \"bench\": \"chaos\",\n  \"quick\": {quick},\n  \"n\": {n},\n  \"partitions\": {PARTITIONS},\n  \"runs\": {},\n  \"warmup\": {},\n  \"clean_ms\": {:.4},\n  \"retry_ms\": {:.4},\n  \"retry_overhead_frac\": {retry_overhead:.4},\n  \"retries_per_run\": {},\n  \"degraded_ms\": {:.4},\n  \"degraded_overhead_frac\": {degraded_overhead:.4},\n  \"lost_partitions\": {},\n  \"replayed_actions\": {},\n  \"degraded_runs\": {},\n  \"sweep_trials_measured\": {evaluated},\n  \"sweep_trials_faulted\": {faulted},\n  \"retry_output_identical\": {retry_ok},\n  \"degraded_output_identical\": {degraded_ok}\n}}\n",
+        runs.total,
+        runs.warmup,
+        clean_s.mean * 1e3,
+        retry_s.mean * 1e3,
+        retry_faults.transfer_retries,
+        degraded_s.mean * 1e3,
+        degraded_faults.lost_partitions,
+        degraded_faults.replayed_actions,
+        degraded_faults.degraded_runs,
+    );
+    let dir = mic_bench::results_dir();
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+    } else {
+        let path = dir.join("BENCH_chaos.json");
+        match std::fs::File::create(&path) {
+            Ok(mut f) => {
+                if let Err(e) = f.write_all(json.as_bytes()) {
+                    eprintln!("warning: write {} failed: {e}", path.display());
+                } else {
+                    println!("[wrote {}]", path.display());
+                }
+            }
+            Err(e) => eprintln!("warning: create {} failed: {e}", path.display()),
+        }
+    }
+
+    if !pass {
+        eprintln!("FAIL: a faulted condition changed the output");
+        std::process::exit(1);
+    }
+}

@@ -6,7 +6,11 @@ use crate::kernel::KernelDesc;
 use crate::types::{BufId, EventId};
 
 /// One enqueued operation.
-#[derive(Debug)]
+///
+/// `Clone` exists so recovery can build replay programs from the skipped
+/// actions of a degraded run (kernel descriptors share their native body
+/// `Arc`, so cloning is cheap).
+#[derive(Clone, Debug)]
 pub enum Action {
     /// Move a whole buffer between host and device memory.
     Transfer {

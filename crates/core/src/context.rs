@@ -104,6 +104,7 @@ impl ContextBuilder {
             program,
             native_rt: std::sync::OnceLock::new(),
             last_native_trace: parking_lot::Mutex::new(None),
+            recovery: parking_lot::Mutex::new(None),
         })
     }
 }
@@ -145,6 +146,10 @@ pub struct Context {
     /// The most recent traced native run's timeline, published even when the
     /// run failed partway (see [`Context::take_native_trace`]).
     last_native_trace: parking_lot::Mutex<Option<crate::trace::NativeTrace>>,
+    /// Recovery material left by the most recent failed native run (lost
+    /// partitions, skipped actions, fault counters); consumed by
+    /// [`Context::run_native_resilient`].
+    recovery: parking_lot::Mutex<Option<crate::fault::RecoveryState>>,
 }
 
 impl std::fmt::Debug for Context {
@@ -209,23 +214,24 @@ impl Context {
     /// On error (e.g. more partitions than cores) the context keeps its
     /// previous geometry.
     pub fn replan(&mut self, partitions: usize) -> Result<()> {
-        if partitions > self.replan_capacity {
-            if self.native_rt.get().is_some() {
-                return Err(Error::Config(format!(
-                    "replan to {} partitions exceeds the native runtime's capacity {} \
-                     (set ContextBuilder::replan_capacity before the first native run)",
-                    partitions, self.replan_capacity
-                )));
-            }
-            self.replan_capacity = partitions;
+        if partitions > self.replan_capacity && self.native_rt.get().is_some() {
+            return Err(Error::Config(format!(
+                "replan to {} partitions exceeds the native runtime's capacity {} \
+                 (set ContextBuilder::replan_capacity before the first native run)",
+                partitions, self.replan_capacity
+            )));
         }
         let devices: Vec<DeviceId> = self.platform.devices().collect();
-        // Validate the geometry on the first device before committing: all
-        // devices share one DeviceSpec, so success there means success
-        // everywhere and the loop below cannot leave a partial state.
+        // Validate the geometry on the first device before committing
+        // anything — including the capacity raise: a rejected geometry must
+        // leave `replan_capacity` (which sizes the future native runtime)
+        // exactly as it was. All devices share one DeviceSpec, so success on
+        // the first means success everywhere and the loop below cannot leave
+        // a partial state.
         if let Some(&first) = devices.first() {
             self.platform.init_partitions(first, partitions)?;
         }
+        self.replan_capacity = self.replan_capacity.max(partitions);
         for &dev in devices.iter().skip(1) {
             self.platform.init_partitions(dev, partitions)?;
         }
@@ -457,6 +463,132 @@ impl Context {
     pub fn take_native_trace(&self) -> Option<crate::trace::NativeTrace> {
         self.last_native_trace.lock().take()
     }
+
+    // ----- fault injection & recovery --------------------------------------
+
+    /// Simulate the program under a [`FaultPlan`](crate::fault::FaultPlan):
+    /// failed transfer attempts and their backoffs are priced on the link,
+    /// slow transfers and partitions stretch their tasks, and unrecoverable
+    /// faults (retry budget exhausted, kernel panics, allocation failures)
+    /// surface as typed errors. The default
+    /// [`RetryPolicy`](crate::fault::RetryPolicy) prices the retries.
+    pub fn run_sim_faulted(
+        &self,
+        plan: &crate::fault::FaultPlan,
+    ) -> Result<crate::executor::sim::SimReport> {
+        crate::executor::sim::run_with(self, Some(plan), &crate::fault::RetryPolicy::default())
+    }
+
+    /// Stash the recovery material of a failed native run (called by the
+    /// native executor on its error path).
+    pub(crate) fn store_recovery(&self, state: crate::fault::RecoveryState) {
+        *self.recovery.lock() = Some(state);
+    }
+
+    /// Take the recovery material of the most recent failed native run, if
+    /// any: which partitions a kernel panic poisoned, and which actions were
+    /// skipped. [`Context::run_native_resilient`] consumes this; it is
+    /// exposed for callers that implement their own recovery policy.
+    pub fn take_recovery_state(&self) -> Option<crate::fault::RecoveryState> {
+        self.recovery.lock().take()
+    }
+
+    /// Execute natively with **graceful degradation**: partition isolation
+    /// is forced on, and when a pass loses partitions to kernel panics (or
+    /// taints buffers through exhausted transfer retries), the skipped
+    /// actions are replayed — in their recorded skip order, which respects
+    /// the program's happens-before edges — on a surviving partition's
+    /// stream. Replay passes run with fault injection disabled (the plan's
+    /// sites are keyed by `(stream, action-index)` against the *original*
+    /// program) and are bounded by
+    /// [`NativeConfig::max_degraded_runs`](crate::executor::native::NativeConfig).
+    ///
+    /// On success the returned [`ResilientReport`](crate::fault::ResilientReport)
+    /// carries the final pass's report plus fault counters accumulated
+    /// across every pass. Unrecoverable failures — allocation faults, host
+    /// kernel panics, every partition lost, replay budget exhausted — surface
+    /// the underlying error. The recorded program is restored afterwards
+    /// either way.
+    pub fn run_native_resilient(
+        &mut self,
+        cfg: &crate::executor::native::NativeConfig,
+    ) -> Result<crate::fault::ResilientReport> {
+        let mut cfg = cfg.clone();
+        cfg.isolate_partitions = true;
+        let max_degraded = cfg.max_degraded_runs;
+        let mut total = crate::fault::FaultCounters::default();
+        let mut lost_all: Vec<(usize, usize, String)> = Vec::new();
+        let original = self.program.clone();
+        let mut passes = 0usize;
+        let result = loop {
+            match crate::executor::native::run(self, &cfg) {
+                Ok(report) => {
+                    total.absorb(&report.faults);
+                    break Ok(report);
+                }
+                Err(err) => {
+                    let Some(state) = self.take_recovery_state() else {
+                        break Err(err);
+                    };
+                    total.absorb(&state.faults);
+                    lost_all.extend(state.lost.iter().cloned());
+                    if state.skipped.is_empty() || passes >= max_degraded {
+                        break Err(err);
+                    }
+                    let Some(replay) = self.build_replay_program(&state, &lost_all) else {
+                        // No surviving partition to replay on.
+                        break Err(err);
+                    };
+                    passes += 1;
+                    total.degraded_runs += 1;
+                    total.replayed_actions += state.skipped.len() as u64;
+                    self.program = replay;
+                    // Replay indices don't line up with the plan's sites;
+                    // re-injecting would fault arbitrary replayed actions.
+                    cfg.fault = None;
+                }
+            }
+        };
+        self.program = original;
+        result.map(|report| crate::fault::ResilientReport {
+            report,
+            faults: total,
+            lost_partitions: lost_all,
+        })
+    }
+
+    /// Build the replay program for a degraded pass: every skipped action,
+    /// in recorded skip order, cloned onto the first stream whose partition
+    /// survived. The skip order is a valid serial order (see
+    /// [`RecoveryState::skipped`](crate::fault::RecoveryState)), and a
+    /// single stream executes FIFO, so no events or barriers are needed.
+    /// Returns `None` when every partition is lost.
+    fn build_replay_program(
+        &self,
+        state: &crate::fault::RecoveryState,
+        lost: &[(usize, usize, String)],
+    ) -> Option<Program> {
+        use std::collections::HashSet;
+        let dead: HashSet<(usize, usize)> = lost.iter().map(|&(d, p, _)| (d, p)).collect();
+        let target = self
+            .program
+            .streams
+            .iter()
+            .position(|s| !dead.contains(&(s.placement.device.0, s.placement.partition)))?;
+        let mut replay = Program::default();
+        for s in &self.program.streams {
+            replay.streams.push(StreamRecord {
+                id: s.id,
+                placement: s.placement,
+                actions: Vec::new(),
+            });
+        }
+        for &(si, ai) in &state.skipped {
+            let action = self.program.streams[si].actions[ai].clone();
+            replay.streams[target].actions.push(action);
+        }
+        Some(replay)
+    }
 }
 
 #[cfg(test)]
@@ -578,6 +710,25 @@ mod tests {
         assert_eq!(c.program().barriers, 0);
         assert_eq!(c.buffer_count(), 1);
         assert_eq!(c.stream_count(), 2);
+    }
+
+    #[test]
+    fn failed_replan_leaves_capacity_and_geometry_untouched() {
+        let mut c = ctx(2, 1);
+        assert_eq!(c.replan_capacity(), 2);
+        // 999 partitions cannot fit 224 usable threads: geometry rejected.
+        assert!(c.replan(999).is_err());
+        assert_eq!(
+            c.replan_capacity(),
+            2,
+            "capacity must not move on a rejected replan"
+        );
+        assert_eq!(c.partitions(), 2);
+        assert_eq!(c.stream_count(), 2);
+        // A later valid replan still works and raises capacity.
+        c.replan(4).unwrap();
+        assert_eq!(c.replan_capacity(), 4);
+        assert_eq!(c.partitions(), 4);
     }
 
     #[test]

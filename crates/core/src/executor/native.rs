@@ -34,8 +34,9 @@
 //! skipping mode that still fires its events and joins its barriers so the
 //! other drivers can drain, and the error is reported at the end.
 
+use std::collections::HashSet;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Barrier};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -48,11 +49,12 @@ use micsim::pcie::{Direction, Duplex};
 use crate::action::Action;
 use crate::buffer::Elem;
 use crate::context::Context;
+use crate::fault::{FaultCounters, FaultPlan, FaultTallies, RecoveryState, RetryPolicy};
 use crate::kernel::KernelCtx;
 use crate::pool::{self, WorkerGroup, WorkerPool};
 use crate::program::StreamRecord;
 use crate::trace::{CopyStamp, NativeTrace, Recorder};
-use crate::types::{Error, Result};
+use crate::types::{BufId, Error, Result};
 
 /// Settings for native execution.
 #[derive(Clone, Debug)]
@@ -76,6 +78,23 @@ pub struct NativeConfig {
     /// trace is still retrievable via
     /// [`Context::take_native_trace`](crate::context::Context::take_native_trace).
     pub trace: bool,
+    /// Deterministic fault injection: transfer failures/slowdowns, kernel
+    /// panics, slow partitions, allocation failures (see
+    /// [`FaultPlan`]). `None` (the default) injects nothing and the fault
+    /// paths cost one branch per action.
+    pub fault: Option<Arc<FaultPlan>>,
+    /// Retry-with-backoff policy for failed transfers.
+    pub retry: RetryPolicy,
+    /// Partition isolation: a panicking device kernel poisons only its own
+    /// partition instead of aborting the whole run. Skipped work is
+    /// recorded (and its output buffers tainted so downstream consumers
+    /// skip too), control actions still execute so the surviving streams
+    /// drain, and [`Context::run_native_resilient`] replays the skipped
+    /// actions on the survivors. Host-kernel panics still abort the run.
+    pub isolate_partitions: bool,
+    /// Replay passes [`Context::run_native_resilient`] may take before it
+    /// gives up and surfaces the error.
+    pub max_degraded_runs: usize,
 }
 
 impl Default for NativeConfig {
@@ -85,6 +104,10 @@ impl Default for NativeConfig {
             link_bandwidth: None,
             persistent: true,
             trace: false,
+            fault: None,
+            retry: RetryPolicy::default(),
+            isolate_partitions: false,
+            max_degraded_runs: 2,
         }
     }
 }
@@ -101,6 +124,9 @@ pub struct NativeReport {
     /// The measured timeline, when [`NativeConfig::trace`] was set (`None`
     /// for untraced runs and for empty programs).
     pub trace: Option<NativeTrace>,
+    /// Fault-path totals: retries, injected panics, skips. All zero on a
+    /// clean run without a fault plan.
+    pub faults: FaultCounters,
 }
 
 struct EventFlag {
@@ -156,6 +182,9 @@ struct CopyJob {
     /// the run is untraced. Reused across the driver's transfers like
     /// `done`.
     trace: Option<Arc<CopyStamp>>,
+    /// Injected link-congestion factor (1.0 = healthy): the engine holds
+    /// the lane `slowdown`× longer than the copy itself took.
+    slowdown: f64,
 }
 
 fn copy_engine(rx: Receiver<CopyJob>) {
@@ -176,12 +205,82 @@ fn copy_engine(rx: Receiver<CopyJob>) {
                 std::thread::sleep(target - elapsed);
             }
         }
+        if job.slowdown > 1.0 {
+            // Degraded link: stretch the lane occupation to slowdown× the
+            // time spent so far (copy + bandwidth throttle).
+            std::thread::sleep(started.elapsed().mul_f64(job.slowdown - 1.0));
+        }
         // Stamp before firing: the flag's lock publishes the slot to the
         // waiting driver.
         if let Some(stamp) = &job.trace {
             stamp.stamp(started, Instant::now());
         }
         job.done.fire();
+    }
+}
+
+// ----- fault control --------------------------------------------------------
+
+/// Per-run fault state shared by every driver: the plan's dice, the retry
+/// policy, atomic tallies, and — under partition isolation — which
+/// partitions are poisoned, which buffers hold garbage, and which actions
+/// were skipped (in wall-clock skip order, which respects every
+/// happens-before edge between skips and therefore is a valid replay
+/// order).
+struct FaultControl {
+    plan: Option<Arc<FaultPlan>>,
+    retry: RetryPolicy,
+    isolate: bool,
+    tallies: Arc<FaultTallies>,
+    parts_per_dev: usize,
+    /// `[device * parts_per_dev + partition]`.
+    poisoned: Vec<AtomicBool>,
+    /// Buffers whose device contents are garbage (skipped producer).
+    tainted: Mutex<HashSet<BufId>>,
+    /// `(stream, action index)` pairs skipped under isolation.
+    skipped: Mutex<Vec<(usize, usize)>>,
+    /// `(device, partition, kernel)` of every poisoned partition.
+    lost: Mutex<Vec<(usize, usize, String)>>,
+}
+
+impl FaultControl {
+    fn new(ctx: &Context, cfg: &NativeConfig) -> FaultControl {
+        let parts_per_dev = ctx.partitions().max(1);
+        FaultControl {
+            plan: cfg.fault.clone(),
+            retry: cfg.retry,
+            isolate: cfg.isolate_partitions,
+            tallies: Arc::new(FaultTallies::default()),
+            parts_per_dev,
+            poisoned: (0..ctx.device_count() * parts_per_dev)
+                .map(|_| AtomicBool::new(false))
+                .collect(),
+            tainted: Mutex::new(HashSet::new()),
+            skipped: Mutex::new(Vec::new()),
+            lost: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn is_poisoned(&self, dev: usize, part: usize) -> bool {
+        self.poisoned[dev * self.parts_per_dev + part].load(Ordering::Acquire)
+    }
+
+    /// Poison `(dev, part)`; only the first poisoner records the loss.
+    fn poison(&self, dev: usize, part: usize, kernel: &str) {
+        if !self.poisoned[dev * self.parts_per_dev + part].swap(true, Ordering::AcqRel) {
+            FaultTallies::bump(&self.tallies.lost_partitions);
+            self.lost.lock().push((dev, part, kernel.to_string()));
+        }
+    }
+
+    /// Record a skipped action and taint the buffers it would have written.
+    fn skip(&self, si: usize, ai: usize, writes: &[BufId]) {
+        FaultTallies::bump(&self.tallies.skipped_actions);
+        if !writes.is_empty() {
+            let mut t = self.tainted.lock();
+            t.extend(writes.iter().copied());
+        }
+        self.skipped.lock().push((si, ai));
     }
 }
 
@@ -305,6 +404,8 @@ struct RunShared<'a> {
     /// Span recorder; `None` when the run is untraced (the zero-cost
     /// default — every instrumentation site is a branch on this option).
     recorder: Option<&'a Recorder>,
+    /// Fault injection and isolation state for this run.
+    fault: &'a FaultControl,
     first_error: Mutex<Option<Error>>,
     executed: AtomicUsize,
     bytes_moved: AtomicU64,
@@ -327,8 +428,9 @@ fn drive_stream(shared: &RunShared<'_>, stream: &StreamRecord) {
     let _pool_sink = shared
         .recorder
         .map(|rec| crate::trace::install_pool_sink(rec.pool_sink(si)));
+    let fc = shared.fault;
     let mut skipping = false;
-    for action in &stream.actions {
+    for (ai, action) in stream.actions.iter().enumerate() {
         match action {
             Action::Barrier(n) => {
                 let t0 = shared.recorder.map(|_| Instant::now());
@@ -355,6 +457,55 @@ fn drive_stream(shared: &RunShared<'_>, stream: &StreamRecord) {
                 if skipping {
                     continue;
                 }
+                // Under isolation a transfer touching a tainted buffer would
+                // move garbage — skip it and let the replay pass redo it.
+                // (Healthy transfers still run even on streams whose
+                // partition is poisoned: they only occupy the link.)
+                if fc.isolate && fc.tainted.lock().contains(buf) {
+                    fc.skip(si, ai, &[]);
+                    continue;
+                }
+                // Injected transfer failures: retry with backoff until the
+                // fault clears or the retry budget runs out.
+                let fail_attempts = fc
+                    .plan
+                    .as_ref()
+                    .map_or(0, |p| p.transfer_fail_attempts(si, ai));
+                if fail_attempts > 0 {
+                    let mut attempt: u32 = 0;
+                    let mut gave_up = false;
+                    while attempt < fail_attempts {
+                        if attempt >= fc.retry.max_retries {
+                            FaultTallies::bump(&fc.tallies.transfers_failed);
+                            let mut slot = shared.first_error.lock();
+                            if slot.is_none() {
+                                *slot = Some(Error::Fault {
+                                    site: format!("transfer s{si}#{ai}"),
+                                    attempts: attempt + 1,
+                                });
+                            }
+                            drop(slot);
+                            if fc.isolate {
+                                // The destination never got its data.
+                                fc.skip(si, ai, &[*buf]);
+                            } else {
+                                skipping = true;
+                            }
+                            gave_up = true;
+                            break;
+                        }
+                        FaultTallies::bump(&fc.tallies.transfer_retries);
+                        std::thread::sleep(fc.retry.backoff_for(attempt));
+                        attempt += 1;
+                    }
+                    if gave_up {
+                        continue;
+                    }
+                }
+                let slowdown = fc
+                    .plan
+                    .as_ref()
+                    .map_or(1.0, |p| p.transfer_slowdown(si, ai));
                 let buffer = ctx.buffer(*buf).expect("buffer validated at enqueue time");
                 let (src, dst) = match dir {
                     Direction::HostToDevice => (buffer.host.clone(), buffer.device.clone()),
@@ -381,6 +532,7 @@ fn drive_stream(shared: &RunShared<'_>, stream: &StreamRecord) {
                         bandwidth: shared.link_bandwidth,
                         done: done.clone(),
                         trace: stamp.clone(),
+                        slowdown,
                     })
                     .expect("copy engine alive for run duration");
                 done.wait();
@@ -399,6 +551,20 @@ fn drive_stream(shared: &RunShared<'_>, stream: &StreamRecord) {
             Action::Kernel(desc) => {
                 if skipping {
                     continue;
+                }
+                // Isolation: kernels on a poisoned partition, or touching a
+                // buffer tainted by skipped upstream work, are skipped (and
+                // their outputs tainted in turn) for the replay pass.
+                if fc.isolate && !desc.host {
+                    let blocked = fc.is_poisoned(dev, part) || {
+                        let t = fc.tainted.lock();
+                        !t.is_empty()
+                            && desc.reads.iter().chain(&desc.writes).any(|b| t.contains(b))
+                    };
+                    if blocked {
+                        fc.skip(si, ai, &desc.writes);
+                        continue;
+                    }
                 }
                 let t_dispatch = shared.recorder.map(|_| Instant::now());
                 // Host kernels take the host lock instead of a partition
@@ -507,7 +673,21 @@ fn drive_stream(shared: &RunShared<'_>, stream: &StreamRecord) {
                     );
                     now
                 });
-                let outcome = catch_unwind(AssertUnwindSafe(|| body(&mut kctx)));
+                let slow_factor = if desc.host {
+                    1.0
+                } else {
+                    fc.plan
+                        .as_ref()
+                        .map_or(1.0, |p| p.partition_slowdown(dev, part))
+                };
+                let body_started = (slow_factor > 1.0).then(Instant::now);
+                let injected = fc.plan.as_ref().is_some_and(|p| p.kernel_panics_at(si, ai));
+                let outcome = if injected {
+                    FaultTallies::bump(&fc.tallies.injected_kernel_panics);
+                    Err(Box::new("injected kernel panic") as Box<dyn std::any::Any + Send>)
+                } else {
+                    catch_unwind(AssertUnwindSafe(|| body(&mut kctx)))
+                };
                 if let Some(rec) = shared.recorder {
                     // Recorded even when the body panicked: the partial
                     // timeline then names the kernel that failed.
@@ -520,14 +700,38 @@ fn drive_stream(shared: &RunShared<'_>, stream: &StreamRecord) {
                     );
                 }
                 if outcome.is_err() {
-                    let mut slot = shared.first_error.lock();
-                    if slot.is_none() {
-                        *slot = Some(Error::KernelPanicked {
-                            kernel: desc.label.clone(),
-                        });
+                    FaultTallies::bump(&fc.tallies.kernel_panics);
+                    if fc.isolate && !desc.host {
+                        // Poison only this partition; the stream keeps
+                        // driving (later kernels here skip via the poison
+                        // check, its control actions keep the others
+                        // unblocked) and the replay pass reruns the loss.
+                        fc.poison(dev, part, &desc.label);
+                        fc.skip(si, ai, &desc.writes);
+                        let mut slot = shared.first_error.lock();
+                        if slot.is_none() {
+                            *slot = Some(Error::PartitionLost {
+                                device: dev,
+                                partition: part,
+                                kernel: desc.label.clone(),
+                            });
+                        }
+                    } else {
+                        let mut slot = shared.first_error.lock();
+                        if slot.is_none() {
+                            *slot = Some(Error::KernelPanicked {
+                                kernel: desc.label.clone(),
+                            });
+                        }
+                        skipping = true;
                     }
-                    skipping = true;
                 } else {
+                    if let Some(t0) = body_started {
+                        // Slow partition: stretch the kernel's occupation of
+                        // the partition (locks still held) to factor× the
+                        // body's own time.
+                        std::thread::sleep(t0.elapsed().mul_f64(slow_factor - 1.0));
+                    }
                     shared.executed.fetch_add(1, Ordering::Relaxed);
                 }
             }
@@ -543,7 +747,8 @@ fn finish(shared: RunShared<'_>, wall: Duration) -> Result<NativeReport> {
         wall,
         actions_executed: shared.executed.into_inner(),
         bytes_transferred: shared.bytes_moved.into_inner(),
-        trace: None, // attached by `run` from the trace guard
+        trace: None,                      // attached by `run` from the trace guard
+        faults: FaultCounters::default(), // filled by `run` from the tallies
     })
 }
 
@@ -600,7 +805,29 @@ pub fn run(ctx: &Context, cfg: &NativeConfig) -> Result<NativeReport> {
             actions_executed: 0,
             bytes_transferred: 0,
             trace: None,
+            faults: FaultCounters::default(),
         });
+    }
+
+    let fc = FaultControl::new(ctx, cfg);
+
+    // Injected allocation failures fire before any work starts: a buffer
+    // that cannot be materialized fails the whole run (nothing to replay).
+    if let Some(plan) = &fc.plan {
+        for i in 0..ctx.buffer_count() {
+            if plan.alloc_fails(i) {
+                FaultTallies::bump(&fc.tallies.alloc_faults);
+                ctx.store_recovery(RecoveryState {
+                    lost: Vec::new(),
+                    skipped: Vec::new(),
+                    faults: fc.tallies.snapshot(),
+                });
+                return Err(Error::Fault {
+                    site: format!("alloc b{i}"),
+                    attempts: 1,
+                });
+            }
+        }
     }
 
     // Materialize every buffer the program touches (storage is lazy so
@@ -629,18 +856,35 @@ pub fn run(ctx: &Context, cfg: &NativeConfig) -> Result<NativeReport> {
         ctx,
         recorder: cfg.trace.then(|| Recorder::new(ctx)),
     };
+    if let Some(rec) = guard.recorder.as_mut() {
+        rec.set_fault_tallies(Arc::clone(&fc.tallies));
+    }
     let result = if cfg.persistent {
-        run_persistent(ctx, cfg, threads_hint, guard.recorder.as_ref())
+        run_persistent(ctx, cfg, threads_hint, guard.recorder.as_ref(), &fc)
     } else {
-        run_scoped(ctx, cfg, threads_hint, guard.recorder.as_ref())
+        run_scoped(ctx, cfg, threads_hint, guard.recorder.as_ref(), &fc)
     };
     // Publish on the success path too, then attach the trace to the report;
     // on Err (kernel panic) the trace stays retrievable from the context.
     let trace = guard.publish();
-    result.map(|mut report| {
-        report.trace = trace;
-        report
-    })
+    let faults = fc.tallies.snapshot();
+    match result {
+        Ok(mut report) => {
+            report.trace = trace;
+            report.faults = faults;
+            Ok(report)
+        }
+        Err(err) => {
+            // Leave the pass's recovery material on the context so
+            // `run_native_resilient` can replan onto the survivors.
+            ctx.store_recovery(RecoveryState {
+                lost: fc.lost.into_inner(),
+                skipped: fc.skipped.into_inner(),
+                faults,
+            });
+            Err(err)
+        }
+    }
 }
 
 /// Execute on the context's persistent runtime: parked drivers, pinned
@@ -650,6 +894,7 @@ fn run_persistent(
     cfg: &NativeConfig,
     threads_hint: usize,
     recorder: Option<&Recorder>,
+    fault: &FaultControl,
 ) -> Result<NativeReport> {
     let rt = ctx.native_runtime();
     let _active = rt.run_lock.lock();
@@ -669,6 +914,7 @@ fn run_persistent(
         engine_tx: &rt.engine_tx,
         pool: Some(&rt.pool),
         recorder,
+        fault,
         first_error: Mutex::new(None),
         executed: AtomicUsize::new(0),
         bytes_moved: AtomicU64::new(0),
@@ -687,6 +933,7 @@ fn run_scoped(
     cfg: &NativeConfig,
     threads_hint: usize,
     recorder: Option<&Recorder>,
+    fault: &FaultControl,
 ) -> Result<NativeReport> {
     let streams = &ctx.program().streams;
     let n_streams = streams.len();
@@ -726,6 +973,7 @@ fn run_scoped(
         engine_tx: &engine_tx,
         pool: None,
         recorder,
+        fault,
         first_error: Mutex::new(None),
         executed: AtomicUsize::new(0),
         bytes_moved: AtomicU64::new(0),

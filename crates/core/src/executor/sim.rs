@@ -23,6 +23,7 @@ use micsim::trace::{overlap_stats, render_gantt, OverlapStats, ResourceKinds};
 
 use crate::action::Action;
 use crate::context::Context;
+use crate::fault::{FaultPlan, RetryPolicy};
 use crate::types::{Error, Result};
 
 /// Result of a simulated run.
@@ -61,8 +62,31 @@ impl SimReport {
 
 /// Validate and simulate the context's recorded program.
 pub fn run(ctx: &Context) -> Result<SimReport> {
+    run_with(ctx, None, &RetryPolicy::default())
+}
+
+/// Simulate under a fault plan: failed transfer attempts and their backoffs
+/// are priced on the link, slow partitions stretch kernel time, injected
+/// kernel panics surface as [`Error::PartitionLost`], and allocation faults
+/// abort before the run starts — mirroring what the native executor does
+/// with the same plan.
+pub fn run_with(
+    ctx: &Context,
+    fault: Option<&FaultPlan>,
+    retry: &RetryPolicy,
+) -> Result<SimReport> {
     ctx.program.validate()?;
     check_device_memory(ctx)?;
+    if let Some(plan) = fault {
+        for i in 0..ctx.buffers.len() {
+            if plan.alloc_fails(i) {
+                return Err(Error::Fault {
+                    site: format!("alloc b{i}"),
+                    attempts: 1,
+                });
+            }
+        }
+    }
 
     let cfg = ctx.config().clone();
     let program = &ctx.program;
@@ -166,11 +190,56 @@ pub fn run(ctx: &Context) -> Result<SimReport> {
                         let bytes = ctx.buffer(*buf)?.bytes();
                         let dev_idx = stream.placement.device.0;
                         let chan = cfg.link.channel_for(*dir);
+                        let link_res = link_channels[dev_idx][chan];
+                        let idx = cursor[si];
+                        let (fail_attempts, slowdown) = match fault {
+                            Some(plan) => (
+                                plan.transfer_fail_attempts(si, idx),
+                                plan.transfer_slowdown(si, idx),
+                            ),
+                            None => (0, 1.0),
+                        };
+                        if fail_attempts > retry.max_retries {
+                            return Err(Error::Fault {
+                                site: format!("transfer s{si}#{idx}"),
+                                attempts: retry.max_retries + 1,
+                            });
+                        }
+                        let wire_time = if slowdown > 1.0 {
+                            cfg.link.degraded_transfer_time(bytes, slowdown)
+                        } else {
+                            cfg.link.transfer_time(bytes)
+                        };
+                        // Price each failed attempt as a full occupation of
+                        // the link, followed by the retry backoff off-link.
+                        for attempt in 0..fail_attempts {
+                            let failed = add(
+                                &mut engine,
+                                TaskSpec {
+                                    resource: Some(link_res),
+                                    duration: wire_time + cfg.enqueue_overhead,
+                                    deps: deps.clone(),
+                                    label: format!("{}!fail{attempt}", action.label()),
+                                },
+                            )?;
+                            let backoff = add(
+                                &mut engine,
+                                TaskSpec {
+                                    resource: None,
+                                    duration: SimDuration::from_secs_f64(
+                                        retry.backoff_for(attempt).as_secs_f64(),
+                                    ),
+                                    deps: vec![failed],
+                                    label: format!("{}!backoff{attempt}", action.label()),
+                                },
+                            )?;
+                            deps = vec![backoff];
+                        }
                         add(
                             &mut engine,
                             TaskSpec {
-                                resource: Some(link_channels[dev_idx][chan]),
-                                duration: cfg.link.transfer_time(bytes) + cfg.enqueue_overhead,
+                                resource: Some(link_res),
+                                duration: wire_time + cfg.enqueue_overhead,
                                 deps,
                                 label: action.label(),
                             },
@@ -195,11 +264,28 @@ pub fn run(ctx: &Context) -> Result<SimReport> {
                         let placement = stream.placement;
                         let plan = ctx.platform.plan(placement.device)?;
                         let part = &plan.partitions[placement.partition];
+                        if let Some(fp) = fault {
+                            if fp.kernel_panics_at(si, cursor[si]) {
+                                return Err(Error::PartitionLost {
+                                    device: placement.device.0,
+                                    partition: placement.partition,
+                                    kernel: desc.label.clone(),
+                                });
+                            }
+                        }
                         let inv = KernelInvocation {
                             profile: &desc.profile,
                             work: desc.work,
                         };
-                        let duration = cfg.compute.kernel_time(&inv, part) + cfg.enqueue_overhead;
+                        let mut body = cfg.compute.kernel_time(&inv, part)?;
+                        if let Some(fp) = fault {
+                            let factor =
+                                fp.partition_slowdown(placement.device.0, placement.partition);
+                            if factor > 1.0 {
+                                body = SimDuration::from_secs_f64(body.as_secs_f64() * factor);
+                            }
+                        }
+                        let duration = body + cfg.enqueue_overhead;
                         add(
                             &mut engine,
                             TaskSpec {

@@ -63,6 +63,7 @@ pub mod api;
 pub mod buffer;
 pub mod context;
 pub mod executor;
+pub mod fault;
 pub mod kernel;
 pub mod parallel;
 pub mod place;
@@ -77,6 +78,7 @@ pub use buffer::{Buffer, Elem};
 pub use context::Context;
 pub use executor::native::{NativeConfig, NativeReport};
 pub use executor::sim::SimReport;
+pub use fault::{FaultCounters, FaultPlan, RecoveryState, ResilientReport, RetryPolicy};
 pub use kernel::{KernelCtx, KernelDesc, KernelFn};
 pub use place::ResourceView;
 pub use plan::{enqueue_tiles, FlowMode, TileTask};

@@ -31,7 +31,7 @@
 
 use std::cell::RefCell;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -78,6 +78,11 @@ struct Shared {
     next: AtomicUsize,
     /// First panic payload raised by a worker during the current job.
     panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    /// Lifetime count of task panics caught on this group's threads (the
+    /// submitter's own share included). Diagnostic for chaos runs: the
+    /// fault counters say what the runtime *did* about panics, this says
+    /// how many the pool ever swallowed-and-reraised.
+    panics_observed: AtomicU64,
 }
 
 /// A set of persistent threads executing chunked jobs. See module docs.
@@ -102,6 +107,7 @@ impl WorkerGroup {
             done_cv: Condvar::new(),
             next: AtomicUsize::new(0),
             panic: Mutex::new(None),
+            panics_observed: AtomicU64::new(0),
         });
         let handles = (0..extra_workers)
             .map(|i| {
@@ -118,6 +124,12 @@ impl WorkerGroup {
     /// Persistent threads owned by this group.
     pub fn worker_count(&self) -> usize {
         self.handles.len()
+    }
+
+    /// Task panics this group has caught over its lifetime (each one was
+    /// re-raised on the submitting thread; see module docs).
+    pub fn panics_observed(&self) -> u64 {
+        self.shared.panics_observed.load(Ordering::Relaxed)
     }
 
     /// Run `task(idx)` for every `idx in 0..parts`, splitting the indices
@@ -200,10 +212,16 @@ impl WorkerGroup {
             }
             st.job = None;
         }
+        // Take the stored payload *before* unwinding: `resume_unwind` inside
+        // an `if let` on `panic.lock().take()` would hold the guard across
+        // the unwind and poison the mutex, killing the next panicking job's
+        // worker outside its catch (and deadlocking the group).
+        let stored = shared.panic.lock().take();
         if let Err(payload) = own {
+            shared.panics_observed.fetch_add(1, Ordering::Relaxed);
             resume_unwind(payload);
         }
-        if let Some(payload) = shared.panic.lock().take() {
+        if let Some(payload) = stored {
             resume_unwind(payload);
         }
     }
@@ -262,6 +280,7 @@ fn worker_loop(shared: &Shared, worker_idx: usize) {
             }
         }));
         if let Err(payload) = outcome {
+            shared.panics_observed.fetch_add(1, Ordering::Relaxed);
             let mut slot = shared.panic.lock();
             if slot.is_none() {
                 *slot = Some(payload);
@@ -454,12 +473,33 @@ mod tests {
         .unwrap_err();
         let msg = err.downcast_ref::<&str>().copied().unwrap_or_default();
         assert!(msg.contains("chunk 5"), "unexpected payload: {msg}");
+        assert!(group.panics_observed() >= 1, "panic was counted");
         // The group still works after the panic.
         let count = AtomicU64::new(0);
         group.run_chunked(8, &|_| {
             count.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(count.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn panics_observed_counts_across_jobs() {
+        let group = WorkerGroup::new("t8", 2);
+        assert_eq!(group.panics_observed(), 0);
+        for round in 0..3 {
+            let _ = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                group.run_chunked(4, &|idx| {
+                    if idx == 0 {
+                        panic!("round {round}");
+                    }
+                });
+            }));
+        }
+        // Exactly one payload per job is counted on whichever thread ran
+        // index 0; healthy jobs add nothing.
+        assert_eq!(group.panics_observed(), 3);
+        group.run_chunked(4, &|_| {});
+        assert_eq!(group.panics_observed(), 3);
     }
 
     #[test]

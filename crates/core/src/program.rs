@@ -20,7 +20,7 @@ pub struct StreamPlacement {
 }
 
 /// One stream: a FIFO queue of actions bound to a placement.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct StreamRecord {
     /// The stream's id.
     pub id: StreamId,
@@ -40,7 +40,11 @@ pub struct EventSite {
 }
 
 /// A fully recorded streamed program.
-#[derive(Debug, Default)]
+///
+/// `Clone` exists so [`Context::run_native_resilient`]
+/// (crate::context::Context) can swap in a replay program and restore the
+/// original afterwards.
+#[derive(Clone, Debug, Default)]
 pub struct Program {
     /// All streams, indexed by `StreamId.0`.
     pub streams: Vec<StreamRecord>,

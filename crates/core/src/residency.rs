@@ -26,7 +26,7 @@
 use std::collections::HashMap;
 
 use crate::context::Context;
-use crate::types::{BufId, EventId, Result, StreamId};
+use crate::types::{BufId, Error, EventId, Result, StreamId};
 
 /// Tracks, per `(buffer, card)`, the stream holding the current copy and
 /// the event marking its readiness.
@@ -84,9 +84,11 @@ impl ResidencyTracker {
     /// lives on another stream of the same card, or mirror it with an extra
     /// H2D if it only exists on another card.
     ///
-    /// # Panics
-    /// Panics if `buf` was never [`produced`](Self::produced) — consuming a
-    /// buffer before any producer is a program bug.
+    /// # Errors
+    /// Returns [`Error::BufferNotProduced`] if `buf` was never
+    /// [`produced`](Self::produced) — consuming a buffer before any producer
+    /// is a program bug, reported as a typed error so tile generators (and
+    /// the tuner driving them) can surface it instead of crashing.
     pub fn ensure_readable(
         &mut self,
         ctx: &mut Context,
@@ -110,7 +112,7 @@ impl ResidencyTracker {
             .filter(|((b, _), _)| *b == buf)
             .map(|(_, &(owner, e))| (owner, e))
             .min_by_key(|&(owner, _)| owner)
-            .unwrap_or_else(|| panic!("buffer {buf} consumed before it was produced"));
+            .ok_or(Error::BufferNotProduced { buf, stream })?;
         if src.0 != stream {
             ctx.wait_event(stream, src.1)?;
         }
@@ -209,8 +211,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "consumed before it was produced")]
-    fn consuming_unproduced_buffer_panics() {
+    fn consuming_unproduced_buffer_is_a_typed_error() {
         let mut ctx = Context::builder(PlatformConfig::phi_31sp())
             .partitions(1)
             .build()
@@ -218,6 +219,13 @@ mod tests {
         let mut tracker = ResidencyTracker::new();
         let b = ctx.alloc("b", 8);
         let s0 = ctx.stream(0).unwrap();
-        tracker.ensure_readable(&mut ctx, b, s0).unwrap();
+        let err = tracker.ensure_readable(&mut ctx, b, s0).unwrap_err();
+        assert!(
+            matches!(err, Error::BufferNotProduced { buf, stream } if buf == b && stream == s0),
+            "{err}"
+        );
+        // The program is untouched: no half-recorded wait/transfer.
+        assert_eq!(ctx.program().action_count(), 0);
+        assert_eq!(tracker.copies(), 0);
     }
 }

@@ -209,6 +209,9 @@ pub struct NativeCounters {
     pub pool_queue_depth_hwm: usize,
     /// Chunked pool jobs submitted by kernel bodies during the run.
     pub pool_jobs: usize,
+    /// Fault-path totals (retries, panics, skips) for this run; all zero on
+    /// a clean run without a fault plan.
+    pub faults: crate::fault::FaultCounters,
 }
 
 // ----- the public trace -----------------------------------------------------
@@ -261,6 +264,9 @@ pub(crate) struct Recorder {
     copy_queue_hwm: AtomicUsize,
     pool_queue_hwm: Arc<AtomicUsize>,
     pool_jobs: Arc<AtomicUsize>,
+    /// The run's fault tallies, attached by the executor when a fault plan
+    /// or isolation mode is active so the trace's counters carry them.
+    fault_tallies: Option<Arc<crate::fault::FaultTallies>>,
 }
 
 impl Recorder {
@@ -282,7 +288,13 @@ impl Recorder {
             copy_queue_hwm: AtomicUsize::new(0),
             pool_queue_hwm: Arc::new(AtomicUsize::new(0)),
             pool_jobs: Arc::new(AtomicUsize::new(0)),
+            fault_tallies: None,
         }
+    }
+
+    /// Wire the executor's fault tallies into the trace's counters.
+    pub(crate) fn set_fault_tallies(&mut self, tallies: Arc<crate::fault::FaultTallies>) {
+        self.fault_tallies = Some(tallies);
     }
 
     pub(crate) fn link_lane(&self, device: usize, channel: usize) -> ResourceId {
@@ -419,6 +431,11 @@ impl Recorder {
                 copy_queue_depth_hwm: self.copy_queue_hwm.load(Ordering::Relaxed),
                 pool_queue_depth_hwm: self.pool_queue_hwm.load(Ordering::Relaxed),
                 pool_jobs: self.pool_jobs.load(Ordering::Relaxed),
+                faults: self
+                    .fault_tallies
+                    .as_ref()
+                    .map(|t| t.snapshot())
+                    .unwrap_or_default(),
             },
         }
     }

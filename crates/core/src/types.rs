@@ -84,6 +84,31 @@ pub enum Error {
         /// Kernel label.
         kernel: String,
     },
+    /// An injected or real fault exhausted its recovery budget.
+    Fault {
+        /// Where the fault fired (e.g. `"transfer s2#5"`, `"alloc b7"`).
+        site: String,
+        /// Attempts made before giving up (1 = no retries granted).
+        attempts: u32,
+    },
+    /// A partition was poisoned by a kernel panic and taken out of service.
+    PartitionLost {
+        /// Device index of the lost partition.
+        device: usize,
+        /// Partition index on that device.
+        partition: usize,
+        /// Label of the kernel whose panic poisoned it.
+        kernel: String,
+    },
+    /// A buffer was consumed on-device before any action produced it there.
+    BufferNotProduced {
+        /// The unproduced buffer.
+        buf: BufId,
+        /// The stream that tried to consume it.
+        stream: StreamId,
+    },
+    /// Kernel cost model rejected a launch (e.g. an empty partition).
+    Compute(micsim::compute::ComputeError),
 }
 
 impl fmt::Display for Error {
@@ -118,6 +143,29 @@ impl fmt::Display for Error {
             Error::KernelPanicked { kernel } => {
                 write!(f, "kernel {kernel:?} panicked during native execution")
             }
+            Error::Fault { site, attempts } => {
+                write!(
+                    f,
+                    "fault at {site} not recovered after {attempts} attempt(s)"
+                )
+            }
+            Error::PartitionLost {
+                device,
+                partition,
+                kernel,
+            } => {
+                write!(
+                    f,
+                    "partition {partition} on device {device} lost to a panic in kernel {kernel:?}"
+                )
+            }
+            Error::BufferNotProduced { buf, stream } => {
+                write!(
+                    f,
+                    "stream {stream} consumes buffer {buf} before any action produced it"
+                )
+            }
+            Error::Compute(e) => write!(f, "compute model error: {e}"),
         }
     }
 }
@@ -126,6 +174,7 @@ impl std::error::Error for Error {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             Error::Platform(e) => Some(e),
+            Error::Compute(e) => Some(e),
             _ => None,
         }
     }
@@ -134,6 +183,12 @@ impl std::error::Error for Error {
 impl From<micsim::fabric::FabricError> for Error {
     fn from(e: micsim::fabric::FabricError) -> Self {
         Error::Platform(e)
+    }
+}
+
+impl From<micsim::compute::ComputeError> for Error {
+    fn from(e: micsim::compute::ComputeError) -> Self {
+        Error::Compute(e)
     }
 }
 
@@ -166,6 +221,40 @@ mod tests {
             event: EventId(4),
         };
         assert!(e.to_string().contains("s1"));
+    }
+
+    #[test]
+    fn fault_errors_format_usefully() {
+        let e = Error::Fault {
+            site: "transfer s2#5".into(),
+            attempts: 4,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("transfer s2#5") && msg.contains('4'));
+
+        let e = Error::PartitionLost {
+            device: 0,
+            partition: 3,
+            kernel: "gemm".into(),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("partition 3") && msg.contains("gemm"));
+
+        let e = Error::BufferNotProduced {
+            buf: BufId(7),
+            stream: StreamId(1),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("b7") && msg.contains("s1"));
+    }
+
+    #[test]
+    fn compute_errors_convert_with_source() {
+        let ce = micsim::compute::ComputeError::EmptyPartition { kernel: "k".into() };
+        let e: Error = ce.into();
+        assert!(matches!(e, Error::Compute(_)));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(e.to_string().contains("empty partition"));
     }
 
     #[test]

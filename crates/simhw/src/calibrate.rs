@@ -159,7 +159,7 @@ mod tests {
             profile: &profile,
             work: elements * 40.0,
         };
-        let kt = cfg.compute.kernel_time(&inv, &plan.partitions[0]);
+        let kt = cfg.compute.kernel_time(&inv, &plan.partitions[0]).unwrap();
         let k_ms = kt.as_millis_f64();
         assert!(
             (k_ms - t_ms).abs() / t_ms < 0.15,

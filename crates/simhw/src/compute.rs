@@ -19,8 +19,35 @@
 //!    plus an optional cache-locality bonus for compact partitions
 //!    (Hotspot's dip at P≈33–37, Fig. 9(d)).
 
+use std::fmt;
+
 use crate::partition::Partition;
 use crate::time::SimDuration;
+
+/// Errors from the kernel cost model.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ComputeError {
+    /// A kernel was priced on a partition with zero capacity (no threads /
+    /// no cores) — it could never finish. Callers should surface this as a
+    /// failed run rather than crash: an autotuning sweep prunes the
+    /// candidate and moves on.
+    EmptyPartition {
+        /// The kernel that was launched.
+        kernel: String,
+    },
+}
+
+impl fmt::Display for ComputeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ComputeError::EmptyPartition { kernel } => {
+                write!(f, "kernel {kernel:?} launched on empty partition")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ComputeError {}
 
 /// Per-core throughput with 1..=4 resident hardware threads, in
 /// *thread-equivalents* (the unit [`KernelProfile::thread_rate`] is defined
@@ -182,13 +209,21 @@ impl ComputeModel {
     }
 
     /// Price one kernel invocation on one partition.
-    pub fn kernel_time(&self, inv: &KernelInvocation<'_>, part: &Partition) -> SimDuration {
+    ///
+    /// Returns [`ComputeError::EmptyPartition`] when `part` has zero
+    /// capacity — such a kernel can never finish, and a run pricing it must
+    /// fail rather than report a zero-cost launch.
+    pub fn kernel_time(
+        &self,
+        inv: &KernelInvocation<'_>,
+        part: &Partition,
+    ) -> Result<SimDuration, ComputeError> {
         let profile = inv.profile;
         let capacity = self.partition_capacity(part);
         if capacity <= 0.0 {
-            // A partition with no threads can never finish the kernel; make
-            // that impossible to miss rather than returning zero.
-            panic!("kernel {:?} launched on empty partition", profile.name);
+            return Err(ComputeError::EmptyPartition {
+                kernel: profile.name.clone(),
+            });
         }
         let eff = self.parallel_efficiency(profile, inv.work, part.threads);
         let sharing = if part.shares_core {
@@ -200,7 +235,7 @@ impl ComputeModel {
         let rate = profile.thread_rate * capacity * eff * sharing * cache;
         let compute = SimDuration::from_secs_f64(inv.work / rate);
         let alloc = SimDuration::from_nanos(profile.alloc_per_thread.nanos() * part.threads as u64);
-        self.launch_overhead + alloc + compute
+        Ok(self.launch_overhead + alloc + compute)
     }
 }
 
@@ -324,7 +359,7 @@ mod tests {
             profile: &prof,
             work: 100.8e9, // exactly 1 second at full capacity
         };
-        let t = m.kernel_time(&inv, &plan.partitions[0]);
+        let t = m.kernel_time(&inv, &plan.partitions[0]).unwrap();
         let secs = t.as_secs_f64();
         assert!((secs - 1.0 - 60e-6).abs() < 1e-6, "t={secs}");
     }
@@ -339,8 +374,8 @@ mod tests {
             profile: &prof,
             work: 1e9,
         };
-        let t_aligned = m.kernel_time(&inv, &aligned.partitions[0]);
-        let t_shared_mid = m.kernel_time(&inv, &shared.partitions[1]);
+        let t_aligned = m.kernel_time(&inv, &aligned.partitions[0]).unwrap();
+        let t_shared_mid = m.kernel_time(&inv, &shared.partitions[1]).unwrap();
         // Middle partition of P=3 shares cores on both sides; even though it
         // has MORE threads (74 vs 56), the 0.8 contention factor plus capacity
         // math must make it slower per unit of work-per-capacity. Compare
@@ -395,16 +430,15 @@ mod tests {
         };
         let big = plan(1); // 224 threads
         let small = plan(56); // 4 threads
-        let t_big = m.kernel_time(&inv, &big.partitions[0]);
-        let t_small = m.kernel_time(&inv, &small.partitions[0]);
+        let t_big = m.kernel_time(&inv, &big.partitions[0]).unwrap();
+        let t_small = m.kernel_time(&inv, &small.partitions[0]).unwrap();
         // Alloc dominates: 2240us vs 40us (plus 60us launch each).
         assert!(t_big.as_micros_f64() > 2000.0);
         assert!(t_small.as_micros_f64() < 200.0);
     }
 
     #[test]
-    #[should_panic(expected = "empty partition")]
-    fn kernel_on_empty_partition_panics() {
+    fn kernel_on_empty_partition_is_a_typed_error() {
         let m = model();
         let prof = KernelProfile::streaming("k", 1e9);
         let p = Partition {
@@ -418,6 +452,13 @@ mod tests {
             profile: &prof,
             work: 1.0,
         };
-        m.kernel_time(&inv, &p);
+        let err = m.kernel_time(&inv, &p).unwrap_err();
+        assert_eq!(
+            err,
+            ComputeError::EmptyPartition {
+                kernel: "k".to_string()
+            }
+        );
+        assert!(err.to_string().contains("empty partition"));
     }
 }

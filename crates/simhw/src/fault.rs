@@ -1,0 +1,108 @@
+//! Deterministic fault-decision primitive for chaos testing.
+//!
+//! Fault injection has to be **reproducible**: the same seed and the same
+//! program must fail in exactly the same places on every run, on every
+//! thread interleaving, or a chaos test is itself flaky. [`FaultDie`] gives
+//! each injection *site* (an arbitrary tuple of integers — stream index,
+//! action index, buffer id, ...) its own stateless uniform draw by hashing
+//! the seed with the site through a splitmix64 finalizer. No wall clock, no
+//! shared RNG state, no ordering dependence: concurrent executors asking
+//! about the same site always get the same answer.
+//!
+//! The `hstreams` crate builds its `FaultPlan` on top of this die; the
+//! engine-side models ([`crate::compute`], [`crate::pcie`]) expose the hook
+//! points the plan perturbs.
+
+/// SplitMix64 finalizer: a cheap, well-distributed 64-bit mixing function.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A seeded, stateless source of per-site uniform draws. See module docs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultDie {
+    seed: u64,
+}
+
+impl FaultDie {
+    /// A die for `seed`. Two dice with the same seed agree on every site.
+    pub fn new(seed: u64) -> FaultDie {
+        FaultDie { seed }
+    }
+
+    /// The seed this die was built with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Mix `site` into a 64-bit hash under this die's seed.
+    pub fn hash(&self, site: &[u64]) -> u64 {
+        let mut h = splitmix64(self.seed ^ 0xA076_1D64_78BD_642F);
+        for &s in site {
+            h = splitmix64(h ^ s);
+        }
+        h
+    }
+
+    /// A uniform draw in `[0, 1)` for `site`.
+    pub fn roll(&self, site: &[u64]) -> f64 {
+        // 53 high bits -> exactly representable dyadic rational in [0, 1).
+        (self.hash(site) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Whether `site` is selected at probability `rate` (clamped to
+    /// `[0, 1]`). `rate >= 1.0` always hits, `rate <= 0.0` never does.
+    pub fn hits(&self, site: &[u64], rate: f64) -> bool {
+        self.roll(site) < rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_site_same_answer() {
+        let a = FaultDie::new(42);
+        let b = FaultDie::new(42);
+        for s in 0..100u64 {
+            assert_eq!(a.roll(&[1, s]), b.roll(&[1, s]));
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let a = FaultDie::new(1);
+        let b = FaultDie::new(2);
+        let agree = (0..1000u64).filter(|&s| a.hits(&[s], 0.5) == b.hits(&[s], 0.5));
+        assert!(agree.count() < 650, "seeds should decorrelate the draws");
+    }
+
+    #[test]
+    fn rolls_are_roughly_uniform() {
+        let die = FaultDie::new(7);
+        let n = 10_000u64;
+        let hits = (0..n).filter(|&s| die.hits(&[3, s], 0.25)).count();
+        let frac = hits as f64 / n as f64;
+        assert!((frac - 0.25).abs() < 0.02, "hit rate {frac}");
+    }
+
+    #[test]
+    fn rate_extremes_clamp() {
+        let die = FaultDie::new(0);
+        assert!(die.hits(&[1], 1.0));
+        assert!(!die.hits(&[1], 0.0));
+        assert!(die.hits(&[1], 2.0));
+        assert!(!die.hits(&[1], -1.0));
+    }
+
+    #[test]
+    fn site_order_matters() {
+        let die = FaultDie::new(9);
+        assert_ne!(die.hash(&[1, 2]), die.hash(&[2, 1]));
+        assert_ne!(die.hash(&[1]), die.hash(&[1, 0]));
+    }
+}

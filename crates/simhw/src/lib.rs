@@ -57,6 +57,7 @@ pub mod device;
 pub mod engine;
 pub mod event;
 pub mod fabric;
+pub mod fault;
 pub mod memory;
 pub mod partition;
 pub mod pcie;
@@ -68,6 +69,7 @@ pub use calibrate::PlatformConfig;
 pub use device::{DeviceId, DeviceSpec};
 pub use engine::{Engine, ResourceId, TaskId, TaskSpec, Timeline};
 pub use fabric::SimPlatform;
+pub use fault::FaultDie;
 pub use partition::{Partition, PartitionPlan};
 pub use pcie::{Direction, Duplex, LinkModel};
 pub use time::{SimDuration, SimTime};

@@ -87,6 +87,18 @@ impl LinkModel {
         self.latency + SimDuration::from_secs_f64(bytes as f64 / self.bandwidth)
     }
 
+    /// Time for one transfer of `bytes` on a degraded link: the bandwidth
+    /// term is stretched by `slowdown` (≥ 1.0; values below 1 are treated as
+    /// a healthy link). Fault-injection hook — a congested or flaky link
+    /// keeps its per-transfer latency but delivers bytes slower.
+    pub fn degraded_transfer_time(&self, bytes: u64, slowdown: f64) -> SimDuration {
+        if bytes == 0 {
+            return self.latency;
+        }
+        let slowdown = slowdown.max(1.0);
+        self.latency + SimDuration::from_secs_f64(bytes as f64 * slowdown / self.bandwidth)
+    }
+
     /// Time to move `blocks` transfers of `block_bytes` back-to-back on one
     /// channel.
     pub fn batch_time(&self, blocks: usize, block_bytes: u64) -> SimDuration {

@@ -287,8 +287,8 @@ proptest! {
 
         let profile = KernelProfile::streaming("k", 1e9);
         let inv = KernelInvocation { profile: &profile, work: 1e9 };
-        let t_small = model.kernel_time(&inv, &span(threads));
-        let t_large = model.kernel_time(&inv, &span(threads + extra));
+        let t_small = model.kernel_time(&inv, &span(threads)).unwrap();
+        let t_large = model.kernel_time(&inv, &span(threads + extra)).unwrap();
         prop_assert!(t_large <= t_small);
     }
 }

@@ -11,8 +11,11 @@
 //! and never respawned — hundreds of trials cost hundreds of runs, not
 //! hundreds of thread-pool startups.
 
+use std::sync::Arc;
+
 use hstreams::context::Context;
 use hstreams::executor::native::NativeConfig;
+use hstreams::FaultPlan;
 use micsim::PlatformConfig;
 
 use mic_apps::tunable::Tunable;
@@ -88,6 +91,20 @@ impl Evaluator for SimEvaluator {
 pub struct NativeEvaluator {
     ctx: Context,
     cfg: NativeConfig,
+    faulted: Vec<FaultedTrial>,
+}
+
+/// A `(P, T)` candidate whose native run failed (e.g. under an injected
+/// [`FaultPlan`]): recorded instead of silently dropped, so a chaos sweep
+/// can report *which* trials a fault killed while the tuner keeps sweeping.
+#[derive(Clone, Debug)]
+pub struct FaultedTrial {
+    /// Partition count of the failed trial.
+    pub p: usize,
+    /// Task count of the failed trial.
+    pub t: usize,
+    /// The error's display form.
+    pub error: String,
 }
 
 impl NativeEvaluator {
@@ -107,7 +124,22 @@ impl NativeEvaluator {
                 persistent: true,
                 ..NativeConfig::default()
             },
+            faulted: Vec::new(),
         })
+    }
+
+    /// Inject `plan` into every trial (chaos sweeps): each native run rolls
+    /// the plan's dice, and a trial the faults kill is recorded in
+    /// [`faulted_trials`](NativeEvaluator::faulted_trials) and skipped
+    /// instead of aborting the sweep.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> NativeEvaluator {
+        self.cfg.fault = Some(Arc::new(plan));
+        self
+    }
+
+    /// Trials whose native run failed, in evaluation order.
+    pub fn faulted_trials(&self) -> &[FaultedTrial] {
+        &self.faulted
     }
 
     /// Threads owned by the persistent runtime, once the first trial ran.
@@ -130,9 +162,22 @@ impl Evaluator for NativeEvaluator {
         if !app.feasible(t) {
             return None;
         }
-        self.ctx.replan(p).ok()?;
-        app.record(&mut self.ctx, t).ok()?;
-        let report = self.ctx.run_native_with(&self.cfg).ok()?;
+        if self.ctx.replan(p).is_err() || app.record(&mut self.ctx, t).is_err() {
+            return None;
+        }
+        let report = match self.ctx.run_native_with(&self.cfg) {
+            Ok(report) => report,
+            Err(err) => {
+                // A faulted run must not abort the sweep: record it so the
+                // caller can tell *which* candidates died, then move on.
+                self.faulted.push(FaultedTrial {
+                    p,
+                    t,
+                    error: err.to_string(),
+                });
+                return None;
+            }
+        };
         match report.trace {
             Some(trace) => {
                 let stats = trace.overlap();
@@ -185,6 +230,25 @@ mod tests {
             assert!(m.seconds > 0.0);
             assert_eq!(ev.thread_count(), Some(threads), "pool respawned at P={p}");
         }
+    }
+
+    #[test]
+    fn faulted_trials_are_recorded_not_fatal() {
+        let plan = FaultPlan::seeded(7).alloc_failures(1.0);
+        let mut ev = NativeEvaluator::new(PlatformConfig::phi_31sp(), 4)
+            .unwrap()
+            .with_fault_plan(plan);
+        let mut app = TunableHbench::new(1 << 12, 2, Some(5));
+        assert!(ev.evaluate(&mut app, 2, 2).is_none(), "faulted trial skips");
+        assert!(ev.evaluate(&mut app, 4, 2).is_none());
+        let faulted = ev.faulted_trials();
+        assert_eq!(faulted.len(), 2);
+        assert_eq!((faulted[0].p, faulted[0].t), (2, 2));
+        assert!(
+            faulted[0].error.contains("fault at alloc"),
+            "typed error surfaced: {}",
+            faulted[0].error
+        );
     }
 
     #[test]

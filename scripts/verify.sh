@@ -19,6 +19,12 @@ cargo build --release --examples
 echo "==> tier-1: cargo test -q"
 cargo test -q
 
+echo "==> fault-injection suite"
+cargo test -q -p hstreams --test fault_injection
+
+echo "==> chaos suite (quick: retry + degraded recovery keep MM's output exact)"
+cargo run --release -p mic-bench --bin chaos -- --quick
+
 echo "==> sim-vs-native trace comparator (tiny workload)"
 cargo run --release -p mic-bench --bin native_vs_sim_trace -- --quick
 

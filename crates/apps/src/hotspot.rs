@@ -70,6 +70,7 @@ pub struct HotspotBuffers {
     pub result_in_a: bool,
 }
 
+#[derive(Clone, Copy)]
 struct StencilShape {
     cols: usize,
     rows: usize,
@@ -138,7 +139,10 @@ pub fn build(ctx: &mut Context, cfg: &HotspotConfig) -> Result<HotspotBuffers> {
     cfg.validate().map_err(hstreams::Error::Config)?;
     let streams = ctx.stream_count();
     let ranges = util::split_ranges(cfg.rows, cfg.tiles);
-    let tile_rows: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
+    let tile_rows: Vec<usize> = ranges
+        .iter()
+        .map(std::iter::ExactSizeIterator::len)
+        .collect();
     let nt = tile_rows.len();
     let cols = cfg.cols;
 

@@ -163,7 +163,10 @@ fn reduce_kernel(label: String, cfg: &KmeansConfig, tiles: usize) -> KernelDesc 
 pub fn build(ctx: &mut Context, cfg: &KmeansConfig) -> Result<KmeansBuffers> {
     cfg.validate().map_err(hstreams::Error::Config)?;
     let ranges = util::split_ranges(cfg.points, cfg.tiles);
-    let tile_sizes: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
+    let tile_sizes: Vec<usize> = ranges
+        .iter()
+        .map(std::iter::ExactSizeIterator::len)
+        .collect();
 
     let point_tiles: Vec<BufId> = tile_sizes
         .iter()

@@ -86,7 +86,10 @@ fn distance_kernel(label: String, chunk: usize, target: (f32, f32)) -> KernelDes
 pub fn build(ctx: &mut Context, cfg: &NnConfig) -> Result<NnBuffers> {
     cfg.validate().map_err(hstreams::Error::Config)?;
     let ranges = util::split_ranges(cfg.records, cfg.tiles);
-    let tile_sizes: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
+    let tile_sizes: Vec<usize> = ranges
+        .iter()
+        .map(std::iter::ExactSizeIterator::len)
+        .collect();
     let record_tiles: Vec<BufId> = tile_sizes
         .iter()
         .enumerate()

@@ -114,6 +114,7 @@ fn q0_kernel(label: String, total_pixels: usize, tiles: usize) -> KernelDesc {
     })
 }
 
+#[derive(Clone, Copy)]
 struct TileShape {
     rows: usize,
     cols: usize,
@@ -265,7 +266,10 @@ pub fn build(ctx: &mut Context, cfg: &SradConfig) -> Result<SradBuffers> {
     cfg.validate().map_err(hstreams::Error::Config)?;
     let streams = ctx.stream_count();
     let ranges = util::split_ranges(cfg.rows, cfg.tiles);
-    let tile_rows: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
+    let tile_rows: Vec<usize> = ranges
+        .iter()
+        .map(std::iter::ExactSizeIterator::len)
+        .collect();
     let nt = tile_rows.len();
     let cols = cfg.cols;
 

@@ -11,7 +11,7 @@
 //! The split of responsibilities with `stream-tune` is deliberate:
 //! everything an application intrinsically knows (its transfer volume,
 //! total kernel work, calibrated per-thread rate — [`PipelineCosts`]) lives
-//! here next to the builders and [`profiles`](crate::profiles); the tuner
+//! here next to the builders and [`profiles`]; the tuner
 //! combines those costs with a platform description to seed its model-first
 //! search order.
 
@@ -39,7 +39,7 @@ pub struct PipelineCosts {
     /// Total kernel work, in the unit of `thread_rate`.
     pub kernel_work: f64,
     /// Work units per second per device thread-equivalent (from
-    /// [`profiles`](crate::profiles)).
+    /// [`profiles`]).
     pub thread_rate: f64,
 }
 

@@ -59,7 +59,7 @@ fn bench_event_queue(c: &mut Criterion) {
                 sum = sum.wrapping_add(v);
             }
             sum
-        })
+        });
     });
 }
 

@@ -38,14 +38,14 @@ fn record_program(tiles: usize) -> Context {
 
 fn bench_recording(c: &mut Criterion) {
     c.bench_function("runtime/record_128_tiles", |b| {
-        b.iter(|| record_program(128))
+        b.iter(|| record_program(128));
     });
 }
 
 fn bench_sim_executor(c: &mut Criterion) {
     let ctx = record_program(128);
     c.bench_function("runtime/simulate_128_tiles", |b| {
-        b.iter(|| ctx.run_sim().unwrap())
+        b.iter(|| ctx.run_sim().unwrap());
     });
 }
 
@@ -67,7 +67,7 @@ fn bench_native_executor(c: &mut Criterion) {
     )
     .unwrap();
     group.bench_function("single_kernel_launch", |b| {
-        b.iter(|| tiny.run_native().unwrap())
+        b.iter(|| tiny.run_native().unwrap());
     });
 
     // Pure launch overhead at the paper's 4-partition geometry: 64 no-op
@@ -94,14 +94,14 @@ fn bench_native_executor(c: &mut Criterion) {
         }
     }
     group.bench_function("launch_overhead_64noop_4p_pooled", |b| {
-        b.iter(|| launch.run_native().unwrap())
+        b.iter(|| launch.run_native().unwrap());
     });
     let scoped = NativeConfig {
         persistent: false,
         ..NativeConfig::default()
     };
     group.bench_function("launch_overhead_64noop_4p_scoped", |b| {
-        b.iter(|| launch.run_native_with(&scoped).unwrap())
+        b.iter(|| launch.run_native_with(&scoped).unwrap());
     });
 
     // Transfer round trip of 1 MiB.
@@ -113,7 +113,7 @@ fn bench_native_executor(c: &mut Criterion) {
     xfer.h2d(s, buf).unwrap();
     xfer.d2h(s, buf).unwrap();
     group.bench_function("transfer_1MiB_roundtrip", |b| {
-        b.iter(|| xfer.run_native().unwrap())
+        b.iter(|| xfer.run_native().unwrap());
     });
     group.finish();
 }
@@ -126,8 +126,8 @@ fn bench_parallel_helpers(c: &mut Criterion) {
                 for v in chunk.iter_mut() {
                     *v += 1.0;
                 }
-            })
-        })
+            });
+        });
     });
     c.bench_function("parallel/par_reduce_1M_x8", |b| {
         b.iter(|| {
@@ -138,7 +138,7 @@ fn bench_parallel_helpers(c: &mut Criterion) {
                 |a, x| a + x,
                 0u64,
             )
-        })
+        });
     });
 }
 

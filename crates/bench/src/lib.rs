@@ -49,7 +49,7 @@ impl Series {
     }
 
     /// Append a point.
-    pub fn push(&mut self, x: impl ToString, y: f64) {
+    pub fn push(&mut self, x: impl std::fmt::Display, y: f64) {
         self.points.push((x.to_string(), y));
     }
 }

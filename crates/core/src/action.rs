@@ -50,6 +50,16 @@ impl Action {
             Action::RecordEvent(_) | Action::WaitEvent(_) | Action::Barrier(_)
         )
     }
+
+    /// Every buffer this action touches: the transfer payload, or a
+    /// kernel's reads followed by its writes. Control actions touch none.
+    pub fn buffers(&self) -> Vec<BufId> {
+        match self {
+            Action::Transfer { buf, .. } => vec![*buf],
+            Action::Kernel(k) => k.reads.iter().chain(&k.writes).copied().collect(),
+            Action::RecordEvent(_) | Action::WaitEvent(_) | Action::Barrier(_) => Vec::new(),
+        }
+    }
 }
 
 #[cfg(test)]

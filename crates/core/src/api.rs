@@ -68,7 +68,7 @@ pub fn app_event_wait(ctx: &mut Context, stream: StreamId, event: EventId) -> Re
 
 /// Device-wide synchronization across all streams.
 pub fn app_sync(ctx: &mut Context) {
-    ctx.barrier()
+    ctx.barrier();
 }
 
 #[cfg(test)]

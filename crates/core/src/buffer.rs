@@ -132,7 +132,7 @@ mod tests {
     #[test]
     fn with_host_materializes_lazily() {
         let b = Buffer::new(BufId(9), "lazy", 3);
-        assert_eq!(b.with_host(|h| h.len()), 3);
+        assert_eq!(b.with_host(<[f32]>::len), 3);
         assert_eq!(b.with_host(|h| h.iter().sum::<f32>()), 0.0);
     }
 

@@ -1,0 +1,68 @@
+//! Deadlock diagnostics: event-reference errors and happens-before cycles.
+
+use crate::action::Action;
+use crate::program::Program;
+
+use super::diagnostics::{CheckCode, CheckReport, Diagnostic, Site};
+use super::hb::HbGraph;
+
+/// Flag malformed event references (unknown events, self-waits) and any
+/// cycle the happens-before graph found.
+pub(super) fn check(program: &Program, hb: &HbGraph, report: &mut CheckReport) {
+    for (si, s) in program.streams.iter().enumerate() {
+        for (ai, a) in s.actions.iter().enumerate() {
+            let site = Site::new(si, ai);
+            match a {
+                Action::WaitEvent(e) => match program.events.get(e.0) {
+                    None => report.push(Diagnostic {
+                        code: CheckCode::UnknownEvent,
+                        site,
+                        related: vec![],
+                        message: format!("wait on {e}, which was never recorded"),
+                    }),
+                    Some(rec) if rec.stream == s.id => report.push(Diagnostic {
+                        code: CheckCode::SelfWait,
+                        site,
+                        related: vec![Site {
+                            stream: rec.stream,
+                            action_index: rec.action_index,
+                        }],
+                        message: format!("stream {} waits on {e}, which it records itself", s.id),
+                    }),
+                    Some(_) => {}
+                },
+                Action::RecordEvent(e) => {
+                    let site_ok = program
+                        .events
+                        .get(e.0)
+                        .is_some_and(|rec| rec.stream == s.id && rec.action_index == ai);
+                    if !site_ok {
+                        report.push(Diagnostic {
+                            code: CheckCode::UnknownEvent,
+                            site,
+                            related: vec![],
+                            message: format!("record of {e} does not match the event table"),
+                        });
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    if let Some(cycle) = hb.cycle() {
+        let mut sites = cycle.to_vec();
+        let head = sites.first().copied().unwrap_or(Site::new(0, 0));
+        sites.retain(|s| *s != head);
+        let hops: Vec<String> = cycle.iter().map(Site::to_string).collect();
+        report.push(Diagnostic {
+            code: CheckCode::DeadlockCycle,
+            site: head,
+            related: sites,
+            message: format!(
+                "cross-stream wait cycle: no stream on {} can advance",
+                hops.join(" -> ")
+            ),
+        });
+    }
+}

@@ -1,0 +1,160 @@
+//! Data-race detection over buffer accesses.
+//!
+//! Every action is lowered to a set of *accesses* `(buffer, space,
+//! read|write)`, where the space separates the **host** copy of a buffer
+//! from its per-device instances — an H2D reads the host copy and writes
+//! the device instance, a D2H does the reverse, kernels touch the space
+//! they execute in. Two accesses race when they hit the same buffer in the
+//! same space, at least one writes, and the happens-before graph orders
+//! them in neither direction. The space split is what keeps legitimate
+//! patterns clean: Cholesky's host POTRF round trip (D2H → host kernel →
+//! H2D on one stream) never conflicts with device-side readers of other
+//! tiles, and multi-card residency mirroring touches distinct instances.
+
+use std::collections::HashMap;
+
+use micsim::pcie::Direction;
+
+use crate::action::Action;
+use crate::program::Program;
+use crate::types::BufId;
+
+use super::diagnostics::{CheckCode, CheckReport, Diagnostic, Site};
+use super::hb::HbGraph;
+
+/// Which copy of a buffer an access touches.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub(super) enum Space {
+    /// The host-memory copy.
+    Host,
+    /// The instance in device `.0`'s memory.
+    Device(usize),
+}
+
+impl std::fmt::Display for Space {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Space::Host => write!(f, "host"),
+            Space::Device(d) => write!(f, "dev{d}"),
+        }
+    }
+}
+
+/// One buffer access by one action.
+#[derive(Clone, Copy, Debug)]
+pub(super) struct Access {
+    pub site: Site,
+    pub write: bool,
+    /// `true` when the access comes from a `Transfer` (for messages).
+    pub transfer: bool,
+}
+
+/// All accesses of the program, grouped by `(buffer, space)`.
+pub(super) fn collect_accesses(program: &Program) -> HashMap<(BufId, Space), Vec<Access>> {
+    let mut map: HashMap<(BufId, Space), Vec<Access>> = HashMap::new();
+    let mut push = |buf: BufId, space: Space, site: Site, write: bool, transfer: bool| {
+        map.entry((buf, space)).or_default().push(Access {
+            site,
+            write,
+            transfer,
+        });
+    };
+    for (si, s) in program.streams.iter().enumerate() {
+        let dev = Space::Device(s.placement.device.0);
+        for (ai, a) in s.actions.iter().enumerate() {
+            let site = Site::new(si, ai);
+            match a {
+                Action::Transfer { dir, buf } => match dir {
+                    Direction::HostToDevice => {
+                        push(*buf, Space::Host, site, false, true);
+                        push(*buf, dev, site, true, true);
+                    }
+                    Direction::DeviceToHost => {
+                        push(*buf, dev, site, false, true);
+                        push(*buf, Space::Host, site, true, true);
+                    }
+                },
+                Action::Kernel(k) => {
+                    let space = if k.host { Space::Host } else { dev };
+                    for (buf, write) in k.accesses() {
+                        push(buf, space, site, write, false);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    map
+}
+
+/// Cap on race reports per `(buffer, space)` group, so one missing event
+/// in a hot loop does not flood the report.
+const MAX_RACES_PER_GROUP: usize = 4;
+
+/// Flag unordered conflicting access pairs. Skipped entirely on cyclic
+/// graphs (clock queries are undefined there; the deadlock is the story).
+pub(super) fn check(
+    program: &Program,
+    hb: &HbGraph,
+    accesses: &HashMap<(BufId, Space), Vec<Access>>,
+    report: &mut CheckReport,
+) {
+    if hb.cycle().is_some() {
+        return;
+    }
+    let label = |site: Site| program.streams[site.stream.0].actions[site.action_index].label();
+    // Deterministic group order for stable output.
+    let mut groups: Vec<(&(BufId, Space), &Vec<Access>)> = accesses.iter().collect();
+    groups.sort_by_key(|((buf, space), _)| (buf.0, *space != Space::Host, space_key(space)));
+    for ((buf, space), group) in groups {
+        let mut reported = 0usize;
+        for (i, a) in group.iter().enumerate() {
+            if !a.write {
+                continue;
+            }
+            for (j, b) in group.iter().enumerate() {
+                // Each unordered pair once: write-write pairs only for
+                // i < j, write-read pairs from the write's side.
+                if i == j || (b.write && j < i) {
+                    continue;
+                }
+                if a.site == b.site || !hb.concurrent(a.site, b.site) {
+                    continue;
+                }
+                if reported < MAX_RACES_PER_GROUP {
+                    let verb = if b.write { "write/write" } else { "write/read" };
+                    report.push(Diagnostic {
+                        code: CheckCode::Race,
+                        site: a.site,
+                        related: vec![b.site],
+                        message: format!(
+                            "unsynchronized {verb} of {buf} ({space}): `{}` and `{}` \
+                             have no happens-before edge",
+                            label(a.site),
+                            label(b.site)
+                        ),
+                    });
+                }
+                reported += 1;
+            }
+        }
+        if reported > MAX_RACES_PER_GROUP {
+            report.push(Diagnostic {
+                code: CheckCode::Race,
+                site: group[0].site,
+                related: vec![],
+                message: format!(
+                    "{} further unsynchronized pairs on {buf} ({space}) not listed",
+                    reported - MAX_RACES_PER_GROUP
+                ),
+            });
+        }
+    }
+}
+
+fn space_key(space: &Space) -> usize {
+    match space {
+        Space::Host => 0,
+        Space::Device(d) => *d,
+    }
+}

@@ -50,6 +50,7 @@ pub struct ContextBuilder {
     partitions: usize,
     streams_per_partition: usize,
     replan_capacity: Option<usize>,
+    check_mode: crate::check::CheckMode,
 }
 
 impl ContextBuilder {
@@ -62,6 +63,15 @@ impl ContextBuilder {
     /// Streams bound to each partition. Default 1 (the paper's setup).
     pub fn streams_per_partition(mut self, s: usize) -> ContextBuilder {
         self.streams_per_partition = s;
+        self
+    }
+
+    /// What both executors do with static-analyzer findings before
+    /// running a program (see [`crate::check`]). Defaults to
+    /// [`CheckMode::Enforce`](crate::check::CheckMode): error-severity
+    /// findings refuse the run.
+    pub fn check_mode(mut self, mode: crate::check::CheckMode) -> ContextBuilder {
+        self.check_mode = mode;
         self
     }
 
@@ -105,6 +115,8 @@ impl ContextBuilder {
             native_rt: std::sync::OnceLock::new(),
             last_native_trace: parking_lot::Mutex::new(None),
             recovery: parking_lot::Mutex::new(None),
+            check_mode: self.check_mode,
+            last_check: parking_lot::Mutex::new(None),
         })
     }
 }
@@ -150,6 +162,10 @@ pub struct Context {
     /// partitions, skipped actions, fault counters); consumed by
     /// [`Context::run_native_resilient`].
     recovery: parking_lot::Mutex<Option<crate::fault::RecoveryState>>,
+    /// What the executors do with static-analyzer findings.
+    check_mode: crate::check::CheckMode,
+    /// Report of the most recent pre-run analysis (any mode but `Off`).
+    last_check: parking_lot::Mutex<Option<crate::check::CheckReport>>,
 }
 
 impl std::fmt::Debug for Context {
@@ -172,6 +188,7 @@ impl Context {
             partitions: 1,
             streams_per_partition: 1,
             replan_capacity: None,
+            check_mode: crate::check::CheckMode::default(),
         }
     }
 
@@ -413,6 +430,64 @@ impl Context {
         self.program.barriers = 0;
     }
 
+    // ----- static analysis -------------------------------------------------
+
+    /// What both executors do with analyzer findings (see
+    /// [`crate::check`]).
+    pub fn check_mode(&self) -> crate::check::CheckMode {
+        self.check_mode
+    }
+
+    /// Change the analyzer policy for subsequent runs — e.g.
+    /// [`CheckMode::WarnOnly`](crate::check::CheckMode) for a
+    /// deliberately-racy experiment.
+    pub fn set_check_mode(&mut self, mode: crate::check::CheckMode) {
+        self.check_mode = mode;
+    }
+
+    /// The plan the analyzer checks programs against.
+    pub fn check_env(&self) -> crate::check::CheckEnv {
+        crate::check::CheckEnv {
+            buffers: self.buffers.len(),
+            devices: self.platform.device_count(),
+            partitions: self.partitions,
+            streams_per_partition: self.streams_per_partition,
+        }
+    }
+
+    /// Statically analyze the recorded program against this context's
+    /// plan, regardless of the check mode. See [`crate::check`].
+    pub fn analyze(&self) -> crate::check::Analysis {
+        crate::check::analyze(&self.program, &self.check_env())
+    }
+
+    /// The report of the most recent pre-run analysis (both executors
+    /// leave one behind unless the mode is
+    /// [`CheckMode::Off`](crate::check::CheckMode)) — including the run
+    /// that was just *refused*, so callers can render the findings.
+    pub fn take_check_report(&self) -> Option<crate::check::CheckReport> {
+        self.last_check.lock().take()
+    }
+
+    /// Pre-run analyzer gate shared by both executors: analyze under the
+    /// context's [`CheckMode`](crate::check::CheckMode), stash the report,
+    /// and refuse error-severity findings when enforcing.
+    pub(crate) fn enforce_check(&self) -> Result<()> {
+        match self.check_mode {
+            crate::check::CheckMode::Off => Ok(()),
+            mode => {
+                let analysis = self.analyze();
+                let clean = analysis.report.is_clean();
+                *self.last_check.lock() = Some(analysis.report.clone());
+                if !clean && mode == crate::check::CheckMode::Enforce {
+                    Err(Error::Check(Box::new(analysis.report)))
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+
     // ----- execution -------------------------------------------------------
 
     /// Validate and price the recorded program on the platform simulator.
@@ -445,7 +520,9 @@ impl Context {
     /// before the first persistent native run builds it. Repeated
     /// `run_native` calls reuse these threads; this count must not grow.
     pub fn native_thread_count(&self) -> Option<usize> {
-        self.native_rt.get().map(|rt| rt.thread_count())
+        self.native_rt
+            .get()
+            .map(super::executor::native::NativeRuntime::thread_count)
     }
 
     /// Stash the trace of the latest traced native run (called from the

@@ -17,9 +17,9 @@
 //! # Persistent runtime
 //!
 //! By default ([`NativeConfig::persistent`]) the context lazily builds a
-//! [`NativeRuntime`] on its first native run and reuses it for every run
+//! `NativeRuntime` on its first native run and reuses it for every run
 //! after that: the stream drivers are a parked
-//! [`WorkerGroup`](crate::pool::WorkerGroup), the copy engines are
+//! [`WorkerGroup`], the copy engines are
 //! long-lived threads fed over persistent channels, and each `(device,
 //! partition)` pair owns a partition-pinned worker group that
 //! [`par_chunks_mut`](crate::parallel::par_chunks_mut) and
@@ -66,7 +66,7 @@ pub struct NativeConfig {
     /// Emulate PCIe bandwidth: each copy holds the engine for at least
     /// `bytes / bandwidth` seconds. `None` copies at memory speed.
     pub link_bandwidth: Option<f64>,
-    /// Reuse the context's persistent [`NativeRuntime`] — stream drivers,
+    /// Reuse the context's persistent `NativeRuntime` — stream drivers,
     /// partition worker pools, copy engines — across runs (the default).
     /// `false` selects the original spawn-per-run scoped executor, kept as
     /// a baseline for launch-overhead comparisons.
@@ -187,7 +187,7 @@ struct CopyJob {
     slowdown: f64,
 }
 
-fn copy_engine(rx: Receiver<CopyJob>) {
+fn copy_engine(rx: &Receiver<CopyJob>) {
     while let Ok(job) = rx.recv() {
         if let Some(stamp) = &job.trace {
             stamp.picked_up();
@@ -295,7 +295,7 @@ fn channels_for(duplex: Duplex) -> usize {
 /// partitions share the card.
 fn default_threads_per_partition(ctx: &Context) -> usize {
     let host_par = std::thread::available_parallelism()
-        .map(|n| n.get())
+        .map(std::num::NonZero::get)
         .unwrap_or(1);
     (host_par / ctx.partitions().max(1)).max(1)
 }
@@ -335,7 +335,7 @@ impl NativeRuntime {
         let parts_per_dev = ctx.replan_capacity().max(ctx.partitions()).max(1);
         let n_streams = n_devices * parts_per_dev * ctx.streams_per_partition();
         let host_par = std::thread::available_parallelism()
-            .map(|n| n.get())
+            .map(std::num::NonZero::get)
             .unwrap_or(1);
         let width = (host_par / parts_per_dev).max(1);
         let channels_per_dev = channels_for(ctx.config().link.duplex);
@@ -348,7 +348,7 @@ impl NativeRuntime {
                 engine_handles.push(
                     std::thread::Builder::new()
                         .name(format!("hsp-copy-d{d}c{c}"))
-                        .spawn(move || copy_engine(rx))
+                        .spawn(move || copy_engine(&rx))
                         .expect("spawn copy engine"),
                 );
                 chans.push(tx);
@@ -424,7 +424,9 @@ fn drive_stream(shared: &RunShared<'_>, stream: &StreamRecord) {
     // Tracing state, allocated once per driver: the engine-stamp slot and
     // the sink that routes pool-job spans from kernel bodies into this
     // driver's buffer.
-    let stamp = shared.recorder.map(|rec| rec.copy_stamp());
+    let stamp = shared
+        .recorder
+        .map(super::super::trace::Recorder::copy_stamp);
     let _pool_sink = shared
         .recorder
         .map(|rec| crate::trace::install_pool_sink(rec.pool_sink(si)));
@@ -586,12 +588,7 @@ fn drive_stream(shared: &RunShared<'_>, stream: &StreamRecord) {
                 // across concurrent kernels), but keep read and write guards
                 // in separate vectors so views can borrow them
                 // independently.
-                let mut wanted: Vec<(crate::types::BufId, bool)> = desc
-                    .reads
-                    .iter()
-                    .map(|b| (*b, false))
-                    .chain(desc.writes.iter().map(|b| (*b, true)))
-                    .collect();
+                let mut wanted: Vec<(crate::types::BufId, bool)> = desc.accesses().collect();
                 wanted.sort_by_key(|(b, _)| *b);
                 // Storage Arcs are collected first so the guards below
                 // (declared after, dropped before) can safely borrow them.
@@ -785,6 +782,10 @@ impl Drop for TraceGuard<'_> {
 /// Validate and execute the context's program natively.
 pub fn run(ctx: &Context, cfg: &NativeConfig) -> Result<NativeReport> {
     ctx.program().validate()?;
+    // Static race/deadlock/dataflow gate — this also re-checks every
+    // replay program `run_native_resilient` swaps in before a degraded
+    // pass runs it.
+    ctx.enforce_check()?;
 
     // Every kernel needs a native body — check before running anything.
     for stream in &ctx.program().streams {
@@ -834,16 +835,8 @@ pub fn run(ctx: &Context, cfg: &NativeConfig) -> Result<NativeReport> {
     // simulator-scale programs cost nothing until they really run).
     for stream in &ctx.program().streams {
         for action in &stream.actions {
-            match action {
-                Action::Transfer { buf, .. } => {
-                    ctx.buffer(*buf).expect("validated").ensure_materialized()
-                }
-                Action::Kernel(k) => {
-                    for b in k.reads.iter().chain(&k.writes) {
-                        ctx.buffer(*b).expect("validated").ensure_materialized();
-                    }
-                }
-                _ => {}
+            for b in action.buffers() {
+                ctx.buffer(b).expect("validated").ensure_materialized();
             }
         }
     }
@@ -947,7 +940,7 @@ fn run_scoped(
         let mut chans = Vec::with_capacity(channels_per_dev);
         for _ in 0..channels_per_dev {
             let (tx, rx) = unbounded::<CopyJob>();
-            engine_handles.push(std::thread::spawn(move || copy_engine(rx)));
+            engine_handles.push(std::thread::spawn(move || copy_engine(&rx)));
             chans.push(tx);
         }
         engine_tx.push(chans);
@@ -1022,6 +1015,35 @@ mod tests {
             persistent: false,
             ..NativeConfig::default()
         }
+    }
+
+    #[test]
+    fn native_refuses_deadlocked_program_instead_of_hanging() {
+        // s0 = [wait eB, record eA], s1 = [wait eA, record eB]: without the
+        // static gate the drivers would block forever on each other's
+        // event flags. The shallow `validate()` accepts this shape, so the
+        // refusal must come from the analyzer.
+        let mut ctx = small_ctx(2);
+        let (s0, s1) = (ctx.stream(0).unwrap(), ctx.stream(1).unwrap());
+        let e_a = ctx.record_event(s0).unwrap();
+        let e_b = ctx.record_event(s1).unwrap();
+        {
+            let program = &mut ctx.program;
+            program.streams[0].actions.clear();
+            program.streams[1].actions.clear();
+            program.streams[0].actions.push(Action::WaitEvent(e_b));
+            program.streams[0].actions.push(Action::RecordEvent(e_a));
+            program.streams[1].actions.push(Action::WaitEvent(e_a));
+            program.streams[1].actions.push(Action::RecordEvent(e_b));
+            program.events[e_a.0].action_index = 1;
+            program.events[e_b.0].action_index = 1;
+        }
+        ctx.program.validate().unwrap();
+        let err = ctx.run_native().unwrap_err();
+        assert!(matches!(err, Error::Check(_)), "{err}");
+        // The refused run still leaves the full report behind.
+        let report = ctx.take_check_report().expect("report stashed");
+        assert!(!report.is_clean());
     }
 
     #[test]
@@ -1415,8 +1437,12 @@ mod tests {
     fn persistent_runtime_is_reused_across_runs() {
         let mut ctx = small_ctx(2);
         let a = ctx.alloc("a", 16);
+        let mut after_prev = None;
         for i in 0..2 {
             let s = ctx.stream(i).unwrap();
+            if let Some(e) = after_prev {
+                ctx.wait_event(s, e).unwrap();
+            }
             ctx.kernel(
                 s,
                 native_kernel(&format!("k{i}"))
@@ -1426,6 +1452,7 @@ mod tests {
                     }),
             )
             .unwrap();
+            after_prev = Some(ctx.record_event(s).unwrap());
         }
         assert_eq!(ctx.native_thread_count(), None, "runtime built lazily");
         ctx.run_native().unwrap();

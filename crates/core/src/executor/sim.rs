@@ -76,6 +76,7 @@ pub fn run_with(
     retry: &RetryPolicy,
 ) -> Result<SimReport> {
     ctx.program.validate()?;
+    ctx.enforce_check()?;
     check_device_memory(ctx)?;
     if let Some(plan) = fault {
         for i in 0..ctx.buffers.len() {
@@ -357,7 +358,11 @@ pub fn run_with(
 /// conceptually has an instance on each card it is used from).
 fn check_device_memory(ctx: &Context) -> Result<()> {
     let cap = ctx.config().device.memory_bytes;
-    let total: u64 = ctx.buffers.iter().map(|b| b.bytes()).sum();
+    let total: u64 = ctx
+        .buffers
+        .iter()
+        .map(super::super::buffer::Buffer::bytes)
+        .sum();
     if total > cap {
         return Err(Error::Platform(micsim::fabric::FabricError::Memory(
             micsim::memory::MemError::OutOfMemory {

@@ -109,6 +109,16 @@ impl KernelDesc {
         self
     }
 
+    /// Declared buffer accesses as `(buffer, is_write)` pairs, reads
+    /// first — the shape the static analyzer and the native executor's
+    /// buffer materialization both consume.
+    pub fn accesses(&self) -> impl Iterator<Item = (BufId, bool)> + '_ {
+        self.reads
+            .iter()
+            .map(|&b| (b, false))
+            .chain(self.writes.iter().map(|&b| (b, true)))
+    }
+
     /// Check internal consistency: a buffer must not be both read and
     /// written (the native executor takes a write lock; read it through the
     /// write slice instead).

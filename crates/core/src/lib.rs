@@ -61,6 +61,7 @@
 pub mod action;
 pub mod api;
 pub mod buffer;
+pub mod check;
 pub mod context;
 pub mod executor;
 pub mod fault;
@@ -75,6 +76,7 @@ pub mod trace;
 pub mod types;
 
 pub use buffer::{Buffer, Elem};
+pub use check::{Analysis, CheckClass, CheckCode, CheckEnv, CheckMode, CheckReport, Severity};
 pub use context::Context;
 pub use executor::native::{NativeConfig, NativeReport};
 pub use executor::sim::SimReport;

@@ -41,9 +41,9 @@ pub struct EventSite {
 
 /// A fully recorded streamed program.
 ///
-/// `Clone` exists so [`Context::run_native_resilient`]
-/// (crate::context::Context) can swap in a replay program and restore the
-/// original afterwards.
+/// `Clone` exists so
+/// [`Context::run_native_resilient`](crate::context::Context::run_native_resilient)
+/// can swap in a replay program and restore the original afterwards.
 #[derive(Clone, Debug, Default)]
 pub struct Program {
     /// All streams, indexed by `StreamId.0`.
@@ -79,6 +79,36 @@ impl Program {
     /// stream — the runtime's analogue of a disassembly, used in debugging
     /// and docs.
     pub fn dump(&self) -> String {
+        self.render(None)
+    }
+
+    /// Like [`Program::dump`], but with each analyzer finding interleaved
+    /// under its offending action line, compiler-style:
+    ///
+    /// ```text
+    /// stream s1 @ dev0#p1 (2 actions)
+    ///   [  0] wait e1
+    ///         ^ error[deadlock-cycle]: cross-stream wait cycle: ...
+    /// ```
+    ///
+    /// Pass the report from [`analyze`](crate::check::analyze) (or
+    /// [`Context::analyze`](crate::context::Context::analyze)) over this
+    /// same program.
+    pub fn dump_annotated(&self, report: &crate::check::CheckReport) -> String {
+        self.render(Some(report))
+    }
+
+    fn render(&self, report: Option<&crate::check::CheckReport>) -> String {
+        use std::collections::HashMap;
+        let mut notes: HashMap<(usize, usize), Vec<&crate::check::Diagnostic>> = HashMap::new();
+        if let Some(r) = report {
+            for d in &r.diagnostics {
+                notes
+                    .entry((d.site.stream.0, d.site.action_index))
+                    .or_default()
+                    .push(d);
+            }
+        }
         let mut out = String::new();
         for s in &self.streams {
             out.push_str(&format!(
@@ -90,6 +120,11 @@ impl Program {
             ));
             for (i, a) in s.actions.iter().enumerate() {
                 out.push_str(&format!("  [{i:>3}] {}\n", a.label()));
+                if let Some(ds) = notes.get(&(s.id.0, i)) {
+                    for d in ds {
+                        out.push_str(&format!("        ^ {}\n", d.render()));
+                    }
+                }
             }
         }
         out.push_str(&format!(
@@ -99,6 +134,13 @@ impl Program {
             self.events.len(),
             self.barriers
         ));
+        if let Some(r) = report {
+            out.push_str(&format!(
+                "check: {} error(s), {} warning(s)\n",
+                r.error_count(),
+                r.warnings().count()
+            ));
+        }
         out
     }
 
@@ -252,6 +294,71 @@ mod tests {
             action_index: 0,
         });
         p.validate().unwrap();
+    }
+
+    #[test]
+    fn mutual_cross_stream_wait_passes_validate_but_fails_the_analyzer() {
+        // Regression for the hole in `validate()`: stream 0 waits on an
+        // event stream 1 records only after waiting on stream 0's event.
+        // Both executors would deadlock, yet the shallow structural pass
+        // accepts it — the deadlock detection lives in `crate::check`,
+        // which subsumes this case (and executors run it by default).
+        let mut p = Program::default();
+        p.streams.push(stream(
+            0,
+            vec![
+                Action::WaitEvent(EventId(1)),
+                Action::RecordEvent(EventId(0)),
+            ],
+        ));
+        p.streams.push(stream(
+            1,
+            vec![
+                Action::WaitEvent(EventId(0)),
+                Action::RecordEvent(EventId(1)),
+            ],
+        ));
+        p.events.push(EventSite {
+            stream: StreamId(0),
+            action_index: 1,
+        });
+        p.events.push(EventSite {
+            stream: StreamId(1),
+            action_index: 1,
+        });
+        p.validate().unwrap();
+        let env = crate::check::CheckEnv::permissive(&p);
+        let analysis = crate::check::analyze(&p, &env);
+        assert!(
+            analysis
+                .report
+                .errors()
+                .any(|d| d.code == crate::check::CheckCode::DeadlockCycle),
+            "{}",
+            analysis.report.render()
+        );
+    }
+
+    #[test]
+    fn dump_annotated_interleaves_diagnostics() {
+        let mut p = Program::default();
+        p.streams
+            .push(stream(0, vec![Action::WaitEvent(EventId(3))]));
+        let env = crate::check::CheckEnv::permissive(&p);
+        let analysis = crate::check::analyze(&p, &env);
+        let text = p.dump_annotated(&analysis.report);
+        let lines: Vec<&str> = text.lines().collect();
+        let wait_line = lines
+            .iter()
+            .position(|l| l.contains("wait e3"))
+            .expect("action line");
+        assert!(
+            lines[wait_line + 1].contains("^ error[unknown-event]"),
+            "annotation follows the offending line:\n{text}"
+        );
+        assert!(text.ends_with("check: 1 error(s), 0 warning(s)\n"));
+        // The plain dump stays annotation-free.
+        assert!(!p.dump().contains('^'));
     }
 
     #[test]

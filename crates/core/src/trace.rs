@@ -5,8 +5,8 @@
 //! until now only the simulator could show them. This module records real
 //! execution into the **same [`micsim::engine::Timeline`] representation
 //! the simulator produces**, so every existing analysis tool
-//! ([`overlap_stats`], [`render_gantt`](micsim::trace::render_gantt),
-//! [`chrome_trace`](micsim::trace::chrome_trace)) works on native runs
+//! ([`overlap_stats`], [`render_gantt`],
+//! [`chrome_trace`]) works on native runs
 //! unchanged.
 //!
 //! Design, in order of who stamps what:
@@ -16,12 +16,12 @@
 //!   only after the drivers joined — the per-buffer mutex is therefore
 //!   uncontended and never blocks the hot path);
 //! * the **copy-engine threads** stamp start/end [`Instant`]s into a
-//!   per-driver reusable slot carried by each [`CopyJob`]; the submitting
+//!   per-driver reusable slot carried by each `CopyJob`; the submitting
 //!   driver folds the stamps into its own buffer after the completion
 //!   handshake, so engine threads never allocate;
 //! * the **pool workers** in [`pool`](crate::pool) report chunked-job spans
 //!   through a thread-local sink the driver installs around the run (see
-//!   [`record_pool_job`]).
+//!   `record_pool_job`).
 //!
 //! Lanes mirror the sim executor's resource layout exactly — per-device
 //! link channels, the host, per-device partitions — so a native timeline

@@ -109,6 +109,11 @@ pub enum Error {
     },
     /// Kernel cost model rejected a launch (e.g. an empty partition).
     Compute(micsim::compute::ComputeError),
+    /// The static analyzer found error-severity defects (deadlocks, races,
+    /// dangling references); the full report is attached. See
+    /// [`crate::check`] and
+    /// [`CheckMode`](crate::check::CheckMode) for the opt-out knob.
+    Check(Box<crate::check::CheckReport>),
 }
 
 impl fmt::Display for Error {
@@ -166,6 +171,9 @@ impl fmt::Display for Error {
                 )
             }
             Error::Compute(e) => write!(f, "compute model error: {e}"),
+            Error::Check(report) => {
+                write!(f, "static check rejected the program: {}", report.summary())
+            }
         }
     }
 }

@@ -19,7 +19,7 @@ fn prof() -> KernelProfile {
 /// growth assertion degrades to comparing the runtime's own count.
 fn os_thread_count() -> usize {
     std::fs::read_dir("/proc/self/task")
-        .map(|d| d.count())
+        .map(std::iter::Iterator::count)
         .unwrap_or(0)
 }
 

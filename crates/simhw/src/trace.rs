@@ -148,7 +148,7 @@ pub fn render_gantt(
             *cell = glyph;
         }
     }
-    let name_width = names.values().map(|n| n.len()).max().unwrap_or(4);
+    let name_width = names.values().map(String::len).max().unwrap_or(4);
     let mut out = String::new();
     for (res, row) in &rows {
         let name = &names[res];

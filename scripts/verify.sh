@@ -7,8 +7,14 @@ cd "$(dirname "$0")/.."
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 
-echo "==> cargo clippy (deny warnings)"
-cargo clippy --workspace --all-targets -- -D warnings
+echo "==> cargo clippy (deny warnings, plus curated pedantic subset)"
+cargo clippy --workspace --all-targets -- -D warnings \
+  -W clippy::needless_pass_by_value \
+  -W clippy::semicolon_if_nothing_returned \
+  -W clippy::redundant_closure_for_method_calls
+
+echo "==> cargo doc (deny warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
 
 echo "==> tier-1: cargo build --release"
 cargo build --release
@@ -21,6 +27,11 @@ cargo test -q
 
 echo "==> fault-injection suite"
 cargo test -q -p hstreams --test fault_injection
+
+echo "==> static-analyzer suites (check_suite, proptest, app sweep)"
+cargo test -q -p hstreams --test check_suite
+cargo test -q -p hstreams --test proptest_check
+cargo test -q --test static_check_apps
 
 echo "==> chaos suite (quick: retry + degraded recovery keep MM's output exact)"
 cargo run --release -p mic-bench --bin chaos -- --quick

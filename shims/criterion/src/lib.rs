@@ -76,7 +76,7 @@ impl Bencher {
             }
             per_iter_ns.push(start.elapsed().as_nanos() as f64 / batch as f64);
         }
-        per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+        per_iter_ns.sort_by(f64::total_cmp);
         self.estimate = Some(Estimate {
             median_ns: per_iter_ns[per_iter_ns.len() / 2],
             min_ns: per_iter_ns[0],

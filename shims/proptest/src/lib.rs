@@ -147,7 +147,7 @@ impl<T: Arbitrary> Strategy for AnyStrategy<T> {
 pub mod collection {
     use super::{Strategy, TestRng};
 
-    /// Element-count bounds for [`vec`].
+    /// Element-count bounds for [`vec()`].
     pub struct SizeRange {
         min: usize,
         max_exclusive: usize,
@@ -162,7 +162,7 @@ pub mod collection {
         }
     }
 
-    /// Strategy returned by [`vec`].
+    /// Strategy returned by [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,

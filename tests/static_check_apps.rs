@@ -1,0 +1,140 @@
+//! Static-analysis sweep over every shipped app builder: each of the six
+//! `Tunable`s must record a race- and deadlock-free program at *every*
+//! feasible `(T, P)` candidate the tuner would try, with checking enforced
+//! exactly as the executors run it.
+//!
+//! Beyond cleanliness this locks down sync *structure*:
+//!
+//! * overlappable apps (hbench, MM, CF, NN) must actually expose
+//!   cross-stream transfer/kernel concurrency to the analyzer — a
+//!   regression that serializes their pipelines fails here before it
+//!   shows up as a flat tuning landscape;
+//! * non-overlappable apps (kmeans, partition-micro) must show **zero**
+//!   concurrent transfer/kernel pairs: their stages are barrier-separated
+//!   by design, and an accidental overlap edge would mean a missing sync.
+
+use mic_streams::apps::tunable::{
+    Tunable, TunableCf, TunableHbench, TunableKmeans, TunableMm, TunableNn, TunablePartitionMicro,
+};
+use mic_streams::hstreams::context::Context;
+use mic_streams::micsim::PlatformConfig;
+use mic_streams::tune::candidates::{partition_candidates, tile_candidates};
+use mic_streams::tune::TuneBounds;
+
+/// Small bounds so the sweep stays fast while still covering multi-stream,
+/// multi-partition shapes (including the non-dividing P = 7 case).
+fn bounds() -> TuneBounds {
+    TuneBounds {
+        max_partitions: 8,
+        max_tiles: 16,
+        max_multiple: 2,
+    }
+}
+
+/// Sweep one app across every feasible candidate, asserting cleanliness at
+/// each, and return the total cross-stream concurrent transfer/kernel pair
+/// count accumulated over the sweep plus the number of trials analyzed.
+fn sweep(app: &mut dyn Tunable) -> (usize, usize) {
+    let platform = PlatformConfig::phi_31sp();
+    let ps = partition_candidates(&platform.device, bounds().max_partitions);
+    let mut ctx = Context::builder(platform).build().unwrap();
+    let mut pairs = 0usize;
+    let mut trials = 0usize;
+    for &p in &ps {
+        for t in tile_candidates(p, &bounds()) {
+            if !app.feasible(t) {
+                continue;
+            }
+            ctx.replan(p).unwrap();
+            app.record(&mut ctx, t).unwrap();
+            let analysis = ctx.analyze();
+            assert!(
+                analysis.report.is_clean(),
+                "{} at (T={t}, P={p}) must analyze clean:\n{}",
+                app.name(),
+                analysis.report.render()
+            );
+            let overlap = analysis.overlap_summary();
+            if app.overlappable() {
+                pairs += overlap.concurrent_transfer_kernel_pairs;
+            } else {
+                assert_eq!(
+                    overlap.concurrent_transfer_kernel_pairs,
+                    0,
+                    "{} is barrier-separated by design, yet (T={t}, P={p}) \
+                     exposes transfer/kernel overlap to the analyzer",
+                    app.name()
+                );
+            }
+            trials += 1;
+        }
+    }
+    assert!(trials > 0, "{}: no feasible candidates swept", app.name());
+    (pairs, trials)
+}
+
+fn assert_overlappable_clean(app: &mut dyn Tunable) {
+    let (pairs, trials) = sweep(app);
+    assert!(
+        pairs > 0,
+        "{}: swept {trials} candidates without the analyzer seeing a single \
+         concurrent transfer/kernel pair — the pipeline has been serialized",
+        app.name()
+    );
+}
+
+#[test]
+fn hbench_is_clean_and_overlapped_at_every_candidate() {
+    assert_overlappable_clean(&mut TunableHbench::new(1 << 12, 1, None));
+}
+
+#[test]
+fn mm_is_clean_and_overlapped_at_every_candidate() {
+    assert_overlappable_clean(&mut TunableMm::new(48, None));
+}
+
+#[test]
+fn cf_is_clean_and_overlapped_at_every_candidate() {
+    assert_overlappable_clean(&mut TunableCf::new(48, None));
+}
+
+#[test]
+fn nn_is_clean_and_overlapped_at_every_candidate() {
+    assert_overlappable_clean(&mut TunableNn::new(1 << 12, None));
+}
+
+#[test]
+fn kmeans_is_clean_with_no_cross_stage_overlap() {
+    sweep(&mut TunableKmeans::new(1 << 12, 4, 2, None));
+}
+
+#[test]
+fn partition_micro_is_clean_with_no_cross_stage_overlap() {
+    sweep(&mut TunablePartitionMicro::new(1 << 12, 1));
+}
+
+/// The analyzer must stay cheap enough to run before every execution:
+/// on the CF task graph (the densest event structure we ship) a full
+/// analysis is microseconds-scale. The bound here is deliberately loose
+/// (debug builds, CI jitter); `EXPERIMENTS.md` records measured numbers.
+#[test]
+fn analyzer_cost_on_cf_is_negligible() {
+    let mut app = TunableCf::new(96, None);
+    let mut ctx = Context::builder(PlatformConfig::phi_31sp())
+        .build()
+        .unwrap();
+    ctx.replan(8).unwrap();
+    app.record(&mut ctx, 16).unwrap();
+    let analysis = ctx.analyze();
+    assert!(analysis.report.is_clean(), "{}", analysis.report.render());
+    let stats = &analysis.report.stats;
+    eprintln!(
+        "cf n=96 T=16 P=8: {} actions, {} hb nodes, {} hb edges, analyzed in {:?}",
+        stats.actions, stats.hb_nodes, stats.hb_edges, stats.elapsed
+    );
+    assert!(
+        stats.elapsed.as_millis() < 250,
+        "analysis took {:?} — no longer pre-execution-cheap",
+        stats.elapsed
+    );
+}

@@ -4,9 +4,15 @@
 //! The program is pure launch overhead — no-op kernels, no transfers — at
 //! the paper's 4-partition geometry, repeated with the paper's
 //! warmup/discard protocol. Emits a machine-readable
-//! `results/BENCH_native_runtime.json` with both per-launch figures and
-//! the speedup, and fails (exit 1) if the pool-backed path is not at least
-//! 5x cheaper per launch.
+//! `results/BENCH_native_runtime.json` with both per-launch figures, the
+//! speedup, and the run mode, and fails (exit 1) if the pool-backed path
+//! misses the mode's speedup target.
+//!
+//! `--quick` shrinks the repetition budget for CI smoke runs and relaxes
+//! the gate to 2x — launch overhead is noisy at small sample counts, and a
+//! quick number must never be mistaken for the calibrated one, so the JSON
+//! records `"mode"` and the per-mode target alongside the measurement.
+//! Full mode (the default) keeps the 40-run protocol and the 5x gate.
 
 use std::io::Write;
 
@@ -18,10 +24,6 @@ use micsim::PlatformConfig;
 
 const PARTITIONS: usize = 4;
 const KERNELS_PER_STREAM: usize = 16;
-const RUNS: Repetitions = Repetitions {
-    total: 40,
-    warmup: 8,
-};
 
 fn noop_context() -> Context {
     let mut ctx = Context::builder(PlatformConfig::phi_31sp())
@@ -48,9 +50,9 @@ fn noop_context() -> Context {
 
 /// Mean caller-visible seconds per `run_native_with` call (includes
 /// validation and, on the scoped path, all per-run thread spawn/teardown).
-fn mean_run_seconds(cfg: &NativeConfig) -> f64 {
+fn mean_run_seconds(cfg: &NativeConfig, runs: Repetitions) -> f64 {
     let ctx = noop_context();
-    RUNS.measure(|| {
+    runs.measure(|| {
         let started = std::time::Instant::now();
         ctx.run_native_with(cfg).unwrap();
         started.elapsed().as_secs_f64()
@@ -59,37 +61,63 @@ fn mean_run_seconds(cfg: &NativeConfig) -> f64 {
 }
 
 fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (mode, runs, target) = if quick {
+        (
+            "quick",
+            Repetitions {
+                total: 10,
+                warmup: 2,
+            },
+            2.0,
+        )
+    } else {
+        (
+            "full",
+            Repetitions {
+                total: 40,
+                warmup: 8,
+            },
+            5.0,
+        )
+    };
     let kernels_per_run = PARTITIONS * KERNELS_PER_STREAM;
-    let scoped = mean_run_seconds(&NativeConfig {
-        persistent: false,
-        ..NativeConfig::default()
-    });
-    let pooled = mean_run_seconds(&NativeConfig::default());
-    let traced = mean_run_seconds(&NativeConfig {
-        trace: true,
-        ..NativeConfig::default()
-    });
+    let scoped = mean_run_seconds(
+        &NativeConfig {
+            persistent: false,
+            ..NativeConfig::default()
+        },
+        runs,
+    );
+    let pooled = mean_run_seconds(&NativeConfig::default(), runs);
+    let traced = mean_run_seconds(
+        &NativeConfig {
+            trace: true,
+            ..NativeConfig::default()
+        },
+        runs,
+    );
     let scoped_us = scoped / kernels_per_run as f64 * 1e6;
     let pooled_us = pooled / kernels_per_run as f64 * 1e6;
     let traced_us = traced / kernels_per_run as f64 * 1e6;
     let speedup = scoped_us / pooled_us;
     let trace_overhead_us = traced_us - pooled_us;
-    let pass = speedup >= 5.0;
+    let pass = speedup >= target;
 
-    println!("native launch overhead, {PARTITIONS} partitions, {kernels_per_run} no-op kernels/run, {} runs ({} warmup):", RUNS.total, RUNS.warmup);
+    println!("native launch overhead ({mode} mode), {PARTITIONS} partitions, {kernels_per_run} no-op kernels/run, {} runs ({} warmup):", runs.total, runs.warmup);
     println!("  scoped baseline : {scoped_us:>9.3} us/launch");
     println!("  persistent pool : {pooled_us:>9.3} us/launch");
     println!(
         "  pool + tracing  : {traced_us:>9.3} us/launch  (+{trace_overhead_us:.3} us trace cost)"
     );
     println!(
-        "  speedup         : {speedup:>9.2}x  (target >= 5x: {})",
+        "  speedup         : {speedup:>9.2}x  (target >= {target}x: {})",
         if pass { "PASS" } else { "FAIL" }
     );
 
     let json = format!(
-        "{{\n  \"bench\": \"native_runtime_launch_overhead\",\n  \"partitions\": {PARTITIONS},\n  \"streams\": {PARTITIONS},\n  \"kernels_per_run\": {kernels_per_run},\n  \"runs\": {},\n  \"warmup\": {},\n  \"scoped_per_launch_us\": {scoped_us:.4},\n  \"pooled_per_launch_us\": {pooled_us:.4},\n  \"traced_per_launch_us\": {traced_us:.4},\n  \"trace_overhead_per_launch_us\": {trace_overhead_us:.4},\n  \"speedup\": {speedup:.3},\n  \"pass_5x\": {pass}\n}}\n",
-        RUNS.total, RUNS.warmup
+        "{{\n  \"bench\": \"native_runtime_launch_overhead\",\n  \"mode\": \"{mode}\",\n  \"partitions\": {PARTITIONS},\n  \"streams\": {PARTITIONS},\n  \"kernels_per_run\": {kernels_per_run},\n  \"runs\": {},\n  \"warmup\": {},\n  \"scoped_per_launch_us\": {scoped_us:.4},\n  \"pooled_per_launch_us\": {pooled_us:.4},\n  \"traced_per_launch_us\": {traced_us:.4},\n  \"trace_overhead_per_launch_us\": {trace_overhead_us:.4},\n  \"speedup\": {speedup:.3},\n  \"speedup_target\": {target},\n  \"pass\": {pass}\n}}\n",
+        runs.total, runs.warmup
     );
     let dir = mic_bench::results_dir();
     if let Err(e) = std::fs::create_dir_all(&dir) {

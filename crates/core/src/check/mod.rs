@@ -49,6 +49,10 @@ use crate::program::Program;
 
 pub use diagnostics::{CheckClass, CheckCode, CheckReport, CheckStats, Diagnostic, Severity, Site};
 
+// The scheduler module reuses the race detector's access analysis to build
+// its task graph (same conflict definition, same memory-space split).
+pub(crate) use races::{collect_accesses, Space};
+
 /// What the executors do with analyzer findings.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum CheckMode {

@@ -24,7 +24,7 @@ use super::hb::HbGraph;
 
 /// Which copy of a buffer an access touches.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-pub(super) enum Space {
+pub(crate) enum Space {
     /// The host-memory copy.
     Host,
     /// The instance in device `.0`'s memory.
@@ -42,7 +42,7 @@ impl std::fmt::Display for Space {
 
 /// One buffer access by one action.
 #[derive(Clone, Copy, Debug)]
-pub(super) struct Access {
+pub(crate) struct Access {
     pub site: Site,
     pub write: bool,
     /// `true` when the access comes from a `Transfer` (for messages).
@@ -50,7 +50,7 @@ pub(super) struct Access {
 }
 
 /// All accesses of the program, grouped by `(buffer, space)`.
-pub(super) fn collect_accesses(program: &Program) -> HashMap<(BufId, Space), Vec<Access>> {
+pub(crate) fn collect_accesses(program: &Program) -> HashMap<(BufId, Space), Vec<Access>> {
     let mut map: HashMap<(BufId, Space), Vec<Access>> = HashMap::new();
     let mut push = |buf: BufId, space: Space, site: Site, write: bool, transfer: bool| {
         map.entry((buf, space)).or_default().push(Access {

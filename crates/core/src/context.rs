@@ -51,6 +51,7 @@ pub struct ContextBuilder {
     streams_per_partition: usize,
     replan_capacity: Option<usize>,
     check_mode: crate::check::CheckMode,
+    scheduler: crate::sched::SchedulerKind,
 }
 
 impl ContextBuilder {
@@ -72,6 +73,15 @@ impl ContextBuilder {
     /// findings refuse the run.
     pub fn check_mode(mut self, mode: crate::check::CheckMode) -> ContextBuilder {
         self.check_mode = mode;
+        self
+    }
+
+    /// Which scheduler both executors use (see [`crate::sched`]). Defaults
+    /// to [`SchedulerKind::Fifo`](crate::sched::SchedulerKind): replay the
+    /// recorded stream order on the recorded placements, exactly as the
+    /// pre-scheduler runtime did.
+    pub fn scheduler(mut self, kind: crate::sched::SchedulerKind) -> ContextBuilder {
+        self.scheduler = kind;
         self
     }
 
@@ -117,6 +127,7 @@ impl ContextBuilder {
             recovery: parking_lot::Mutex::new(None),
             check_mode: self.check_mode,
             last_check: parking_lot::Mutex::new(None),
+            scheduler: self.scheduler,
         })
     }
 }
@@ -166,6 +177,8 @@ pub struct Context {
     check_mode: crate::check::CheckMode,
     /// Report of the most recent pre-run analysis (any mode but `Off`).
     last_check: parking_lot::Mutex<Option<crate::check::CheckReport>>,
+    /// Which scheduler both executors use (see [`crate::sched`]).
+    scheduler: crate::sched::SchedulerKind,
 }
 
 impl std::fmt::Debug for Context {
@@ -189,6 +202,7 @@ impl Context {
             streams_per_partition: 1,
             replan_capacity: None,
             check_mode: crate::check::CheckMode::default(),
+            scheduler: crate::sched::SchedulerKind::default(),
         }
     }
 
@@ -488,9 +502,83 @@ impl Context {
         }
     }
 
+    // ----- scheduling ------------------------------------------------------
+
+    /// Which scheduler both executors use (see [`crate::sched`]).
+    pub fn scheduler(&self) -> crate::sched::SchedulerKind {
+        self.scheduler
+    }
+
+    /// Select the scheduler for subsequent runs — e.g.
+    /// [`SchedulerKind::ListHeft`](crate::sched::SchedulerKind) to re-place
+    /// the recorded tiles by critical-path rank instead of replaying the
+    /// recorded stream order.
+    pub fn set_scheduler(&mut self, kind: crate::sched::SchedulerKind) {
+        self.scheduler = kind;
+    }
+
+    /// The cost model the schedulers price actions with: the context's own
+    /// calibrated platform configuration, partition geometry and buffer
+    /// sizes — the same numbers the simulator executes against.
+    pub fn cost_model(&self) -> Result<crate::sched::CostModel> {
+        let devices: Vec<DeviceId> = self.platform.devices().collect();
+        let mut plans = Vec::with_capacity(devices.len());
+        for dev in devices {
+            plans.push(self.platform.plan(dev)?.partitions.clone());
+        }
+        let bytes: Vec<u64> = self.buffers.iter().map(Buffer::bytes).collect();
+        Ok(crate::sched::CostModel::new(self.config(), &plans, &bytes))
+    }
+
+    /// Plan the recorded program under the context's scheduler. `None`
+    /// when the scheduler declines — FIFO always does; the others decline
+    /// on empty or non-analyzer-clean programs (see [`crate::sched::plan`]).
+    pub fn plan_schedule(&self) -> Option<crate::sched::Schedule> {
+        let cost = self.cost_model().ok()?;
+        crate::sched::plan(&self.program, &cost, self.scheduler)
+    }
+
+    /// Plan under `kind` (ignoring the context's configured scheduler) and
+    /// materialize the result into the lane-per-stream program the
+    /// simulator executes. `None` under the same conditions as
+    /// [`Context::plan_schedule`].
+    pub fn plan_scheduled_program(
+        &self,
+        kind: crate::sched::SchedulerKind,
+    ) -> Option<(crate::sched::Schedule, Program)> {
+        let cost = self.cost_model().ok()?;
+        crate::sched::plan_program(&self.program, &cost, kind)
+    }
+
+    /// Plan the program under the context's scheduler and render the
+    /// per-action placement listing
+    /// ([`Program::dump_scheduled`](crate::program::Program::dump_scheduled)).
+    /// `None` when the scheduler declines (FIFO, empty or unclean program).
+    pub fn dump_schedule(&self) -> Option<String> {
+        self.plan_schedule()
+            .map(|schedule| self.program.dump_scheduled(&schedule))
+    }
+
+    /// Plan under `kind` keeping the task graph alongside — the native
+    /// executor's graph dispatcher drives the original program through the
+    /// graph directly instead of materializing a new one.
+    pub(crate) fn plan_schedule_graph(
+        &self,
+        kind: crate::sched::SchedulerKind,
+    ) -> Option<(crate::sched::Schedule, crate::sched::TaskGraph)> {
+        let cost = self.cost_model().ok()?;
+        crate::sched::plan_with_graph(&self.program, &cost, kind)
+    }
+
     // ----- execution -------------------------------------------------------
 
     /// Validate and price the recorded program on the platform simulator.
+    ///
+    /// When a non-FIFO [scheduler](Context::set_scheduler) is selected and
+    /// the program is analyzer-clean, the simulator executes the scheduled
+    /// (re-placed, re-ordered) form of the program instead of the recorded
+    /// stream order; otherwise it runs the recorded program exactly as the
+    /// pre-scheduler runtime did.
     pub fn run_sim(&self) -> Result<crate::executor::sim::SimReport> {
         crate::executor::sim::run(self)
     }

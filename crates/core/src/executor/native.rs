@@ -95,6 +95,17 @@ pub struct NativeConfig {
     /// Replay passes [`Context::run_native_resilient`] may take before it
     /// gives up and surfaces the error.
     pub max_degraded_runs: usize,
+    /// Scheduler override for this run (see [`crate::sched`]). `None` (the
+    /// default) uses the context's configured scheduler. Non-FIFO
+    /// schedulers replace the per-stream drivers with a graph dispatcher:
+    /// one driver per `(device, partition)` executes tasks in scheduled
+    /// order, and under
+    /// [`SchedulerKind::WorkSteal`](crate::sched::SchedulerKind) idle
+    /// drivers steal ready tasks cross-partition at runtime. Fault
+    /// injection and partition isolation are keyed by the recorded
+    /// program's structure, so scheduling is skipped (FIFO behaviour) when
+    /// either is configured.
+    pub scheduler: Option<crate::sched::SchedulerKind>,
 }
 
 impl Default for NativeConfig {
@@ -108,6 +119,7 @@ impl Default for NativeConfig {
             retry: RetryPolicy::default(),
             isolate_partitions: false,
             max_degraded_runs: 2,
+            scheduler: None,
         }
     }
 }
@@ -127,6 +139,11 @@ pub struct NativeReport {
     /// Fault-path totals: retries, injected panics, skips. All zero on a
     /// clean run without a fault plan.
     pub faults: FaultCounters,
+    /// Kernels executed on a different partition than the stream they were
+    /// recorded on — cross-partition moves by a non-FIFO scheduler
+    /// (planned placement under `ListHeft`, runtime steals under
+    /// `WorkSteal`). Always zero on FIFO runs.
+    pub steals: usize,
 }
 
 struct EventFlag {
@@ -411,10 +428,211 @@ struct RunShared<'a> {
     bytes_moved: AtomicU64,
 }
 
+/// Submit one transfer to its device's copy engine and wait for
+/// completion, recording against recorder stream `rsi`. Shared by the FIFO
+/// stream drivers and the graph dispatcher so both execute transfers
+/// identically.
+#[allow(clippy::too_many_arguments)]
+fn exec_transfer(
+    shared: &RunShared<'_>,
+    rsi: usize,
+    dir: Direction,
+    buf: BufId,
+    dev: usize,
+    slowdown: f64,
+    done: &Arc<EventFlag>,
+    stamp: Option<&Arc<CopyStamp>>,
+    label: String,
+) {
+    let buffer = shared
+        .ctx
+        .buffer(buf)
+        .expect("buffer validated at enqueue time");
+    let (src, dst) = match dir {
+        Direction::HostToDevice => (buffer.host.clone(), buffer.device.clone()),
+        Direction::DeviceToHost => (buffer.device.clone(), buffer.host.clone()),
+    };
+    let chan = match shared.ctx.config().link.duplex {
+        Duplex::Serial => 0,
+        Duplex::Full => match dir {
+            Direction::HostToDevice => 0,
+            Direction::DeviceToHost => 1,
+        },
+    };
+    let bytes = buffer.bytes();
+    done.reset();
+    let submitted = shared.recorder.map(|rec| {
+        rec.copy_submitted();
+        Instant::now()
+    });
+    shared.engine_tx[dev][chan]
+        .send(CopyJob {
+            src,
+            dst,
+            bytes,
+            bandwidth: shared.link_bandwidth,
+            done: done.clone(),
+            trace: stamp.cloned(),
+            slowdown,
+        })
+        .expect("copy engine alive for run duration");
+    done.wait();
+    if let Some(rec) = shared.recorder {
+        rec.record_transfer(
+            rsi,
+            rec.link_lane(dev, chan),
+            label,
+            submitted.unwrap(),
+            stamp.expect("stamp allocated when tracing"),
+        );
+    }
+    shared.bytes_moved.fetch_add(bytes, Ordering::Relaxed);
+    shared.executed.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Acquire the partition (or host) and the kernel's declared buffers, run
+/// its native body, and record the span against recorder stream `rsi`.
+/// Returns the body's outcome so the caller decides how a panic is handled
+/// (abort vs poison-and-skip). Shared by the FIFO stream drivers and the
+/// graph dispatcher so both execute kernels identically.
+fn exec_kernel(
+    shared: &RunShared<'_>,
+    rsi: usize,
+    desc: &crate::kernel::KernelDesc,
+    dev: usize,
+    part: usize,
+    slow_factor: f64,
+    injected_panic: bool,
+) -> std::thread::Result<()> {
+    let ctx = shared.ctx;
+    let fc = shared.fault;
+    let t_dispatch = shared.recorder.map(|_| Instant::now());
+    // Host kernels take the host lock instead of a partition lock (they
+    // occupy the host, not the card) and act on the buffers' host copies.
+    let (_partition_guard, _host_guard) = if desc.host {
+        (None, Some(shared.host_lock.lock()))
+    } else {
+        (Some(shared.partition_locks[dev][part].lock()), None)
+    };
+    let side = |b: &crate::buffer::Buffer| {
+        if desc.host {
+            b.host.clone()
+        } else {
+            b.device.clone()
+        }
+    };
+    // Lock declared buffers in global id order (deadlock-free across
+    // concurrent kernels), but keep read and write guards in separate
+    // vectors so views can borrow them independently.
+    let mut wanted: Vec<(crate::types::BufId, bool)> = desc.accesses().collect();
+    wanted.sort_by_key(|(b, _)| *b);
+    // Storage Arcs are collected first so the guards below (declared
+    // after, dropped before) can safely borrow them.
+    let storages: Vec<StorageEntry> = wanted
+        .iter()
+        .map(|&(b, w)| {
+            let buffer = ctx.buffer(b).expect("validated at enqueue time");
+            (b, w, side(buffer))
+        })
+        .collect();
+    let mut read_guards: Vec<(
+        crate::types::BufId,
+        parking_lot::RwLockReadGuard<'_, Vec<Elem>>,
+    )> = Vec::with_capacity(desc.reads.len());
+    let mut write_guards: Vec<(
+        crate::types::BufId,
+        parking_lot::RwLockWriteGuard<'_, Vec<Elem>>,
+    )> = Vec::with_capacity(desc.writes.len());
+    for (b, is_write, storage) in &storages {
+        if *is_write {
+            write_guards.push((*b, storage.write()));
+        } else {
+            read_guards.push((*b, storage.read()));
+        }
+    }
+    // Read views in declaration order.
+    let reads: Vec<&[Elem]> = desc
+        .reads
+        .iter()
+        .map(|b| {
+            read_guards
+                .iter()
+                .find(|(id, _)| id == b)
+                .expect("guard acquired above")
+                .1
+                .as_slice()
+        })
+        .collect();
+    // Write views in declaration order: compute for each held guard its
+    // slot in `desc.writes`, then place the mutable slices by permutation.
+    let mut slots: Vec<Option<&mut [Elem]>> = (0..desc.writes.len()).map(|_| None).collect();
+    for (id, guard) in write_guards.iter_mut() {
+        let pos = desc
+            .writes
+            .iter()
+            .position(|b| b == id)
+            .expect("guard acquired above");
+        slots[pos] = Some(guard.as_mut_slice());
+    }
+    let writes: Vec<&mut [Elem]> = slots
+        .into_iter()
+        .map(|s| s.expect("every declared write locked"))
+        .collect();
+    let mut kctx = KernelCtx {
+        reads,
+        writes,
+        threads: shared.threads_hint,
+    };
+    let body = desc.native.as_ref().expect("checked above").clone();
+    // Route the body's parallel helpers onto the kernel's partition-pinned
+    // group while it runs.
+    let _pool_install = shared.pool.map(|p| {
+        let group = if desc.host {
+            p.host()
+        } else {
+            p.partition(dev, part)
+        };
+        pool::install(group.clone())
+    });
+    let t_start = shared.recorder.map(|rec| {
+        let now = Instant::now();
+        // Launch overhead: dispatch to body start (partition lock, buffer
+        // locks, view setup).
+        rec.record_launch_overhead(rsi, now.saturating_duration_since(t_dispatch.unwrap()));
+        now
+    });
+    let body_started = (slow_factor > 1.0).then(Instant::now);
+    let outcome = if injected_panic {
+        FaultTallies::bump(&fc.tallies.injected_kernel_panics);
+        Err(Box::new("injected kernel panic") as Box<dyn std::any::Any + Send>)
+    } else {
+        catch_unwind(AssertUnwindSafe(|| body(&mut kctx)))
+    };
+    if let Some(rec) = shared.recorder {
+        // Recorded even when the body panicked: the partial timeline then
+        // names the kernel that failed.
+        rec.record_span(
+            rsi,
+            Some(rec.kernel_lane(desc.host, dev, part)),
+            desc.label.clone(),
+            t_start.unwrap(),
+            Instant::now(),
+        );
+    }
+    if outcome.is_ok() {
+        if let Some(t0) = body_started {
+            // Slow partition: stretch the kernel's occupation of the
+            // partition (locks still held) to factor× the body's own time.
+            std::thread::sleep(t0.elapsed().mul_f64(slow_factor - 1.0));
+        }
+        shared.executed.fetch_add(1, Ordering::Relaxed);
+    }
+    outcome
+}
+
 /// Interpret one stream's FIFO. Runs on a driver thread (persistent group
 /// worker or scoped spawn).
 fn drive_stream(shared: &RunShared<'_>, stream: &StreamRecord) {
-    let ctx = shared.ctx;
     let si = stream.id.0;
     let dev = stream.placement.device.0;
     let part = stream.placement.partition;
@@ -508,47 +726,17 @@ fn drive_stream(shared: &RunShared<'_>, stream: &StreamRecord) {
                     .plan
                     .as_ref()
                     .map_or(1.0, |p| p.transfer_slowdown(si, ai));
-                let buffer = ctx.buffer(*buf).expect("buffer validated at enqueue time");
-                let (src, dst) = match dir {
-                    Direction::HostToDevice => (buffer.host.clone(), buffer.device.clone()),
-                    Direction::DeviceToHost => (buffer.device.clone(), buffer.host.clone()),
-                };
-                let chan = match ctx.config().link.duplex {
-                    Duplex::Serial => 0,
-                    Duplex::Full => match dir {
-                        Direction::HostToDevice => 0,
-                        Direction::DeviceToHost => 1,
-                    },
-                };
-                let bytes = buffer.bytes();
-                done.reset();
-                let submitted = shared.recorder.map(|rec| {
-                    rec.copy_submitted();
-                    Instant::now()
-                });
-                shared.engine_tx[dev][chan]
-                    .send(CopyJob {
-                        src,
-                        dst,
-                        bytes,
-                        bandwidth: shared.link_bandwidth,
-                        done: done.clone(),
-                        trace: stamp.clone(),
-                        slowdown,
-                    })
-                    .expect("copy engine alive for run duration");
-                done.wait();
-                if let Some(rec) = shared.recorder {
-                    rec.record_transfer(
-                        si,
-                        rec.link_lane(dev, chan),
-                        action.label(),
-                        submitted.unwrap(),
-                        stamp.as_ref().unwrap(),
-                    );
-                }
-                shared.bytes_moved.fetch_add(bytes, Ordering::Relaxed);
-                shared.executed.fetch_add(1, Ordering::Relaxed);
+                exec_transfer(
+                    shared,
+                    si,
+                    *dir,
+                    *buf,
+                    dev,
+                    slowdown,
+                    &done,
+                    stamp.as_ref(),
+                    action.label(),
+                );
             }
             Action::Kernel(desc) => {
                 if skipping {
@@ -568,108 +756,6 @@ fn drive_stream(shared: &RunShared<'_>, stream: &StreamRecord) {
                         continue;
                     }
                 }
-                let t_dispatch = shared.recorder.map(|_| Instant::now());
-                // Host kernels take the host lock instead of a partition
-                // lock (they occupy the host, not the card) and act on the
-                // buffers' host copies.
-                let (_partition_guard, _host_guard) = if desc.host {
-                    (None, Some(shared.host_lock.lock()))
-                } else {
-                    (Some(shared.partition_locks[dev][part].lock()), None)
-                };
-                let side = |b: &crate::buffer::Buffer| {
-                    if desc.host {
-                        b.host.clone()
-                    } else {
-                        b.device.clone()
-                    }
-                };
-                // Lock declared buffers in global id order (deadlock-free
-                // across concurrent kernels), but keep read and write guards
-                // in separate vectors so views can borrow them
-                // independently.
-                let mut wanted: Vec<(crate::types::BufId, bool)> = desc.accesses().collect();
-                wanted.sort_by_key(|(b, _)| *b);
-                // Storage Arcs are collected first so the guards below
-                // (declared after, dropped before) can safely borrow them.
-                let storages: Vec<StorageEntry> = wanted
-                    .iter()
-                    .map(|&(b, w)| {
-                        let buffer = ctx.buffer(b).expect("validated at enqueue time");
-                        (b, w, side(buffer))
-                    })
-                    .collect();
-                let mut read_guards: Vec<(
-                    crate::types::BufId,
-                    parking_lot::RwLockReadGuard<'_, Vec<Elem>>,
-                )> = Vec::with_capacity(desc.reads.len());
-                let mut write_guards: Vec<(
-                    crate::types::BufId,
-                    parking_lot::RwLockWriteGuard<'_, Vec<Elem>>,
-                )> = Vec::with_capacity(desc.writes.len());
-                for (b, is_write, storage) in &storages {
-                    if *is_write {
-                        write_guards.push((*b, storage.write()));
-                    } else {
-                        read_guards.push((*b, storage.read()));
-                    }
-                }
-                // Read views in declaration order.
-                let reads: Vec<&[Elem]> = desc
-                    .reads
-                    .iter()
-                    .map(|b| {
-                        read_guards
-                            .iter()
-                            .find(|(id, _)| id == b)
-                            .expect("guard acquired above")
-                            .1
-                            .as_slice()
-                    })
-                    .collect();
-                // Write views in declaration order: compute for each held
-                // guard its slot in `desc.writes`, then place the mutable
-                // slices by permutation.
-                let mut slots: Vec<Option<&mut [Elem]>> =
-                    (0..desc.writes.len()).map(|_| None).collect();
-                for (id, guard) in write_guards.iter_mut() {
-                    let pos = desc
-                        .writes
-                        .iter()
-                        .position(|b| b == id)
-                        .expect("guard acquired above");
-                    slots[pos] = Some(guard.as_mut_slice());
-                }
-                let writes: Vec<&mut [Elem]> = slots
-                    .into_iter()
-                    .map(|s| s.expect("every declared write locked"))
-                    .collect();
-                let mut kctx = KernelCtx {
-                    reads,
-                    writes,
-                    threads: shared.threads_hint,
-                };
-                let body = desc.native.as_ref().expect("checked above").clone();
-                // Route the body's parallel helpers onto the kernel's
-                // partition-pinned group while it runs.
-                let _pool_install = shared.pool.map(|p| {
-                    let group = if desc.host {
-                        p.host()
-                    } else {
-                        p.partition(dev, part)
-                    };
-                    pool::install(group.clone())
-                });
-                let t_start = shared.recorder.map(|rec| {
-                    let now = Instant::now();
-                    // Launch overhead: dispatch to body start (partition
-                    // lock, buffer locks, view setup).
-                    rec.record_launch_overhead(
-                        si,
-                        now.saturating_duration_since(t_dispatch.unwrap()),
-                    );
-                    now
-                });
                 let slow_factor = if desc.host {
                     1.0
                 } else {
@@ -677,25 +763,8 @@ fn drive_stream(shared: &RunShared<'_>, stream: &StreamRecord) {
                         .as_ref()
                         .map_or(1.0, |p| p.partition_slowdown(dev, part))
                 };
-                let body_started = (slow_factor > 1.0).then(Instant::now);
                 let injected = fc.plan.as_ref().is_some_and(|p| p.kernel_panics_at(si, ai));
-                let outcome = if injected {
-                    FaultTallies::bump(&fc.tallies.injected_kernel_panics);
-                    Err(Box::new("injected kernel panic") as Box<dyn std::any::Any + Send>)
-                } else {
-                    catch_unwind(AssertUnwindSafe(|| body(&mut kctx)))
-                };
-                if let Some(rec) = shared.recorder {
-                    // Recorded even when the body panicked: the partial
-                    // timeline then names the kernel that failed.
-                    rec.record_span(
-                        si,
-                        Some(rec.kernel_lane(desc.host, dev, part)),
-                        desc.label.clone(),
-                        t_start.unwrap(),
-                        Instant::now(),
-                    );
-                }
+                let outcome = exec_kernel(shared, si, desc, dev, part, slow_factor, injected);
                 if outcome.is_err() {
                     FaultTallies::bump(&fc.tallies.kernel_panics);
                     if fc.isolate && !desc.host {
@@ -722,21 +791,204 @@ fn drive_stream(shared: &RunShared<'_>, stream: &StreamRecord) {
                         }
                         skipping = true;
                     }
-                } else {
-                    if let Some(t0) = body_started {
-                        // Slow partition: stretch the kernel's occupation of
-                        // the partition (locks still held) to factor× the
-                        // body's own time.
-                        std::thread::sleep(t0.elapsed().mul_f64(slow_factor - 1.0));
-                    }
-                    shared.executed.fetch_add(1, Ordering::Relaxed);
                 }
             }
         }
     }
 }
 
-fn finish(shared: RunShared<'_>, wall: Duration) -> Result<NativeReport> {
+// ----- graph dispatcher -----------------------------------------------------
+
+/// Shared ready-queue state for a scheduled (non-FIFO) run: one driver per
+/// `(device, partition)` drains its own queue of ready task-graph nodes
+/// and steals from a loaded sibling queue on the same device when its own
+/// runs dry. The dispatch layer is work-conserving for *every* scheduled
+/// kind — a driver sleeping in a kernel must not strand the transfers
+/// queued behind it while siblings idle; the kinds differ only in how the
+/// queues are seeded (`ListHeft` pins to the planned driver, `WorkSteal`
+/// to the recorded placement).
+struct GraphDispatch<'a> {
+    graph: &'a crate::sched::TaskGraph,
+    parts_per_dev: usize,
+    total: usize,
+    /// Home queue of each node (seeded from the schedule's driver hints).
+    queue_of: Vec<usize>,
+    /// Position of each node in the schedule's global order — the queue
+    /// ordering key, so drivers drain in scheduled order.
+    seq_of: Vec<usize>,
+    state: Mutex<DispatchState>,
+    cv: Condvar,
+    abort: AtomicBool,
+    steals: AtomicUsize,
+}
+
+struct DispatchState {
+    /// Ready nodes per driver queue, ordered by (scheduled sequence, node).
+    queues: Vec<std::collections::BTreeSet<(usize, usize)>>,
+    indeg: Vec<usize>,
+    completed: usize,
+}
+
+impl<'a> GraphDispatch<'a> {
+    fn new(
+        ctx: &Context,
+        schedule: &crate::sched::Schedule,
+        graph: &'a crate::sched::TaskGraph,
+    ) -> GraphDispatch<'a> {
+        let parts_per_dev = ctx.partitions().max(1);
+        let n_queues = ctx.device_count() * parts_per_dev;
+        let dynamic = schedule.kind == crate::sched::SchedulerKind::WorkSteal;
+        let mut queue_of = vec![0usize; graph.len()];
+        let mut seq_of = vec![0usize; graph.len()];
+        for (seq, task) in schedule.tasks.iter().enumerate() {
+            let u = graph.node_of(task.site).expect("scheduled task is a node");
+            seq_of[u] = seq;
+            // WorkSteal seeds queues from the *recorded* placement so steals
+            // happen at runtime, when a partition is genuinely idle; ListHeft
+            // pins each task to its planned driver.
+            let (dev, part) = if dynamic {
+                let node = &graph.nodes[u];
+                (node.device, node.partition.min(parts_per_dev - 1))
+            } else {
+                let (dev, part) = task.driver;
+                (dev, part.min(parts_per_dev - 1))
+            };
+            queue_of[u] = dev * parts_per_dev + part;
+        }
+        let indeg: Vec<usize> = graph.preds.iter().map(Vec::len).collect();
+        let mut queues = vec![std::collections::BTreeSet::new(); n_queues];
+        for u in 0..graph.len() {
+            if indeg[u] == 0 {
+                queues[queue_of[u]].insert((seq_of[u], u));
+            }
+        }
+        GraphDispatch {
+            graph,
+            parts_per_dev,
+            total: graph.len(),
+            queue_of,
+            seq_of,
+            state: Mutex::new(DispatchState {
+                queues,
+                indeg,
+                completed: 0,
+            }),
+            cv: Condvar::new(),
+            abort: AtomicBool::new(false),
+            steals: AtomicUsize::new(0),
+        }
+    }
+
+    /// Next node for driver `idx`, or `None` when the run is over (all
+    /// tasks completed, or aborted after an error). Blocks while the
+    /// driver's queue is empty but work is still in flight. The `bool` is
+    /// true when the node was stolen from a sibling queue.
+    fn next_task(&self, idx: usize) -> Option<(usize, bool)> {
+        let mut state = self.state.lock();
+        loop {
+            if self.abort.load(Ordering::Acquire) || state.completed == self.total {
+                return None;
+            }
+            if let Some(&entry) = state.queues[idx].iter().next() {
+                state.queues[idx].remove(&entry);
+                return Some((entry.1, false));
+            }
+            // Steal from the most loaded sibling queue on this device,
+            // from the *back* (latest-scheduled ready task — the classic
+            // steal-from-the-tail deque discipline, minimizing contention
+            // with the victim's own front-of-queue progress).
+            let dev = idx / self.parts_per_dev;
+            let siblings = (dev * self.parts_per_dev)..((dev + 1) * self.parts_per_dev);
+            let victim = siblings
+                .filter(|&q| q != idx && !state.queues[q].is_empty())
+                .max_by_key(|&q| state.queues[q].len());
+            if let Some(victim) = victim {
+                let entry = *state.queues[victim].iter().next_back().expect("non-empty");
+                state.queues[victim].remove(&entry);
+                return Some((entry.1, true));
+            }
+            self.cv.wait(&mut state);
+        }
+    }
+
+    /// Mark `node` done and release any successors that became ready.
+    fn complete(&self, node: usize) {
+        let mut state = self.state.lock();
+        state.completed += 1;
+        for &v in &self.graph.succs[node] {
+            state.indeg[v] -= 1;
+            if state.indeg[v] == 0 {
+                let key = (self.seq_of[v], v);
+                state.queues[self.queue_of[v]].insert(key);
+            }
+        }
+        drop(state);
+        self.cv.notify_all();
+    }
+
+    fn abort_run(&self) {
+        self.abort.store(true, Ordering::Release);
+        self.cv.notify_all();
+    }
+}
+
+/// One scheduled-run driver: owns partition `idx % parts_per_dev` on device
+/// `idx / parts_per_dev` and executes tasks handed out by `dispatch`.
+fn dispatch_driver(shared: &RunShared<'_>, dispatch: &GraphDispatch<'_>, idx: usize) {
+    let part_i = idx % dispatch.parts_per_dev;
+    // Reusable completion slot + tracing state, as in `drive_stream`. The
+    // recorder stream index is the driver index: scheduled traces are
+    // per-(device, partition) lanes, matching how the work actually ran.
+    let done = Arc::new(EventFlag::new());
+    let stamp = shared
+        .recorder
+        .map(super::super::trace::Recorder::copy_stamp);
+    let _pool_sink = shared
+        .recorder
+        .map(|rec| crate::trace::install_pool_sink(rec.pool_sink(idx)));
+    while let Some((node, stolen)) = dispatch.next_task(idx) {
+        let task = &dispatch.graph.nodes[node];
+        let site = task.site;
+        let action = &shared.ctx.program().streams[site.stream.0].actions[site.action_index];
+        match action {
+            Action::Transfer { dir, buf } => {
+                exec_transfer(
+                    shared,
+                    idx,
+                    *dir,
+                    *buf,
+                    task.device,
+                    1.0,
+                    &done,
+                    stamp.as_ref(),
+                    action.label(),
+                );
+            }
+            Action::Kernel(desc) => {
+                if !desc.host && (stolen || part_i != task.partition) {
+                    dispatch.steals.fetch_add(1, Ordering::Relaxed);
+                }
+                let outcome = exec_kernel(shared, idx, desc, task.device, part_i, 1.0, false);
+                if outcome.is_err() {
+                    FaultTallies::bump(&shared.fault.tallies.kernel_panics);
+                    let mut slot = shared.first_error.lock();
+                    if slot.is_none() {
+                        *slot = Some(Error::KernelPanicked {
+                            kernel: desc.label.clone(),
+                        });
+                    }
+                    drop(slot);
+                    dispatch.abort_run();
+                    return;
+                }
+            }
+            _ => unreachable!("control actions are not task-graph nodes"),
+        }
+        dispatch.complete(node);
+    }
+}
+
+fn finish(shared: RunShared<'_>, wall: Duration, steals: usize) -> Result<NativeReport> {
     if let Some(err) = shared.first_error.into_inner() {
         return Err(err);
     }
@@ -746,6 +998,7 @@ fn finish(shared: RunShared<'_>, wall: Duration) -> Result<NativeReport> {
         bytes_transferred: shared.bytes_moved.into_inner(),
         trace: None,                      // attached by `run` from the trace guard
         faults: FaultCounters::default(), // filled by `run` from the tallies
+        steals,
     })
 }
 
@@ -807,6 +1060,7 @@ pub fn run(ctx: &Context, cfg: &NativeConfig) -> Result<NativeReport> {
             bytes_transferred: 0,
             trace: None,
             faults: FaultCounters::default(),
+            steals: 0,
         });
     }
 
@@ -845,6 +1099,17 @@ pub fn run(ctx: &Context, cfg: &NativeConfig) -> Result<NativeReport> {
         .max_threads_per_partition
         .unwrap_or_else(|| default_threads_per_partition(ctx));
 
+    // Non-FIFO scheduling replaces the per-stream drivers with the graph
+    // dispatcher. Fault plans and partition isolation key off the recorded
+    // program's (stream, action) sites, so either disables scheduling —
+    // the run then behaves exactly as FIFO.
+    let sched_kind = cfg.scheduler.unwrap_or_else(|| ctx.scheduler());
+    let planned = if cfg.fault.is_none() && !cfg.isolate_partitions {
+        ctx.plan_schedule_graph(sched_kind)
+    } else {
+        None
+    };
+
     let mut guard = TraceGuard {
         ctx,
         recorder: cfg.trace.then(|| Recorder::new(ctx)),
@@ -853,9 +1118,23 @@ pub fn run(ctx: &Context, cfg: &NativeConfig) -> Result<NativeReport> {
         rec.set_fault_tallies(Arc::clone(&fc.tallies));
     }
     let result = if cfg.persistent {
-        run_persistent(ctx, cfg, threads_hint, guard.recorder.as_ref(), &fc)
+        run_persistent(
+            ctx,
+            cfg,
+            threads_hint,
+            guard.recorder.as_ref(),
+            &fc,
+            planned.as_ref(),
+        )
     } else {
-        run_scoped(ctx, cfg, threads_hint, guard.recorder.as_ref(), &fc)
+        run_scoped(
+            ctx,
+            cfg,
+            threads_hint,
+            guard.recorder.as_ref(),
+            &fc,
+            planned.as_ref(),
+        )
     };
     // Publish on the success path too, then attach the trace to the report;
     // on Err (kernel panic) the trace stays retrievable from the context.
@@ -888,6 +1167,7 @@ fn run_persistent(
     threads_hint: usize,
     recorder: Option<&Recorder>,
     fault: &FaultControl,
+    planned: Option<&(crate::sched::Schedule, crate::sched::TaskGraph)>,
 ) -> Result<NativeReport> {
     let rt = ctx.native_runtime();
     let _active = rt.run_lock.lock();
@@ -912,11 +1192,24 @@ fn run_persistent(
         executed: AtomicUsize::new(0),
         bytes_moved: AtomicU64::new(0),
     };
+    if let Some((schedule, graph)) = planned {
+        let dispatch = GraphDispatch::new(ctx, schedule, graph);
+        let n_drivers = ctx.device_count() * ctx.partitions().max(1);
+        let started = Instant::now();
+        rt.drivers
+            .run_fixed(n_drivers, &|idx| dispatch_driver(&shared, &dispatch, idx));
+        let wall = started.elapsed();
+        let steals = dispatch.steals.load(Ordering::Relaxed);
+        if let Some(rec) = recorder {
+            rec.set_steals(steals as u64);
+        }
+        return finish(shared, wall, steals);
+    }
     let started = Instant::now();
     rt.drivers
         .run_fixed(streams.len(), &|idx| drive_stream(&shared, &streams[idx]));
     let wall = started.elapsed();
-    finish(shared, wall)
+    finish(shared, wall, 0)
 }
 
 /// The original spawn-per-run executor: scoped driver threads, per-run copy
@@ -927,6 +1220,7 @@ fn run_scoped(
     threads_hint: usize,
     recorder: Option<&Recorder>,
     fault: &FaultControl,
+    planned: Option<&(crate::sched::Schedule, crate::sched::TaskGraph)>,
 ) -> Result<NativeReport> {
     let streams = &ctx.program().streams;
     let n_streams = streams.len();
@@ -973,15 +1267,31 @@ fn run_scoped(
     };
 
     let started = Instant::now();
-    std::thread::scope(|scope| {
-        for stream in streams {
-            let shared = &shared;
-            scope.spawn(move || drive_stream(shared, stream));
+    let mut steals = 0;
+    if let Some((schedule, graph)) = planned {
+        let dispatch = GraphDispatch::new(ctx, schedule, graph);
+        let n_drivers = ctx.device_count() * parts_per_dev;
+        std::thread::scope(|scope| {
+            for idx in 0..n_drivers {
+                let (shared, dispatch) = (&shared, &dispatch);
+                scope.spawn(move || dispatch_driver(shared, dispatch, idx));
+            }
+        });
+        steals = dispatch.steals.load(Ordering::Relaxed);
+        if let Some(rec) = recorder {
+            rec.set_steals(steals as u64);
         }
-    });
+    } else {
+        std::thread::scope(|scope| {
+            for stream in streams {
+                let shared = &shared;
+                scope.spawn(move || drive_stream(shared, stream));
+            }
+        });
+    }
     let wall = started.elapsed();
 
-    let report = finish(shared, wall);
+    let report = finish(shared, wall, steals);
 
     // Shut the per-run copy engines down.
     drop(engine_tx);
@@ -997,6 +1307,7 @@ mod tests {
     use crate::context::Context;
     use crate::kernel::KernelDesc;
     use micsim::compute::KernelProfile;
+    use micsim::time::SimDuration;
     use micsim::PlatformConfig;
 
     fn small_ctx(partitions: usize) -> Context {
@@ -1431,6 +1742,120 @@ mod tests {
             overlapped.load(Ordering::SeqCst),
             "kernels on distinct partitions must overlap"
         );
+    }
+
+    /// `tiles` independent pipeline tiles (h2d, kernel, d2h) recorded onto
+    /// `streams` streams — the T < P starvation shape when `streams` is
+    /// smaller than the context's partition count.
+    fn tiled_ctx(partitions: usize, streams: usize, tiles: usize) -> Context {
+        let mut ctx = small_ctx(partitions);
+        let mut bufs = Vec::new();
+        for t in 0..tiles {
+            let a = ctx.alloc(format!("a{t}"), 32);
+            let b = ctx.alloc(format!("b{t}"), 32);
+            ctx.write_host(a, &[t as f32 + 1.0; 32]).unwrap();
+            bufs.push((a, b));
+        }
+        for (t, (a, b)) in bufs.into_iter().enumerate() {
+            let s = ctx.stream(t % streams).unwrap();
+            ctx.h2d(s, a).unwrap();
+            ctx.kernel(
+                s,
+                native_kernel(&format!("tile{t}"))
+                    .reading([a])
+                    .writing([b])
+                    .with_native(|k| {
+                        std::thread::sleep(Duration::from_millis(2));
+                        for (o, i) in k.writes[0].iter_mut().zip(k.reads[0]) {
+                            *o = i * 2.0;
+                        }
+                    }),
+            )
+            .unwrap();
+            ctx.d2h(s, b).unwrap();
+        }
+        ctx
+    }
+
+    #[test]
+    fn scheduled_runs_match_fifo_numerics() {
+        // Same program through FIFO, HEFT and WorkSteal (persistent and
+        // scoped): placements move, results must not.
+        let ctx = tiled_ctx(4, 2, 8);
+        ctx.run_native().unwrap();
+        let expected: Vec<Vec<f32>> = (0..8)
+            .map(|t| ctx.read_host(BufId(2 * t + 1)).unwrap())
+            .collect();
+        for kind in [
+            crate::sched::SchedulerKind::ListHeft,
+            crate::sched::SchedulerKind::WorkSteal,
+        ] {
+            for persistent in [true, false] {
+                let cfg = NativeConfig {
+                    scheduler: Some(kind),
+                    persistent,
+                    ..NativeConfig::default()
+                };
+                let report = ctx.run_native_with(&cfg).unwrap();
+                assert_eq!(report.actions_executed, 24, "{kind}/{persistent}");
+                for (t, want) in expected.iter().enumerate() {
+                    assert_eq!(
+                        &ctx.read_host(BufId(2 * t + 1)).unwrap(),
+                        want,
+                        "{kind} persistent={persistent} tile {t}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn heft_spreads_starved_streams_and_reports_steals() {
+        // 8 tiles on 2 streams, 4 partitions: HEFT's planned placement must
+        // move kernels onto the idle partitions, surfaced as steals.
+        let ctx = tiled_ctx(4, 2, 8);
+        let report = ctx
+            .run_native_with(&NativeConfig {
+                scheduler: Some(crate::sched::SchedulerKind::ListHeft),
+                ..NativeConfig::default()
+            })
+            .unwrap();
+        assert!(report.steals > 0, "steals = {}", report.steals);
+        // FIFO never steals.
+        let fifo = ctx.run_native().unwrap();
+        assert_eq!(fifo.steals, 0);
+    }
+
+    #[test]
+    fn scheduled_trace_carries_steal_counter() {
+        let ctx = tiled_ctx(4, 2, 8);
+        let report = ctx
+            .run_native_with(&NativeConfig {
+                scheduler: Some(crate::sched::SchedulerKind::ListHeft),
+                trace: true,
+                ..NativeConfig::default()
+            })
+            .unwrap();
+        let trace = report.trace.expect("traced run");
+        assert_eq!(trace.counters.steals, report.steals as u64);
+        // The scheduled timeline still classifies: some compute happened.
+        assert!(trace.overlap().compute_busy > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn fault_plan_disables_scheduling() {
+        // Fault plans key off recorded (stream, action) sites, so a planned
+        // run must fall back to FIFO order — observable as zero steals.
+        let ctx = tiled_ctx(4, 2, 8);
+        let plan = crate::fault::FaultPlan::seeded(7);
+        let report = ctx
+            .run_native_with(&NativeConfig {
+                scheduler: Some(crate::sched::SchedulerKind::ListHeft),
+                fault: Some(Arc::new(plan)),
+                ..NativeConfig::default()
+            })
+            .unwrap();
+        assert_eq!(report.steals, 0);
     }
 
     #[test]

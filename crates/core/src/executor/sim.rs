@@ -19,7 +19,9 @@ use std::collections::BTreeMap;
 use micsim::compute::KernelInvocation;
 use micsim::engine::{Engine, ResourceId, TaskId, TaskSpec, Timeline};
 use micsim::time::SimDuration;
-use micsim::trace::{overlap_stats, render_gantt, OverlapStats, ResourceKinds};
+use micsim::trace::{
+    overlap_stats, partition_stats, render_gantt, OverlapStats, PartitionStats, ResourceKinds,
+};
 
 use crate::action::Action;
 use crate::context::Context;
@@ -46,6 +48,14 @@ impl SimReport {
     /// Temporal-sharing statistics: link busy, compute busy, overlap.
     pub fn overlap(&self) -> OverlapStats {
         overlap_stats(&self.timeline, &self.kinds)
+    }
+
+    /// Per-partition busy/idle breakdown (the host resource included, as
+    /// in [`ResourceKinds`]). A starved partition — a `T < P` record, or a
+    /// straggler tile serializing its siblings — shows as `idle_fraction`
+    /// near 1 and a long `longest_gap`.
+    pub fn partition_stats(&self) -> Vec<PartitionStats> {
+        partition_stats(&self.timeline, &self.kinds)
     }
 
     /// ASCII Gantt chart of the run, `width` columns wide.
@@ -89,8 +99,30 @@ pub fn run_with(
         }
     }
 
+    // A non-FIFO scheduler replaces the recorded program with its
+    // materialized schedule. Fault plans are keyed by the *recorded*
+    // program's (stream, action-index) sites, so scheduling only applies
+    // to fault-free runs; unclean or empty programs also fall back to the
+    // recorded FIFO order (FIFO itself always declines to schedule).
+    if fault.is_none() {
+        if let Some((_, scheduled)) = ctx.plan_scheduled_program(ctx.scheduler()) {
+            scheduled.validate()?;
+            return lower(ctx, &scheduled, fault, retry);
+        }
+    }
+    lower(ctx, &ctx.program, fault, retry)
+}
+
+/// Lower `program` onto the task-DAG engine and price it. `program` is
+/// either the context's recorded program or its materialized schedule;
+/// buffers and platform geometry always come from `ctx`.
+fn lower(
+    ctx: &Context,
+    program: &crate::program::Program,
+    fault: Option<&FaultPlan>,
+    retry: &RetryPolicy,
+) -> Result<SimReport> {
     let cfg = ctx.config().clone();
-    let program = &ctx.program;
     let mut engine = Engine::new();
     let mut kinds = ResourceKinds::default();
     let mut names: BTreeMap<ResourceId, String> = BTreeMap::new();

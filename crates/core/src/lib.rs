@@ -72,6 +72,7 @@ pub mod plan;
 pub mod pool;
 pub mod program;
 pub mod residency;
+pub mod sched;
 pub mod trace;
 pub mod types;
 
@@ -85,5 +86,6 @@ pub use kernel::{KernelCtx, KernelDesc, KernelFn};
 pub use place::ResourceView;
 pub use plan::{enqueue_tiles, FlowMode, TileTask};
 pub use residency::ResidencyTracker;
+pub use sched::{Schedule, SchedulerKind};
 pub use trace::{LaunchHistogram, NativeCounters, NativeTrace};
 pub use types::{BufId, Error, EventId, Result, StreamId};

@@ -98,6 +98,66 @@ impl Program {
         self.render(Some(report))
     }
 
+    /// Like [`Program::dump`], but with each scheduled action's chosen
+    /// placement interleaved under its line — where a non-FIFO
+    /// [`Schedule`](crate::sched::Schedule) put it, when it is estimated to
+    /// run, and whether it was moved off its recorded partition:
+    ///
+    /// ```text
+    /// stream s0 @ mic0#p0 (2 actions)
+    ///   [  0] h2d b0
+    ///         -> mic0.link0 @ 0.000..0.351 ms
+    ///   [  1] kernel tile0
+    ///         -> mic0.p2 @ 0.351..1.204 ms (stolen)
+    /// ```
+    ///
+    /// Pass the schedule from [`crate::sched::plan`] (or
+    /// [`Context::plan_schedule`](crate::context::Context::plan_schedule))
+    /// over this same program. Control actions (events, barriers) carry no
+    /// placement — the schedule's dependence edges subsume them.
+    pub fn dump_scheduled(&self, schedule: &crate::sched::Schedule) -> String {
+        let mut out = format!(
+            "schedule: {} (est. makespan {:.3} ms, {} steal(s))\n",
+            schedule.kind,
+            schedule.makespan * 1e3,
+            schedule.steals
+        );
+        for s in &self.streams {
+            out.push_str(&format!(
+                "stream {} @ {}#p{} ({} actions)\n",
+                s.id,
+                s.placement.device,
+                s.placement.partition,
+                s.actions.len()
+            ));
+            for (i, a) in s.actions.iter().enumerate() {
+                out.push_str(&format!("  [{i:>3}] {}\n", a.label()));
+                let site = crate::check::Site::new(s.id.0, i);
+                if let Some(task) = schedule.tasks.iter().find(|t| t.site == site) {
+                    out.push_str(&format!(
+                        "        -> {} @ {:.3}..{:.3} ms{}\n",
+                        task.lane,
+                        task.start * 1e3,
+                        task.finish * 1e3,
+                        if task.stolen { " (stolen)" } else { "" }
+                    ));
+                }
+            }
+        }
+        out.push_str(&format!(
+            "{} streams, {} actions scheduled onto {} lane(s)\n",
+            self.streams.len(),
+            schedule.tasks.len(),
+            {
+                let mut lanes: Vec<_> = schedule.tasks.iter().map(|t| t.lane).collect();
+                lanes.sort_unstable();
+                lanes.dedup();
+                lanes.len()
+            }
+        ));
+        out
+    }
+
     fn render(&self, report: Option<&crate::check::CheckReport>) -> String {
         use std::collections::HashMap;
         let mut notes: HashMap<(usize, usize), Vec<&crate::check::Diagnostic>> = HashMap::new();

@@ -1,0 +1,158 @@
+//! Shared machinery for the list and stealing schedulers: candidate lane
+//! enumeration, per-lane pricing, and schedule finalization (native driver
+//! hints, steal counting, global ordering).
+
+use crate::action::Action;
+
+use super::{Lane, SchedInput, Schedule, ScheduledTask, SchedulerKind};
+
+/// One node's placement decision before finalization.
+#[derive(Clone, Copy, Debug)]
+pub(super) struct Placed {
+    pub lane: Lane,
+    pub start: f64,
+    pub finish: f64,
+}
+
+/// Cost of every node on its *recorded* placement, in node order. `None`
+/// when any kernel cannot be priced (decline to schedule).
+pub(super) fn base_costs(input: &SchedInput<'_>) -> Option<Vec<f64>> {
+    (0..input.graph.len())
+        .map(|u| {
+            let node = input.graph.nodes[u];
+            let action = input.graph.action(input.program, u);
+            input
+                .cost
+                .action_seconds(action, node.device, node.partition)
+        })
+        .collect()
+}
+
+/// Lanes node `u` may legally run on: transfers are pinned to their link
+/// channel, host kernels to the host, device kernels may move to any
+/// partition of their recorded device.
+pub(super) fn candidate_lanes(input: &SchedInput<'_>, u: usize) -> Vec<Lane> {
+    let node = input.graph.nodes[u];
+    match input.graph.action(input.program, u) {
+        Action::Transfer { dir, .. } => vec![Lane::Link {
+            device: node.device,
+            channel: input.cost.channel_for(*dir),
+        }],
+        Action::Kernel(k) if k.host => vec![Lane::Host],
+        Action::Kernel(_) => (0..input.cost.partitions().max(1))
+            .map(|p| Lane::Partition {
+                device: node.device,
+                partition: p,
+            })
+            .collect(),
+        _ => Vec::new(),
+    }
+}
+
+/// Price node `u` on `lane`. `None` for impossible combinations.
+pub(super) fn lane_cost(input: &SchedInput<'_>, u: usize, lane: Lane) -> Option<f64> {
+    match (input.graph.action(input.program, u), lane) {
+        (Action::Transfer { buf, .. }, Lane::Link { .. }) => {
+            Some(input.cost.transfer_seconds(input.cost.bytes_of(*buf)))
+        }
+        (Action::Kernel(k), Lane::Host) if k.host => Some(input.cost.host_kernel_seconds(k)),
+        (Action::Kernel(k), Lane::Partition { device, partition }) if !k.host => {
+            input.cost.device_kernel_seconds(k, device, partition)
+        }
+        _ => None,
+    }
+}
+
+/// Buffers node `u` produces (transfer payloads and kernel writes) — the
+/// residency a consumer would rather stay next to.
+fn produces(input: &SchedInput<'_>, u: usize) -> Vec<crate::types::BufId> {
+    match input.graph.action(input.program, u) {
+        Action::Transfer { buf, .. } => vec![*buf],
+        Action::Kernel(k) => k.writes.clone(),
+        _ => Vec::new(),
+    }
+}
+
+/// Locality score of placing device-kernel `u` on partition `candidate`:
+/// the re-transfer seconds its inputs would cost if they had to move from
+/// the partitions that produced them. Zero when every input producer sits
+/// on `candidate` (or on no partition at all — host/link producers are
+/// equidistant). Used as a tie-break, not a hard constraint: partitions
+/// of one card share memory, so the penalty models cache/locality affinity
+/// rather than a mandatory copy.
+pub(super) fn locality_penalty(
+    input: &SchedInput<'_>,
+    u: usize,
+    candidate: usize,
+    lane_of: &[Option<Lane>],
+) -> f64 {
+    let Action::Kernel(k) = input.graph.action(input.program, u) else {
+        return 0.0;
+    };
+    let mut penalty = 0.0;
+    for &p in &input.graph.preds[u] {
+        let Some(Lane::Partition { partition, .. }) = lane_of[p] else {
+            continue;
+        };
+        if partition == candidate {
+            continue;
+        }
+        for buf in produces(input, p) {
+            if k.reads.contains(&buf) {
+                penalty += input.cost.transfer_seconds(input.cost.bytes_of(buf));
+            }
+        }
+    }
+    penalty
+}
+
+/// Turn raw placements into a [`Schedule`]: count steals, derive native
+/// driver hints, and sort into global start order.
+pub(super) fn finalize(input: &SchedInput<'_>, kind: SchedulerKind, placed: &[Placed]) -> Schedule {
+    let graph = input.graph;
+    let part_of = |u: usize| match placed[u].lane {
+        Lane::Partition { device, partition } => Some((device, partition)),
+        _ => None,
+    };
+
+    let mut tasks = Vec::with_capacity(graph.len());
+    let mut steals = 0usize;
+    for (u, pl) in placed.iter().enumerate() {
+        let node = graph.nodes[u];
+        let stolen = match part_of(u) {
+            Some((_, partition)) => partition != node.partition,
+            None => false,
+        };
+        if stolen {
+            steals += 1;
+        }
+        // Native driver hint: kernels issue from their own partition's
+        // driver; transfers from the partition of the kernel they feed
+        // (or came from); host kernels from driver (0, 0).
+        let driver = part_of(u)
+            .or_else(|| graph.succs[u].iter().find_map(|&v| part_of(v)))
+            .or_else(|| graph.preds[u].iter().find_map(|&v| part_of(v)))
+            .unwrap_or((node.device, 0));
+        tasks.push(ScheduledTask {
+            site: node.site,
+            lane: pl.lane,
+            start: pl.start,
+            finish: pl.finish,
+            driver,
+            stolen,
+        });
+    }
+    tasks.sort_by(|a, b| {
+        a.start
+            .total_cmp(&b.start)
+            .then_with(|| a.site.stream.cmp(&b.site.stream))
+            .then_with(|| a.site.action_index.cmp(&b.site.action_index))
+    });
+    let makespan = placed.iter().map(|p| p.finish).fold(0.0, f64::max);
+    Schedule {
+        kind,
+        tasks,
+        makespan,
+        steals,
+    }
+}

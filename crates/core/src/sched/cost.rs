@@ -1,0 +1,163 @@
+//! Per-action cost estimates for the schedulers.
+//!
+//! Prices come from the **same calibrated platform model the simulator
+//! executes against** ([`micsim::PlatformConfig`]): a transfer costs its
+//! wire time plus the enqueue overhead, a device kernel costs what the
+//! SMT-scaling compute model says the tile's flops take on the candidate
+//! partition, a host kernel runs at the host's aggregate rate. This keeps
+//! the schedulers' decisions consistent with what the simulator will then
+//! measure — and, because the simulator is calibrated against the native
+//! executor, reasonable for native runs too.
+
+use micsim::calibrate::PlatformConfig;
+use micsim::compute::KernelInvocation;
+use micsim::partition::Partition;
+
+use crate::action::Action;
+use crate::kernel::KernelDesc;
+
+/// Prices actions on the platform's calibrated cost model.
+pub struct CostModel {
+    cfg: PlatformConfig,
+    /// Partition geometry per device, indexed `[device][partition]`.
+    plans: Vec<Vec<Partition>>,
+    /// Byte size of each buffer, indexed by `BufId.0`.
+    buffer_bytes: Vec<u64>,
+}
+
+impl CostModel {
+    /// Build a cost model for `cfg` with the given per-device partition
+    /// plans and buffer sizes.
+    pub fn new(cfg: &PlatformConfig, plans: &[Vec<Partition>], buffer_bytes: &[u64]) -> CostModel {
+        CostModel {
+            cfg: cfg.clone(),
+            plans: plans.to_vec(),
+            buffer_bytes: buffer_bytes.to_vec(),
+        }
+    }
+
+    /// Number of link channels per device (1 serial, 2 full duplex).
+    pub fn channels(&self) -> usize {
+        self.cfg.link.channels()
+    }
+
+    /// Link channel a transfer in `dir` uses.
+    pub fn channel_for(&self, dir: micsim::pcie::Direction) -> usize {
+        self.cfg.link.channel_for(dir)
+    }
+
+    /// Partitions per device in the plan (0 when no devices were planned).
+    pub fn partitions(&self) -> usize {
+        self.plans.first().map(Vec::len).unwrap_or(0)
+    }
+
+    /// Number of planned devices.
+    pub fn devices(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// Byte size of buffer `buf` (0 for unknown ids).
+    pub fn bytes_of(&self, buf: crate::types::BufId) -> u64 {
+        self.buffer_bytes.get(buf.0).copied().unwrap_or(0)
+    }
+
+    /// Wire + enqueue seconds for moving `bytes` over the link.
+    pub fn transfer_seconds(&self, bytes: u64) -> f64 {
+        (self.cfg.link.transfer_time(bytes) + self.cfg.enqueue_overhead).as_secs_f64()
+    }
+
+    /// Seconds for `desc` on `partition` of `device`, or `None` when the
+    /// compute model rejects the launch (empty partition, bad index).
+    pub fn device_kernel_seconds(
+        &self,
+        desc: &KernelDesc,
+        device: usize,
+        partition: usize,
+    ) -> Option<f64> {
+        let part = self.plans.get(device)?.get(partition)?;
+        let inv = KernelInvocation {
+            profile: &desc.profile,
+            work: desc.work,
+        };
+        let body = self.cfg.compute.kernel_time(&inv, part).ok()?;
+        Some((body + self.cfg.enqueue_overhead).as_secs_f64())
+    }
+
+    /// Seconds for `desc` executed host-side.
+    pub fn host_kernel_seconds(&self, desc: &KernelDesc) -> f64 {
+        let secs = desc.work / (desc.profile.thread_rate * self.cfg.host_equivalents);
+        secs + self.cfg.enqueue_overhead.as_secs_f64()
+    }
+
+    /// Estimated seconds for `action` if it ran on `(device, partition)`.
+    /// Control actions are free; `None` when a kernel cannot be priced.
+    pub fn action_seconds(&self, action: &Action, device: usize, partition: usize) -> Option<f64> {
+        match action {
+            Action::Transfer { buf, .. } => Some(self.transfer_seconds(self.bytes_of(*buf))),
+            Action::Kernel(desc) if desc.host => Some(self.host_kernel_seconds(desc)),
+            Action::Kernel(desc) => self.device_kernel_seconds(desc, device, partition),
+            Action::RecordEvent(_) | Action::WaitEvent(_) | Action::Barrier(_) => Some(0.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use micsim::compute::KernelProfile;
+    use micsim::fabric::SimPlatform;
+
+    fn model(partitions: usize) -> CostModel {
+        let cfg = PlatformConfig::phi_31sp();
+        let mut platform = SimPlatform::new(cfg.clone()).unwrap();
+        let devices: Vec<_> = platform.devices().collect();
+        for &d in &devices {
+            platform.init_partitions(d, partitions).unwrap();
+        }
+        let plans: Vec<Vec<Partition>> = devices
+            .iter()
+            .map(|&d| platform.plan(d).unwrap().partitions.clone())
+            .collect();
+        CostModel::new(&cfg, &plans, &[1 << 20, 1 << 10])
+    }
+
+    #[test]
+    fn transfers_scale_with_bytes() {
+        let m = model(4);
+        let small = m.transfer_seconds(1 << 10);
+        let big = m.transfer_seconds(1 << 24);
+        assert!(big > small);
+        assert!(small > 0.0, "even tiny copies pay latency + enqueue");
+    }
+
+    #[test]
+    fn kernels_price_on_the_partition_geometry() {
+        let m = model(4);
+        let wide = model(2);
+        let k = KernelDesc::simulated("k", KernelProfile::streaming("k", 0.32e9), 1e9);
+        let quarter = m.device_kernel_seconds(&k, 0, 0).unwrap();
+        let half = wide.device_kernel_seconds(&k, 0, 0).unwrap();
+        assert!(
+            half < quarter,
+            "bigger partitions run the same tile faster: {half} vs {quarter}"
+        );
+        assert!(m.device_kernel_seconds(&k, 0, 99).is_none(), "bad index");
+        assert!(m.host_kernel_seconds(&k) > 0.0);
+    }
+
+    #[test]
+    fn action_seconds_covers_every_arm() {
+        let m = model(2);
+        let t = Action::Transfer {
+            dir: micsim::pcie::Direction::HostToDevice,
+            buf: crate::types::BufId(0),
+        };
+        assert!(m.action_seconds(&t, 0, 0).unwrap() > 0.0);
+        let host = Action::Kernel(
+            KernelDesc::simulated("h", KernelProfile::streaming("h", 1e9), 1e6).on_host(),
+        );
+        assert!(m.action_seconds(&host, 0, 0).unwrap() > 0.0);
+        let ctrl = Action::Barrier(0);
+        assert_eq!(m.action_seconds(&ctrl, 0, 0), Some(0.0));
+    }
+}

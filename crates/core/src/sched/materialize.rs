@@ -1,0 +1,265 @@
+//! Lower a [`Schedule`] back into a runnable [`Program`] for the
+//! simulator.
+//!
+//! The simulator executes programs, not schedules, so the scheduled
+//! placement + order is expressed in program form: one stream per *used
+//! lane* (link-channel streams carry the transfers, one stream per device
+//! partition carries its kernels, a host stream carries host kernels),
+//! each stream holding its lane's tasks in global start order. In-lane
+//! dependences are implied by stream FIFO order; every cross-lane
+//! dependence edge becomes a `RecordEvent` after the producer and a
+//! `WaitEvent` before the consumer, pruned per producer lane to the
+//! latest producer (stream FIFO order implies the earlier ones).
+//!
+//! The result is a valid, analyzer-clean program: every conflicting pair
+//! that was HB-ordered in the original is HB-ordered here too, via the
+//! lane FIFO chains plus the emitted events. Barriers vanish — their
+//! ordering role was already captured as dependence edges, which is where
+//! a scheduled run's win over FIFO partly comes from.
+
+use crate::action::Action;
+use crate::program::{EventSite, Program, StreamPlacement, StreamRecord};
+use crate::types::{EventId, StreamId};
+use micsim::device::DeviceId;
+
+use super::graph::TaskGraph;
+use super::{Lane, Schedule};
+
+/// Rewrite `program` into the lane-per-stream form dictated by
+/// `schedule`. `graph` must be the task graph the schedule was planned
+/// over (same program).
+pub fn materialize(program: &Program, graph: &TaskGraph, schedule: &Schedule) -> Program {
+    // Used lanes in deterministic (Ord) order become the new streams.
+    let mut lanes: Vec<Lane> = schedule.tasks.iter().map(|t| t.lane).collect();
+    lanes.sort_unstable();
+    lanes.dedup();
+    let lane_index = |lane: Lane| lanes.iter().position(|&l| l == lane).expect("lane is used");
+
+    // Per-lane task lists in global start order; node -> (lane, position).
+    let mut lane_tasks: Vec<Vec<usize>> = vec![Vec::new(); lanes.len()];
+    let mut pos: Vec<(usize, usize)> = vec![(0, 0); graph.len()];
+    for task in &schedule.tasks {
+        let u = graph.node_of(task.site).expect("scheduled task is a node");
+        let li = lane_index(task.lane);
+        pos[u] = (li, lane_tasks[li].len());
+        lane_tasks[li].push(u);
+    }
+
+    // Cross-lane waits: for each consumer, keep only the latest producer
+    // per producer lane (FIFO implies the earlier ones).
+    let mut waits: Vec<Vec<usize>> = vec![Vec::new(); graph.len()];
+    let mut needs_event: Vec<bool> = vec![false; graph.len()];
+    for u in 0..graph.len() {
+        let (u_lane, _) = pos[u];
+        let mut latest: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+        for &p in &graph.preds[u] {
+            let (p_lane, p_pos) = pos[p];
+            if p_lane == u_lane {
+                continue;
+            }
+            let entry = latest.entry(p_lane).or_insert(p);
+            if pos[*entry].1 < p_pos {
+                *entry = p;
+            }
+        }
+        let mut chosen: Vec<usize> = latest.into_values().collect();
+        chosen.sort_unstable();
+        for &p in &chosen {
+            needs_event[p] = true;
+        }
+        waits[u] = chosen;
+    }
+
+    // Deterministic event ids, in global schedule order of the producer.
+    let mut event_id: Vec<Option<EventId>> = vec![None; graph.len()];
+    let mut next_event = 0usize;
+    for task in &schedule.tasks {
+        let u = graph.node_of(task.site).expect("scheduled task is a node");
+        if needs_event[u] {
+            event_id[u] = Some(EventId(next_event));
+            next_event += 1;
+        }
+    }
+
+    // Emit the lane streams.
+    let mut out = Program {
+        events: vec![
+            EventSite {
+                stream: StreamId(0),
+                action_index: 0,
+            };
+            next_event
+        ],
+        ..Program::default()
+    };
+    for (li, &lane) in lanes.iter().enumerate() {
+        let placement = match lane {
+            Lane::Link { device, .. } => StreamPlacement {
+                device: DeviceId(device),
+                partition: 0,
+            },
+            Lane::Host => StreamPlacement {
+                device: DeviceId(0),
+                partition: 0,
+            },
+            Lane::Partition { device, partition } => StreamPlacement {
+                device: DeviceId(device),
+                partition,
+            },
+        };
+        let mut actions = Vec::new();
+        for &u in &lane_tasks[li] {
+            for &p in &waits[u] {
+                actions.push(Action::WaitEvent(event_id[p].expect("producer has event")));
+            }
+            let site = graph.nodes[u].site;
+            actions.push(program.streams[site.stream.0].actions[site.action_index].clone());
+            if let Some(eid) = event_id[u] {
+                out.events[eid.0] = EventSite {
+                    stream: StreamId(li),
+                    action_index: actions.len(),
+                };
+                actions.push(Action::RecordEvent(eid));
+            }
+        }
+        out.streams.push(StreamRecord {
+            id: StreamId(li),
+            placement,
+            actions,
+        });
+    }
+    out.barriers = 0;
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::KernelDesc;
+    use crate::sched::{CostModel, SchedInput, SchedulerKind};
+    use crate::types::BufId;
+    use micsim::compute::KernelProfile;
+    use micsim::pcie::Direction;
+
+    fn cost_model(partitions: usize) -> CostModel {
+        let cfg = micsim::PlatformConfig::phi_31sp();
+        let mut platform = micsim::SimPlatform::new(cfg.clone()).unwrap();
+        platform.init_partitions(DeviceId(0), partitions).unwrap();
+        let plan = platform.plan(DeviceId(0)).unwrap().partitions.clone();
+        CostModel::new(&cfg, &[plan], &[1u64 << 20; 32])
+    }
+
+    fn tile_program(tiles: usize, streams: usize) -> Program {
+        let mut p = Program::default();
+        for s in 0..streams {
+            p.streams.push(StreamRecord {
+                id: StreamId(s),
+                placement: StreamPlacement {
+                    device: DeviceId(0),
+                    partition: s,
+                },
+                actions: Vec::new(),
+            });
+        }
+        for t in 0..tiles {
+            let s = t % streams;
+            p.streams[s].actions.push(Action::Transfer {
+                dir: Direction::HostToDevice,
+                buf: BufId(t),
+            });
+            p.streams[s].actions.push(Action::Kernel(
+                KernelDesc::simulated(format!("k{t}"), KernelProfile::streaming("k", 1e9), 1e9)
+                    .reading([BufId(t)])
+                    .writing([BufId(tiles + t)]),
+            ));
+        }
+        p
+    }
+
+    fn materialized(p: &Program, kind: SchedulerKind) -> (Schedule, Program) {
+        let cost = cost_model(4);
+        let env = crate::check::CheckEnv::permissive(p);
+        let analysis = crate::check::analyze(p, &env);
+        assert!(analysis.report.is_clean());
+        let graph = TaskGraph::build(p, &analysis).unwrap();
+        let input = SchedInput {
+            program: p,
+            graph: &graph,
+            cost: &cost,
+        };
+        let sched = crate::sched::scheduler_for(kind)
+            .schedule(&input)
+            .expect("schedules");
+        let out = materialize(p, &graph, &sched);
+        (sched, out)
+    }
+
+    #[test]
+    fn materialized_program_is_valid_and_clean() {
+        let p = tile_program(8, 2);
+        for kind in [SchedulerKind::ListHeft, SchedulerKind::WorkSteal] {
+            let (sched, out) = materialized(&p, kind);
+            out.validate().expect("materialized program validates");
+            let env = crate::check::CheckEnv::permissive(&out);
+            let analysis = crate::check::analyze(&out, &env);
+            assert!(
+                analysis.report.is_clean(),
+                "{kind}: scheduled program unclean"
+            );
+            // Every non-control action survives.
+            let count = |prog: &Program| {
+                prog.streams
+                    .iter()
+                    .flat_map(|s| &s.actions)
+                    .filter(|a| !a.is_control())
+                    .count()
+            };
+            assert_eq!(count(&out), count(&p));
+            assert_eq!(out.barriers, 0);
+            assert_eq!(sched.tasks.len(), count(&p));
+        }
+    }
+
+    #[test]
+    fn cross_lane_edges_become_events() {
+        // A chain h2d -> kernel always crosses lanes (link vs partition),
+        // so at least one event per tile must appear.
+        let p = tile_program(4, 2);
+        let (_, out) = materialized(&p, SchedulerKind::ListHeft);
+        assert!(out.events.len() >= 4, "events: {}", out.events.len());
+        for (eid, site) in out.events.iter().enumerate() {
+            let a = &out.streams[site.stream.0].actions[site.action_index];
+            assert!(
+                matches!(a, Action::RecordEvent(e) if e.0 == eid),
+                "event {eid} site points at {a:?}"
+            );
+        }
+        // No same-stream waits (validate checks this too, but be explicit).
+        for (si, s) in out.streams.iter().enumerate() {
+            for a in &s.actions {
+                if let Action::WaitEvent(e) = a {
+                    assert_ne!(out.events[e.0].stream.0, si, "self-wait");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lane_streams_match_lane_placements() {
+        let p = tile_program(8, 2);
+        let (sched, out) = materialized(&p, SchedulerKind::WorkSteal);
+        // Each kernel sits on the stream whose placement matches its lane.
+        for task in &sched.tasks {
+            if let Lane::Partition { device, partition } = task.lane {
+                let found = out.streams.iter().any(|s| {
+                    s.placement.device.0 == device
+                        && s.placement.partition == partition
+                        && s.actions
+                            .iter()
+                            .any(|a| matches!(a, Action::Kernel(k) if k.label.starts_with('k')))
+                });
+                assert!(found, "lane {} has a kernel stream", task.lane);
+            }
+        }
+    }
+}

@@ -1,0 +1,355 @@
+//! Pluggable DAG schedulers over the recorded program IR.
+//!
+//! The executors historically replayed the paper's baked-in FIFO stream
+//! order: stream `i` runs its actions in record order on the partition it
+//! was placed on, full stop. That reproduces the paper's numbers — and its
+//! pathologies: a straggler tile leaves whole partitions idle, and a
+//! program recorded onto `T < P` streams starves `P - T` partitions
+//! outright (the Fig. 10 cliff).
+//!
+//! This module lifts scheduling out of the executors into a [`Scheduler`]
+//! trait. A scheduler consumes:
+//!
+//! * the **task graph** ([`TaskGraph`]) — every non-control action as a
+//!   node, with an edge per conflicting buffer access pair, oriented by the
+//!   check module's happens-before relation (events and barriers are
+//!   *subsumed* by these edges: an analyzer-clean program has every
+//!   conflicting pair ordered, so the data edges alone reproduce its
+//!   semantics);
+//! * a **cost model** ([`CostModel`]) pricing each action from the same
+//!   calibrated platform the simulator uses (tile bytes on the link,
+//!   tile flops on a partition);
+//!
+//! and emits a [`Schedule`]: per-task placement + order decisions that both
+//! executors honor — the simulator by materializing the schedule back into
+//! a [`Program`] (one stream per resource lane,
+//! events for the cross-lane edges; see [`materialize`]), the native
+//! executor through its graph dispatcher (one driver per partition, queues
+//! seeded from the schedule).
+//!
+//! Three implementations ship behind the trait:
+//!
+//! * [`Fifo`] — the default. Declines to schedule ([`Scheduler::schedule`]
+//!   returns `None`), which routes both executors through their original,
+//!   bit-identical code paths. This is the differential baseline.
+//! * [`ListHeft`] — HEFT-style list scheduling: tasks ordered by critical-
+//!   path *upward rank*, each placed on the candidate partition with the
+//!   earliest finish time, with locality-aware tie-breaking that scores
+//!   candidates by the re-transfer bytes they avoid (inputs whose producer
+//!   ran elsewhere).
+//! * [`WorkSteal`] — greedy work-conserving placement: ready tasks go to
+//!   whichever partition frees up first, modeling idle partitions stealing
+//!   ready tiles cross-partition. The native executor implements this
+//!   *dynamically* (real deque stealing in the partition pool, stolen-task
+//!   counters surfaced in the trace); the simulator prices the equivalent
+//!   earliest-ready placement deterministically.
+//!
+//! Scheduling is only attempted on analyzer-clean programs; anything else
+//! (races, deadlocks, unknown references) falls back to FIFO execution,
+//! where the executors' own gates handle it.
+
+mod common;
+pub mod cost;
+pub mod graph;
+pub mod heft;
+pub mod materialize;
+pub mod steal;
+
+use crate::check::Site;
+use crate::program::Program;
+
+pub use cost::CostModel;
+pub use graph::TaskGraph;
+
+/// Which scheduler a context or native run uses.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum SchedulerKind {
+    /// Replay recorded stream order on recorded placements (the paper's
+    /// semantics; the default and the differential baseline).
+    #[default]
+    Fifo,
+    /// Critical-path list scheduling with locality-aware placement.
+    ListHeft,
+    /// Idle partitions steal ready tasks cross-partition.
+    WorkSteal,
+}
+
+impl SchedulerKind {
+    /// Stable lowercase label, used in cache keys, bench JSON and traces.
+    pub fn label(self) -> &'static str {
+        match self {
+            SchedulerKind::Fifo => "fifo",
+            SchedulerKind::ListHeft => "heft",
+            SchedulerKind::WorkSteal => "steal",
+        }
+    }
+
+    /// All shipped schedulers, FIFO first.
+    pub fn all() -> [SchedulerKind; 3] {
+        [
+            SchedulerKind::Fifo,
+            SchedulerKind::ListHeft,
+            SchedulerKind::WorkSteal,
+        ]
+    }
+
+    /// Parse a [`label`](SchedulerKind::label) back into a kind.
+    pub fn parse(s: &str) -> Option<SchedulerKind> {
+        match s {
+            "fifo" => Some(SchedulerKind::Fifo),
+            "heft" | "listheft" => Some(SchedulerKind::ListHeft),
+            "steal" | "worksteal" => Some(SchedulerKind::WorkSteal),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for SchedulerKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The resource a scheduled task occupies — mirrors the simulator's
+/// resource layout (per-device link channels, the host, per-device
+/// partitions).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Lane {
+    /// Link channel `channel` of device `device` (transfers).
+    Link {
+        /// Device index.
+        device: usize,
+        /// Channel index (`0` for serial duplex, direction-split for full).
+        channel: usize,
+    },
+    /// The host CPU (host-side kernels).
+    Host,
+    /// Partition `partition` of device `device` (device kernels).
+    Partition {
+        /// Device index.
+        device: usize,
+        /// Partition index.
+        partition: usize,
+    },
+}
+
+impl std::fmt::Display for Lane {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Lane::Link { device, channel } => write!(f, "mic{device}.link{channel}"),
+            Lane::Host => write!(f, "host"),
+            Lane::Partition { device, partition } => write!(f, "mic{device}.p{partition}"),
+        }
+    }
+}
+
+/// One placed, ordered task of a [`Schedule`].
+#[derive(Clone, Copy, Debug)]
+pub struct ScheduledTask {
+    /// The action this decision is about, in the *original* program.
+    pub site: Site,
+    /// The resource it was placed on.
+    pub lane: Lane,
+    /// Estimated start time, seconds from run start.
+    pub start: f64,
+    /// Estimated finish time, seconds from run start.
+    pub finish: f64,
+    /// Which `(device, partition)` driver should issue this task on the
+    /// native executor (transfers and host kernels are issued by a
+    /// partition's driver even though they occupy the link / the host).
+    pub driver: (usize, usize),
+    /// `true` when a kernel ended up on a different partition than the
+    /// stream it was recorded on — a cross-partition move ("steal").
+    pub stolen: bool,
+}
+
+/// Placement + order decisions for every non-control action of a program,
+/// in estimated start order (a topological order of the task graph).
+#[derive(Clone, Debug)]
+pub struct Schedule {
+    /// Which scheduler produced this.
+    pub kind: SchedulerKind,
+    /// The decisions, in global start order.
+    pub tasks: Vec<ScheduledTask>,
+    /// Estimated makespan, seconds.
+    pub makespan: f64,
+    /// Kernels moved off their recorded partition.
+    pub steals: usize,
+}
+
+impl Schedule {
+    /// The scheduled lane for the action at `site`, if it was scheduled.
+    pub fn lane_of(&self, site: Site) -> Option<Lane> {
+        self.tasks.iter().find(|t| t.site == site).map(|t| t.lane)
+    }
+}
+
+/// Everything a scheduler gets to work with.
+pub struct SchedInput<'a> {
+    /// The recorded program (placements here are the FIFO baseline).
+    pub program: &'a Program,
+    /// Its dependence structure.
+    pub graph: &'a TaskGraph,
+    /// Per-action cost estimates.
+    pub cost: &'a CostModel,
+}
+
+/// A placement + ordering policy over the task graph.
+///
+/// Returning `None` means "execute the recorded program as-is" — the
+/// executors then run their original FIFO paths untouched. [`Fifo`] always
+/// declines; the others decline only on empty programs.
+pub trait Scheduler {
+    /// Which [`SchedulerKind`] this implements.
+    fn kind(&self) -> SchedulerKind;
+
+    /// Produce placement + order decisions, or decline.
+    fn schedule(&self, input: &SchedInput<'_>) -> Option<Schedule>;
+}
+
+/// The FIFO baseline: always declines, so executors replay the recorded
+/// program bit-identically to the pre-scheduler runtime.
+pub struct Fifo;
+
+impl Scheduler for Fifo {
+    fn kind(&self) -> SchedulerKind {
+        SchedulerKind::Fifo
+    }
+
+    fn schedule(&self, _input: &SchedInput<'_>) -> Option<Schedule> {
+        None
+    }
+}
+
+/// HEFT-style list scheduler — see [`heft`].
+pub struct ListHeft;
+
+impl Scheduler for ListHeft {
+    fn kind(&self) -> SchedulerKind {
+        SchedulerKind::ListHeft
+    }
+
+    fn schedule(&self, input: &SchedInput<'_>) -> Option<Schedule> {
+        heft::schedule(input)
+    }
+}
+
+/// Work-stealing scheduler — see [`steal`].
+pub struct WorkSteal;
+
+impl Scheduler for WorkSteal {
+    fn kind(&self) -> SchedulerKind {
+        SchedulerKind::WorkSteal
+    }
+
+    fn schedule(&self, input: &SchedInput<'_>) -> Option<Schedule> {
+        steal::schedule(input)
+    }
+}
+
+/// Instantiate the scheduler for `kind`.
+pub fn scheduler_for(kind: SchedulerKind) -> Box<dyn Scheduler> {
+    match kind {
+        SchedulerKind::Fifo => Box::new(Fifo),
+        SchedulerKind::ListHeft => Box::new(ListHeft),
+        SchedulerKind::WorkSteal => Box::new(WorkSteal),
+    }
+}
+
+/// [`plan`], also handing back the [`TaskGraph`] the schedule was planned
+/// over — the native executor's graph dispatcher needs both.
+pub(crate) fn plan_with_graph(
+    program: &Program,
+    cost: &CostModel,
+    kind: SchedulerKind,
+) -> Option<(Schedule, TaskGraph)> {
+    plan_inner(program, cost, kind)
+}
+
+fn plan_inner(
+    program: &Program,
+    cost: &CostModel,
+    kind: SchedulerKind,
+) -> Option<(Schedule, TaskGraph)> {
+    if kind == SchedulerKind::Fifo || program.action_count() == 0 {
+        return None;
+    }
+    let env = crate::check::CheckEnv::permissive(program);
+    let analysis = crate::check::analyze(program, &env);
+    if !analysis.report.is_clean() {
+        return None;
+    }
+    let graph = TaskGraph::build(program, &analysis)?;
+    let input = SchedInput {
+        program,
+        graph: &graph,
+        cost,
+    };
+    let schedule = scheduler_for(kind).schedule(&input)?;
+    Some((schedule, graph))
+}
+
+/// Compute a schedule for `program` under `kind`, or `None` when the kind
+/// declines (FIFO), the program is empty, or it is not analyzer-clean
+/// (racy/deadlocked programs keep FIFO semantics and let the executors'
+/// check gates deal with them).
+pub fn plan(program: &Program, cost: &CostModel, kind: SchedulerKind) -> Option<Schedule> {
+    plan_inner(program, cost, kind).map(|(schedule, _)| schedule)
+}
+
+/// [`plan`], then [`materialize`](materialize::materialize) the result
+/// into the lane-per-stream program the simulator executes. `None` under
+/// the same conditions as [`plan`].
+pub fn plan_program(
+    program: &Program,
+    cost: &CostModel,
+    kind: SchedulerKind,
+) -> Option<(Schedule, Program)> {
+    let (schedule, graph) = plan_inner(program, cost, kind)?;
+    let scheduled = materialize::materialize(program, &graph, &schedule);
+    Some((schedule, scheduled))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_labels_round_trip() {
+        for kind in SchedulerKind::all() {
+            assert_eq!(SchedulerKind::parse(kind.label()), Some(kind));
+            assert_eq!(kind.to_string(), kind.label());
+        }
+        assert_eq!(SchedulerKind::parse("nope"), None);
+        assert_eq!(SchedulerKind::default(), SchedulerKind::Fifo);
+    }
+
+    #[test]
+    fn lanes_display_like_sim_resources() {
+        let l = Lane::Link {
+            device: 0,
+            channel: 1,
+        };
+        assert_eq!(l.to_string(), "mic0.link1");
+        assert_eq!(Lane::Host.to_string(), "host");
+        assert_eq!(
+            Lane::Partition {
+                device: 1,
+                partition: 3
+            }
+            .to_string(),
+            "mic1.p3"
+        );
+    }
+
+    #[test]
+    fn fifo_always_declines() {
+        let program = Program::default();
+        let cost = CostModel::new(&micsim::PlatformConfig::phi_31sp(), &[], &[]);
+        assert!(plan(&program, &cost, SchedulerKind::Fifo).is_none());
+        assert!(
+            plan(&program, &cost, SchedulerKind::ListHeft).is_none(),
+            "empty program declines"
+        );
+    }
+}

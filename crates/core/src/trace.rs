@@ -41,8 +41,8 @@ use parking_lot::Mutex;
 use micsim::engine::{ResourceId, TaskRecord, Timeline};
 use micsim::time::{SimDuration, SimTime};
 use micsim::trace::{
-    chrome_trace, merge_intervals, overlap_stats, render_gantt, total_length, Interval,
-    OverlapStats, ResourceKinds,
+    chrome_trace, merge_intervals, overlap_stats, partition_stats, render_gantt, total_length,
+    Interval, OverlapStats, PartitionStats, ResourceKinds,
 };
 
 use crate::context::Context;
@@ -212,6 +212,10 @@ pub struct NativeCounters {
     /// Fault-path totals (retries, panics, skips) for this run; all zero on
     /// a clean run without a fault plan.
     pub faults: crate::fault::FaultCounters,
+    /// Kernels a non-FIFO scheduler ran on a different partition than their
+    /// recorded stream's (cross-partition moves / runtime steals). Always
+    /// zero on FIFO runs.
+    pub steals: u64,
 }
 
 // ----- the public trace -----------------------------------------------------
@@ -237,6 +241,15 @@ impl NativeTrace {
     /// Temporal-sharing statistics: link busy, compute busy, overlap.
     pub fn overlap(&self) -> OverlapStats {
         overlap_stats(&self.timeline, &self.kinds)
+    }
+
+    /// Per-partition busy/idle breakdown of the measured run — same
+    /// semantics as
+    /// [`SimReport::partition_stats`](crate::executor::sim::SimReport::partition_stats),
+    /// so starvation (idle fraction, longest gap) compares one-to-one
+    /// between a simulated and a native run of the same program.
+    pub fn partition_stats(&self) -> Vec<PartitionStats> {
+        partition_stats(&self.timeline, &self.kinds)
     }
 
     /// ASCII Gantt chart of the run, `width` columns wide.
@@ -267,6 +280,9 @@ pub(crate) struct Recorder {
     /// The run's fault tallies, attached by the executor when a fault plan
     /// or isolation mode is active so the trace's counters carry them.
     fault_tallies: Option<Arc<crate::fault::FaultTallies>>,
+    /// Cross-partition kernel moves, set by the graph dispatcher after the
+    /// drivers join.
+    steals: std::sync::atomic::AtomicU64,
 }
 
 impl Recorder {
@@ -289,12 +305,18 @@ impl Recorder {
             pool_queue_hwm: Arc::new(AtomicUsize::new(0)),
             pool_jobs: Arc::new(AtomicUsize::new(0)),
             fault_tallies: None,
+            steals: std::sync::atomic::AtomicU64::new(0),
         }
     }
 
     /// Wire the executor's fault tallies into the trace's counters.
     pub(crate) fn set_fault_tallies(&mut self, tallies: Arc<crate::fault::FaultTallies>) {
         self.fault_tallies = Some(tallies);
+    }
+
+    /// Record the run's cross-partition kernel moves (graph dispatcher).
+    pub(crate) fn set_steals(&self, steals: u64) {
+        self.steals.store(steals, Ordering::Relaxed);
     }
 
     pub(crate) fn link_lane(&self, device: usize, channel: usize) -> ResourceId {
@@ -436,6 +458,7 @@ impl Recorder {
                     .as_ref()
                     .map(|t| t.snapshot())
                     .unwrap_or_default(),
+                steals: self.steals.load(Ordering::Relaxed),
             },
         }
     }

@@ -1,0 +1,175 @@
+//! Property test for the DAG schedulers: on randomly generated
+//! well-synchronized programs, every scheduler either declines (FIFO
+//! always does) or emits a schedule whose materialized program is still a
+//! valid, HB-consistent program — it re-analyzes clean when fed back
+//! through the same static analyzer the executors enforce, and it carries
+//! exactly the recorded transfer/kernel work, nothing dropped and nothing
+//! invented.
+//!
+//! The generator composes two structures the schedulers must respect:
+//! per-stream tile chains (`h2d -> kernel -> d2h` over a private buffer,
+//! ordered by data flow) and cross-stream producer/consumer conflicts
+//! synchronized by one event each (ordered by sync edges). Randomizing
+//! both together probes the interesting cases — schedules that move a
+//! consumer kernel to a different lane than its producer must keep the
+//! HB edge via a materialized event, or the analyzer flags a race.
+
+use hstreams::action::Action;
+use hstreams::check::{analyze, CheckEnv};
+use hstreams::kernel::KernelDesc;
+use hstreams::program::{EventSite, Program, StreamPlacement, StreamRecord};
+use hstreams::sched::{plan_program, CostModel};
+use hstreams::types::{BufId, EventId, StreamId};
+use hstreams::SchedulerKind;
+use micsim::compute::KernelProfile;
+use micsim::device::DeviceId;
+use micsim::pcie::Direction;
+use proptest::prelude::*;
+
+const PARTITIONS: usize = 4;
+
+fn cost_model() -> CostModel {
+    let cfg = micsim::PlatformConfig::phi_31sp();
+    let mut platform = micsim::SimPlatform::new(cfg.clone()).unwrap();
+    platform.init_partitions(DeviceId(0), PARTITIONS).unwrap();
+    let plan = platform.plan(DeviceId(0)).unwrap().partitions.clone();
+    CostModel::new(&cfg, &[plan], &[1u64 << 16; 64])
+}
+
+/// `tiles[s]` private chains on stream `s`, then one event-synchronized
+/// producer/consumer conflict per entry of `conflicts` (same shape as the
+/// analyzer proptest's generator). Buffer ids are disjoint by region:
+/// chains use `2i`/`2i+1` below 32, conflicts use 32 and up.
+fn build_program(tiles: &[usize], conflicts: &[(usize, usize)]) -> Program {
+    let n_streams = tiles.len();
+    let mut p = Program::default();
+    for (i, _) in tiles.iter().enumerate() {
+        p.streams.push(StreamRecord {
+            id: StreamId(i),
+            placement: StreamPlacement {
+                device: DeviceId(0),
+                partition: i % PARTITIONS,
+            },
+            actions: vec![],
+        });
+    }
+    let mut next_buf = 0usize;
+    for (s, &n) in tiles.iter().enumerate() {
+        for t in 0..n {
+            let a = BufId(next_buf);
+            let b = BufId(next_buf + 1);
+            next_buf += 2;
+            p.streams[s].actions.push(Action::Transfer {
+                dir: Direction::HostToDevice,
+                buf: a,
+            });
+            p.streams[s].actions.push(Action::Kernel(
+                KernelDesc::simulated(
+                    format!("tile{s}_{t}"),
+                    KernelProfile::streaming("k", 1e9),
+                    1e7,
+                )
+                .reading([a])
+                .writing([b]),
+            ));
+            p.streams[s].actions.push(Action::Transfer {
+                dir: Direction::DeviceToHost,
+                buf: b,
+            });
+        }
+    }
+    for (k, &(a, b)) in conflicts.iter().enumerate() {
+        let producer = a % n_streams;
+        let consumer = (producer + 1 + b % (n_streams - 1)) % n_streams;
+        let buf = BufId(32 + k);
+        let event = EventId(k);
+        p.streams[producer].actions.push(Action::Transfer {
+            dir: Direction::HostToDevice,
+            buf,
+        });
+        p.events.push(EventSite {
+            stream: StreamId(producer),
+            action_index: p.streams[producer].actions.len(),
+        });
+        p.streams[producer].actions.push(Action::RecordEvent(event));
+        p.streams[consumer].actions.push(Action::WaitEvent(event));
+        p.streams[consumer].actions.push(Action::Kernel(
+            KernelDesc::simulated(format!("use{k}"), KernelProfile::streaming("k", 1e9), 1e7)
+                .reading([buf]),
+        ));
+    }
+    p
+}
+
+/// Multiset fingerprint of the non-control actions: scheduling may reorder
+/// and re-home work, never change it.
+fn work_fingerprint(p: &Program) -> Vec<String> {
+    let mut work: Vec<String> = p
+        .streams
+        .iter()
+        .flat_map(|s| s.actions.iter())
+        .filter_map(|a| match a {
+            Action::Transfer { dir, buf } => Some(format!("{dir:?} {buf:?}")),
+            Action::Kernel(desc) => Some(format!("kernel {}", desc.label)),
+            _ => None,
+        })
+        .collect();
+    work.sort();
+    work
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn every_scheduler_emits_an_hb_consistent_order(
+        tiles in proptest::collection::vec(0usize..4, 2..5),
+        conflicts in proptest::collection::vec((0usize..16, 0usize..16), 0..6),
+    ) {
+        let program = build_program(&tiles, &conflicts);
+        program.validate().expect("generator emits valid programs");
+        let env = CheckEnv::permissive(&program);
+        prop_assert!(analyze(&program, &env).report.is_clean());
+        let fingerprint = work_fingerprint(&program);
+        let cost = cost_model();
+
+        for kind in SchedulerKind::all() {
+            let Some((schedule, scheduled)) = plan_program(&program, &cost, kind) else {
+                prop_assert!(
+                    kind == SchedulerKind::Fifo || fingerprint.is_empty(),
+                    "{kind} declined a clean non-empty program"
+                );
+                continue;
+            };
+            prop_assert!(kind != SchedulerKind::Fifo, "FIFO must always decline");
+            scheduled
+                .validate()
+                .expect("materialized schedule is a valid program");
+            let env = CheckEnv::permissive(&scheduled);
+            let analysis = analyze(&scheduled, &env);
+            prop_assert!(
+                analysis.report.is_clean(),
+                "{kind}: scheduled program must re-analyze HB-consistent:\n{}",
+                scheduled.dump_annotated(&analysis.report)
+            );
+            prop_assert_eq!(
+                work_fingerprint(&scheduled),
+                fingerprint.clone(),
+                "{} must preserve the recorded work exactly",
+                kind
+            );
+            prop_assert_eq!(
+                schedule.tasks.len(),
+                fingerprint.len(),
+                "{} schedules every non-control action exactly once",
+                kind
+            );
+            for task in &schedule.tasks {
+                prop_assert!(
+                    task.finish >= task.start && task.finish <= schedule.makespan + 1e-12,
+                    "{kind}: task interval out of bounds"
+                );
+            }
+        }
+    }
+}

@@ -111,6 +111,72 @@ fn busy_intervals(timeline: &Timeline, resources: &[ResourceId]) -> Vec<Interval
     merge_intervals(raw)
 }
 
+/// Per-partition utilization over one run — the load-balance counterpart
+/// to [`OverlapStats`]. A starved partition (a `T < P` configuration, or a
+/// straggler tile pinning its siblings idle) shows up as a high
+/// [`idle_fraction`](PartitionStats::idle_fraction) and a long
+/// [`longest_gap`](PartitionStats::longest_gap).
+#[derive(Clone, Debug, PartialEq)]
+pub struct PartitionStats {
+    /// The partition resource these numbers describe.
+    pub resource: ResourceId,
+    /// Total time this partition was executing work.
+    pub busy: SimDuration,
+    /// `makespan - busy`: time the partition sat idle.
+    pub idle: SimDuration,
+    /// `idle / makespan` in `0..=1` (0 on an empty timeline). `1.0` means
+    /// the partition never ran anything — fully starved.
+    pub idle_fraction: f64,
+    /// The longest single stretch of idleness (including before the
+    /// partition's first task and after its last).
+    pub longest_gap: SimDuration,
+    /// Tasks executed on this partition.
+    pub tasks: usize,
+}
+
+/// Per-partition busy/idle breakdown of `timeline` for every partition in
+/// `kinds`, in `kinds.partitions` order. Partitions with no recorded work
+/// report `busy = 0`, `idle_fraction = 1.0` — the starvation signature.
+pub fn partition_stats(timeline: &Timeline, kinds: &ResourceKinds) -> Vec<PartitionStats> {
+    let makespan = timeline.makespan;
+    kinds
+        .partitions
+        .iter()
+        .map(|&res| {
+            let busy_ivs = busy_intervals(timeline, &[res]);
+            let busy = total_length(&busy_ivs);
+            let idle = makespan.saturating_sub(busy);
+            let idle_fraction = if makespan == SimDuration::ZERO {
+                0.0
+            } else {
+                idle.nanos() as f64 / makespan.nanos() as f64
+            };
+            // Longest idle stretch: gaps between busy intervals plus the
+            // leading and trailing idle edges.
+            let mut longest = SimDuration::ZERO;
+            let mut cursor = SimTime(0);
+            for iv in &busy_ivs {
+                longest = longest.max(iv.start.since(cursor));
+                cursor = iv.end;
+            }
+            longest = longest.max(SimTime(makespan.nanos()).since(cursor));
+            let tasks = timeline
+                .records
+                .iter()
+                .filter(|r| r.resource == Some(res))
+                .count();
+            PartitionStats {
+                resource: res,
+                busy,
+                idle,
+                idle_fraction,
+                longest_gap: longest,
+                tasks,
+            }
+        })
+        .collect()
+}
+
 /// Compute overlap statistics for `timeline` under `kinds`.
 pub fn overlap_stats(timeline: &Timeline, kinds: &ResourceKinds) -> OverlapStats {
     let link = busy_intervals(timeline, &kinds.links);
@@ -242,6 +308,54 @@ mod tests {
         assert_eq!(stats.hidden_fraction(), 0.5);
         assert_eq!(stats.ideal_makespan(), SimDuration(10));
         assert_eq!(stats.makespan, SimDuration(15));
+    }
+
+    #[test]
+    fn partition_stats_expose_starvation() {
+        // p0 busy 0-10 then 15-20; p1 completely idle (starved).
+        let mut e = Engine::new();
+        let p0 = e.add_resource("p0");
+        let p1 = e.add_resource("p1");
+        let first = e
+            .add_task(TaskSpec {
+                resource: Some(p0),
+                duration: SimDuration(10),
+                deps: vec![],
+                label: "a".into(),
+            })
+            .unwrap();
+        let gate = e
+            .add_task(TaskSpec {
+                resource: None,
+                duration: SimDuration(5),
+                deps: vec![first],
+                label: "gap".into(),
+            })
+            .unwrap();
+        e.add_task(TaskSpec {
+            resource: Some(p0),
+            duration: SimDuration(5),
+            deps: vec![gate],
+            label: "b".into(),
+        })
+        .unwrap();
+        let tl = e.run();
+        let stats = partition_stats(
+            &tl,
+            &ResourceKinds {
+                links: vec![],
+                partitions: vec![p0, p1],
+            },
+        );
+        assert_eq!(stats[0].busy, SimDuration(15));
+        assert_eq!(stats[0].idle, SimDuration(5));
+        assert_eq!(stats[0].longest_gap, SimDuration(5));
+        assert_eq!(stats[0].tasks, 2);
+        assert_eq!(stats[1].busy, SimDuration::ZERO);
+        assert_eq!(stats[1].idle_fraction, 1.0);
+        assert_eq!(stats[1].longest_gap, SimDuration(20));
+        assert_eq!(stats[1].tasks, 0);
+        assert!((stats[0].idle_fraction - 0.25).abs() < 1e-12);
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Measurement cache keyed by `(app, problem, P, T)`.
+//! Measurement cache keyed by `(app, problem, P, T, scheduler)`.
 //!
 //! Tuning sweeps revisit configurations constantly — three strategies over
 //! the same grid, a re-run with different bounds, the incumbent re-checked
@@ -23,6 +23,9 @@ pub struct CacheKey {
     pub partitions: usize,
     /// Task granularity `T`.
     pub tiles: usize,
+    /// DAG scheduler the trial ran under — the same `(P, T)` can cost very
+    /// different makespans under FIFO vs HEFT, so it is part of the identity.
+    pub scheduler: hstreams::SchedulerKind,
 }
 
 /// Aggregated result of one configuration's repetitions.
@@ -98,6 +101,7 @@ mod tests {
             problem: "elems=1024".into(),
             partitions: p,
             tiles: t,
+            scheduler: hstreams::SchedulerKind::Fifo,
         }
     }
 
@@ -128,5 +132,20 @@ mod tests {
             ..key(2, 4)
         };
         assert!(cache.lookup(&other).is_none());
+    }
+
+    #[test]
+    fn key_distinguishes_schedulers() {
+        let mut cache = MeasurementCache::new();
+        cache.insert(key(2, 4), trial(1.0));
+        let heft = CacheKey {
+            scheduler: hstreams::SchedulerKind::ListHeft,
+            ..key(2, 4)
+        };
+        assert!(cache.lookup(&heft).is_none());
+        cache.insert(heft.clone(), trial(0.5));
+        assert_eq!(cache.lookup(&heft).unwrap().summary.mean, 0.5);
+        assert_eq!(cache.lookup(&key(2, 4)).unwrap().summary.mean, 1.0);
+        assert_eq!(cache.len(), 2);
     }
 }

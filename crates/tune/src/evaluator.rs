@@ -15,7 +15,7 @@ use std::sync::Arc;
 
 use hstreams::context::Context;
 use hstreams::executor::native::NativeConfig;
-use hstreams::FaultPlan;
+use hstreams::{FaultPlan, SchedulerKind};
 use micsim::PlatformConfig;
 
 use mic_apps::tunable::Tunable;
@@ -40,6 +40,14 @@ pub trait Evaluator {
 
     /// Run `app` at `t` tasks over `p` partitions and measure it.
     fn evaluate(&mut self, app: &mut dyn Tunable, p: usize, t: usize) -> Option<Measurement>;
+
+    /// Select the DAG scheduler subsequent trials run under. Defaults to a
+    /// no-op so backends without a scheduling notion (scripted test
+    /// evaluators) need not care; the real backends forward the kind to
+    /// their context / native config.
+    fn set_scheduler(&mut self, kind: SchedulerKind) {
+        let _ = kind;
+    }
 }
 
 /// Deterministic evaluator: replans one simulator-backed context and prices
@@ -79,6 +87,10 @@ impl Evaluator for SimEvaluator {
             seconds: report.makespan().as_secs_f64(),
             hidden_fraction: stats.hidden_fraction(),
         })
+    }
+
+    fn set_scheduler(&mut self, kind: SchedulerKind) {
+        self.ctx.set_scheduler(kind);
     }
 }
 
@@ -192,6 +204,10 @@ impl Evaluator for NativeEvaluator {
                 hidden_fraction: 0.0,
             }),
         }
+    }
+
+    fn set_scheduler(&mut self, kind: SchedulerKind) {
+        self.cfg.scheduler = Some(kind);
     }
 }
 

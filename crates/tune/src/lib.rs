@@ -25,7 +25,9 @@
 //! prices each `(P, T)` through an [`evaluator::Evaluator`] — the
 //! deterministic simulator or the pooled native executor — with a
 //! [`cache::MeasurementCache`] and early stopping keeping repeat visits
-//! and hopeless candidates cheap.
+//! and hopeless candidates cheap. [`tuner::Tuner::tune_schedulers`] widens
+//! the space to `(P, T, scheduler)`, pricing each candidate under FIFO,
+//! HEFT list scheduling, and work stealing.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -42,4 +44,4 @@ pub use candidates::{partition_class, pruned_space, CandidateSpace, PartitionCla
 pub use evaluator::{Evaluator, Measurement, NativeEvaluator, SimEvaluator};
 pub use model::PipelineModel;
 pub use search::SearchOutcome;
-pub use tuner::{RepeatPolicy, Strategy, TuneOutcome, Tuner};
+pub use tuner::{RepeatPolicy, SchedSweepOutcome, Strategy, TuneOutcome, Tuner};

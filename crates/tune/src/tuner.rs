@@ -7,7 +7,8 @@
 //! cheap and reproducible:
 //!
 //! * **Measurement cache** — aggregated trials are memoized by
-//!   `(app, problem, P, T)`; a revisit costs zero evaluator calls.
+//!   `(app, problem, P, T, scheduler)`; a revisit costs zero evaluator
+//!   calls.
 //! * **Early stopping** — on a noisy (native) backend each candidate is
 //!   repeated only until its confidence interval clears the incumbent
 //!   ([`RepeatPolicy`]); confidently-worse candidates stop at `min_reps`.
@@ -16,6 +17,7 @@
 //!   lexicographically smallest `(P, T)`, so the same inputs always produce
 //!   the same winner *and* the same visit order.
 
+use hstreams::SchedulerKind;
 use micsim::stats::Summary;
 use micsim::{PartitionPlan, PlatformConfig};
 
@@ -138,6 +140,22 @@ impl TuneOutcome {
     }
 }
 
+/// Result of a joint `(P, T, scheduler)` sweep
+/// ([`Tuner::tune_schedulers`]): one [`TuneOutcome`] per scheduler plus the
+/// globally best triple.
+#[derive(Clone, Debug)]
+pub struct SchedSweepOutcome {
+    /// Best `(P, T)` across every scheduler swept.
+    pub winner: (usize, usize),
+    /// The scheduler that produced the winner (ties resolve to the earliest
+    /// kind in the sweep order, so FIFO wins when scheduling buys nothing).
+    pub winner_scheduler: SchedulerKind,
+    /// The winner's best observed makespan in seconds.
+    pub winner_seconds: f64,
+    /// Per-scheduler outcomes, in sweep order.
+    pub per_scheduler: Vec<(SchedulerKind, TuneOutcome)>,
+}
+
 /// Combine an app's intrinsic [`PipelineCosts`] with a platform description
 /// into the closed-form [`PipelineModel`]: the full-device kernel rate is
 /// the per-thread rate scaled by the whole card's thread-equivalents
@@ -188,10 +206,14 @@ pub fn candidate_order(
 
 /// The closed tuning loop: cache + repeat policy + winner tracking.
 pub struct Tuner {
-    /// Memoized trials, shared across strategies and apps.
+    /// Memoized trials, shared across strategies, apps, and schedulers.
     pub cache: MeasurementCache,
     /// Repetition / early-stopping policy.
     pub policy: RepeatPolicy,
+    /// DAG scheduler every trial runs under (FIFO by default — the paper's
+    /// semantics). [`Tuner::tune_schedulers`] sweeps this as a third
+    /// tunable alongside `(P, T)`.
+    pub scheduler: SchedulerKind,
 }
 
 impl Tuner {
@@ -200,6 +222,7 @@ impl Tuner {
         Tuner {
             cache: MeasurementCache::new(),
             policy,
+            scheduler: SchedulerKind::Fifo,
         }
     }
 
@@ -218,6 +241,7 @@ impl Tuner {
     ) -> TuneOutcome {
         let order = candidate_order(app, platform, bounds, strategy);
         let grid_size = exhaustive_space(bounds).len();
+        eval.set_scheduler(self.scheduler);
         let mut best: Option<((usize, usize), f64)> = None;
         let mut evaluator_calls = 0usize;
         let mut infeasible_skipped = 0usize;
@@ -234,6 +258,7 @@ impl Tuner {
                 problem: app.problem(),
                 partitions: p,
                 tiles: t,
+                scheduler: self.scheduler,
             };
             let (trial, cached) = match self.cache.lookup(&key) {
                 Some(trial) => (trial, true),
@@ -281,6 +306,46 @@ impl Tuner {
             grid_size,
             visit_order,
             landscape,
+        }
+    }
+
+    /// Tune `(P, T, scheduler)` jointly: run the `(P, T)` sweep once per
+    /// scheduler in `kinds` and keep the globally best triple. Trials are
+    /// cached per scheduler, so re-sweeping (or mixing with plain
+    /// [`tune`](Tuner::tune) calls) never re-measures a configuration. The
+    /// tuner's ambient [`scheduler`](Tuner::scheduler) is restored
+    /// afterwards.
+    ///
+    /// # Panics
+    /// Panics if `kinds` is empty or no candidate is feasible for the app.
+    pub fn tune_schedulers(
+        &mut self,
+        app: &mut dyn Tunable,
+        eval: &mut dyn Evaluator,
+        platform: &PlatformConfig,
+        bounds: &TuneBounds,
+        strategy: Strategy,
+        kinds: &[SchedulerKind],
+    ) -> SchedSweepOutcome {
+        assert!(!kinds.is_empty(), "scheduler sweep needs at least one kind");
+        let ambient = self.scheduler;
+        let mut per_scheduler = Vec::with_capacity(kinds.len());
+        let mut best: Option<(SchedulerKind, (usize, usize), f64)> = None;
+        for &kind in kinds {
+            self.scheduler = kind;
+            let out = self.tune(app, eval, platform, bounds, strategy);
+            if best.is_none_or(|(_, _, bv)| out.winner_seconds < bv) {
+                best = Some((kind, out.winner, out.winner_seconds));
+            }
+            per_scheduler.push((kind, out));
+        }
+        self.scheduler = ambient;
+        let (winner_scheduler, winner, winner_seconds) = best.expect("kinds is non-empty");
+        SchedSweepOutcome {
+            winner,
+            winner_scheduler,
+            winner_seconds,
+            per_scheduler,
         }
     }
 
@@ -537,6 +602,100 @@ mod tests {
             }
         }
         assert!(pruned_any, "landscape should contain pruned candidates");
+    }
+
+    /// Scripted evaluator whose landscape depends on the scheduler the
+    /// tuner selected: HEFT shaves a constant off every candidate, work
+    /// stealing a smaller one.
+    struct SchedScripted {
+        calls: usize,
+        kind: SchedulerKind,
+    }
+
+    impl Evaluator for SchedScripted {
+        fn backend(&self) -> &'static str {
+            "sched-scripted"
+        }
+
+        fn evaluate(&mut self, _: &mut dyn Tunable, p: usize, t: usize) -> Option<Measurement> {
+            self.calls += 1;
+            let sched_bonus = match self.kind {
+                SchedulerKind::Fifo => 2.0,
+                SchedulerKind::ListHeft => 0.0,
+                SchedulerKind::WorkSteal => 1.0,
+            };
+            Some(Measurement {
+                seconds: 10.0
+                    + (p as f64 - 8.0).abs()
+                    + (t as f64 - 16.0).abs() * 0.1
+                    + sched_bonus,
+                hidden_fraction: 0.5,
+            })
+        }
+
+        fn set_scheduler(&mut self, kind: SchedulerKind) {
+            self.kind = kind;
+        }
+    }
+
+    #[test]
+    fn scheduler_sweep_picks_the_best_kind_and_caches_per_scheduler() {
+        let platform = PlatformConfig::phi_31sp();
+        let mut tuner = Tuner::new(RepeatPolicy::sim());
+        let mut eval = SchedScripted {
+            calls: 0,
+            kind: SchedulerKind::Fifo,
+        };
+        let kinds = SchedulerKind::all();
+        let out = tuner.tune_schedulers(
+            &mut AnyApp,
+            &mut eval,
+            &platform,
+            &bounds(),
+            Strategy::Pruned,
+            &kinds,
+        );
+        assert_eq!(out.winner_scheduler, SchedulerKind::ListHeft);
+        assert_eq!(out.winner, (8, 16));
+        assert_eq!(out.per_scheduler.len(), 3);
+        // Each scheduler's sweep measured the same candidates at different
+        // prices: FIFO's winner is exactly the HEFT winner plus its bonus.
+        let fifo = &out.per_scheduler[0].1;
+        let heft = &out.per_scheduler[1].1;
+        assert_eq!(fifo.winner, heft.winner);
+        assert!((fifo.winner_seconds - heft.winner_seconds - 2.0).abs() < 1e-12);
+        assert_eq!(tuner.scheduler, SchedulerKind::Fifo, "ambient restored");
+        // Trials are cached per scheduler: a re-sweep costs zero calls.
+        let calls = eval.calls;
+        let again = tuner.tune_schedulers(
+            &mut AnyApp,
+            &mut eval,
+            &platform,
+            &bounds(),
+            Strategy::Pruned,
+            &kinds,
+        );
+        assert_eq!(eval.calls, calls, "re-sweep fully cache-served");
+        assert_eq!(again.winner_scheduler, out.winner_scheduler);
+        assert_eq!(again.winner_seconds, out.winner_seconds);
+    }
+
+    #[test]
+    fn scheduler_tie_resolves_to_earliest_kind() {
+        // The plain Scripted evaluator ignores set_scheduler, so every
+        // scheduler prices identically — FIFO (first in the sweep) must win.
+        let platform = PlatformConfig::phi_31sp();
+        let mut tuner = Tuner::new(RepeatPolicy::sim());
+        let out = tuner.tune_schedulers(
+            &mut AnyApp,
+            &mut Scripted::new(),
+            &platform,
+            &bounds(),
+            Strategy::Pruned,
+            &SchedulerKind::all(),
+        );
+        assert_eq!(out.winner_scheduler, SchedulerKind::Fifo);
+        assert_eq!(out.winner, (8, 16));
     }
 
     #[test]

@@ -42,4 +42,7 @@ cargo run --release -p mic-bench --bin native_vs_sim_trace -- --quick
 echo "==> autotuner gates (quick: parity, cache, one runtime)"
 cargo run --release -p mic-bench --bin autotune -- --quick
 
+echo "==> scheduler bench (quick: HEFT/WorkSteal within 5% of FIFO on every app)"
+cargo run --release -p mic-bench --bin bench_sched -- --quick
+
 echo "verify: OK"

@@ -342,31 +342,18 @@ fn main() {
     results.push(native_r);
 
     let apps_json: Vec<String> = results.iter().map(json_app).collect();
-    let json = format!(
-        "{{\n  \"bench\": \"autotune\",\n  \"mode\": \"{}\",\n  \"parity_same_class\": {},\n  \"cache_repeat_calls\": {},\n  \"native_threads\": {},\n  \"pass\": {},\n  \"apps\": [\n{}\n  ]\n}}\n",
-        if quick { "quick" } else { "full" },
-        parity,
-        second.evaluator_calls,
-        threads.unwrap_or(0),
-        failures.is_empty(),
-        apps_json.join(",\n")
-    );
-    let dir = mic_bench::results_dir();
-    if let Err(e) = std::fs::create_dir_all(&dir) {
-        eprintln!("warning: cannot create {}: {e}", dir.display());
-    } else {
-        let path = dir.join("BENCH_autotune.json");
-        match std::fs::File::create(&path) {
-            Ok(mut f) => {
-                if let Err(e) = f.write_all(json.as_bytes()) {
-                    eprintln!("warning: write {} failed: {e}", path.display());
-                } else {
-                    println!("[wrote {}]", path.display());
-                }
-            }
-            Err(e) => eprintln!("warning: create {} failed: {e}", path.display()),
-        }
-    }
+    let mut json =
+        mic_bench::schema::BenchJson::new("autotune", if quick { "quick" } else { "full" });
+    json.bool("parity_same_class", parity)
+        .u64("cache_repeat_calls", second.evaluator_calls as u64)
+        .u64("native_threads", threads.unwrap_or(0) as u64)
+        .bool("pass", failures.is_empty())
+        .raw("apps", &format!("[\n{}\n  ]", apps_json.join(",\n")))
+        // Trial/cache-hit telemetry from the cache-replay tuner: the
+        // repeat pass makes every lookup a hit, which is the shape the
+        // cache gate asserts on.
+        .metrics(&tuner.metrics_snapshot());
+    json.write("BENCH_autotune.json");
 
     if !failures.is_empty() {
         eprintln!("autotune gates FAILED:");

@@ -1,0 +1,197 @@
+//! Perf-regression gate over the `BENCH_*.json` trajectory.
+//!
+//! Two modes:
+//!
+//! * **Validate** (no directories given): read every `BENCH_*.json`
+//!   under the results dir (`$RESULTS_DIR` or `./results`), check it
+//!   parses and carries the current `schema_version` plus `bench`/`mode`
+//!   envelope. Exit 1 on any violation — this keeps the committed
+//!   history ingestible.
+//! * **Compare** (`--baseline DIR --current DIR`): for each
+//!   `BENCH_*.json` present in both directories, flag per-metric changes
+//!   beyond the noise bands (see `mic_bench::compare`). Regressions exit
+//!   1 unless `--advisory` (or its alias `--quick`) is given, which
+//!   reports them as warnings — the mode verify.sh uses to diff fresh
+//!   quick benches against the committed full-mode history without
+//!   failing the build on repetition-budget noise.
+//!
+//! `--tolerance 0.4` widens the relative noise band (default 0.30).
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use mic_bench::compare::{check_schema, compare_docs, CompareOptions, Severity};
+use mic_bench::json::{parse, Json};
+
+fn bench_files(dir: &Path) -> Vec<PathBuf> {
+    let mut out: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map(|rd| {
+            rd.filter_map(Result::ok)
+                .map(|e| e.path())
+                .filter(|p| {
+                    p.file_name()
+                        .and_then(|n| n.to_str())
+                        .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    out.sort();
+    out
+}
+
+fn load(path: &Path) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("{}: cannot read: {e}", path.display()))?;
+    parse(&text).map_err(|e| format!("{}: invalid JSON: {e}", path.display()))
+}
+
+fn validate(dir: &Path) -> ExitCode {
+    let files = bench_files(dir);
+    if files.is_empty() {
+        eprintln!("bench_compare: no BENCH_*.json under {}", dir.display());
+        return ExitCode::FAILURE;
+    }
+    let mut bad = 0;
+    for path in &files {
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let verdict = load(path).and_then(|doc| {
+            check_schema(&doc, &name)?;
+            for key in ["bench", "mode"] {
+                if doc.get(key).and_then(Json::as_str).is_none() {
+                    return Err(format!("{name}: missing \"{key}\" in envelope"));
+                }
+            }
+            Ok(doc)
+        });
+        match verdict {
+            Ok(doc) => {
+                let mode = doc.get("mode").and_then(Json::as_str).unwrap_or("?");
+                println!("  ok   {name} (mode: {mode})");
+            }
+            Err(e) => {
+                eprintln!("  FAIL {e}");
+                bad += 1;
+            }
+        }
+    }
+    if bad == 0 {
+        println!("bench_compare: {} result files valid", files.len());
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("bench_compare: {bad} invalid result file(s)");
+        ExitCode::FAILURE
+    }
+}
+
+fn compare(
+    baseline_dir: &Path,
+    current_dir: &Path,
+    opts: CompareOptions,
+    advisory: bool,
+) -> ExitCode {
+    let mut regressions = 0usize;
+    let mut compared = 0usize;
+    for cur_path in bench_files(current_dir) {
+        let name = cur_path.file_name().unwrap().to_string_lossy().into_owned();
+        let base_path = baseline_dir.join(&name);
+        if !base_path.exists() {
+            println!("  skip {name}: no baseline");
+            continue;
+        }
+        let pair = load(&base_path).and_then(|b| load(&cur_path).map(|c| (b, c)));
+        let (base, cur) = match pair {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("  FAIL {e}");
+                regressions += 1;
+                continue;
+            }
+        };
+        match compare_docs(&base, &cur, opts) {
+            Ok(findings) => {
+                compared += 1;
+                let n_reg = findings
+                    .iter()
+                    .filter(|f| f.severity == Severity::Regression)
+                    .count();
+                if findings.is_empty() {
+                    println!("  ok   {name}: within noise bands");
+                }
+                for f in &findings {
+                    let tag = match f.severity {
+                        Severity::Regression => "REGRESSION",
+                        Severity::Improvement => "improved",
+                        Severity::Info => "info",
+                    };
+                    println!("  {tag:<10} {name}: {} — {}", f.path, f.detail);
+                }
+                regressions += n_reg;
+            }
+            Err(e) => {
+                eprintln!("  FAIL {name}: {e}");
+                regressions += 1;
+            }
+        }
+    }
+    if compared == 0 && regressions == 0 {
+        eprintln!(
+            "bench_compare: nothing to compare between {} and {}",
+            baseline_dir.display(),
+            current_dir.display()
+        );
+        // A fresh checkout has no trajectory yet; that only fails the
+        // strict gate, not an advisory diff.
+        return if advisory {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+    if regressions > 0 {
+        let verdict = if advisory { "advisory" } else { "gate" };
+        eprintln!("bench_compare ({verdict}): {regressions} regression(s) beyond noise bands");
+        if !advisory {
+            return ExitCode::FAILURE;
+        }
+    } else {
+        println!("bench_compare: no regressions across {compared} file(s)");
+    }
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let mut baseline: Option<PathBuf> = None;
+    let mut current: Option<PathBuf> = None;
+    let mut advisory = false;
+    let mut opts = CompareOptions::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--baseline" => baseline = args.next().map(PathBuf::from),
+            "--current" => current = args.next().map(PathBuf::from),
+            "--advisory" | "--quick" => advisory = true,
+            "--tolerance" => {
+                opts.tolerance = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(opts.tolerance);
+            }
+            other => {
+                eprintln!(
+                    "bench_compare: unknown argument '{other}'\n\
+                     usage: bench_compare [--baseline DIR --current DIR] [--advisory|--quick] [--tolerance F]"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    match (baseline, current) {
+        (Some(b), Some(c)) => compare(&b, &c, opts, advisory),
+        (None, None) => validate(&mic_bench::results_dir()),
+        _ => {
+            eprintln!("bench_compare: --baseline and --current must be given together");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -13,8 +13,13 @@
 //! quick number must never be mistaken for the calibrated one, so the JSON
 //! records `"mode"` and the per-mode target alongside the measurement.
 //! Full mode (the default) keeps the 40-run protocol and the 5x gate.
-
-use std::io::Write;
+//!
+//! Also calibrates the telemetry layer: a fourth series runs the pooled
+//! path with `NativeConfig::metrics` on and gates the added cost per
+//! launch (0.5 us in full mode, relaxed in quick mode — the instruments
+//! are a handful of relaxed atomics plus two clock reads). One metrics-on
+//! run's snapshot is embedded under `"metrics"` so the committed result
+//! carries a real native telemetry export.
 
 use hstreams::kernel::KernelDesc;
 use hstreams::{Context, NativeConfig};
@@ -48,21 +53,27 @@ fn noop_context() -> Context {
     ctx
 }
 
-/// Mean caller-visible seconds per `run_native_with` call (includes
-/// validation and, on the scoped path, all per-run thread spawn/teardown).
-fn mean_run_seconds(cfg: &NativeConfig, runs: Repetitions) -> f64 {
+/// Caller-visible seconds per `run_native_with` call (includes
+/// validation and, on the scoped path, all per-run thread
+/// spawn/teardown). The *mean* is the headline figure — it reflects what
+/// a caller actually pays, spawn variance included, and the 5x speedup
+/// target was calibrated against it. The *min* backs the overhead
+/// deltas: noise is one-sided (interference only ever adds time), so
+/// subtracting two minima estimates the marginal cost of tracing/metrics
+/// without the swing of two noisy means (same rationale as
+/// `bench_sched`'s min-of-reps native timings).
+fn run_seconds(cfg: &NativeConfig, runs: Repetitions) -> micsim::stats::Summary {
     let ctx = noop_context();
     runs.measure(|| {
         let started = std::time::Instant::now();
         ctx.run_native_with(cfg).unwrap();
         started.elapsed().as_secs_f64()
     })
-    .mean
 }
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let (mode, runs, target) = if quick {
+    let (mode, runs, target, metrics_budget_us) = if quick {
         (
             "quick",
             Repetitions {
@@ -70,6 +81,7 @@ fn main() {
                 warmup: 2,
             },
             2.0,
+            1.5,
         )
     } else {
         (
@@ -79,30 +91,53 @@ fn main() {
                 warmup: 8,
             },
             5.0,
+            0.5,
         )
     };
     let kernels_per_run = PARTITIONS * KERNELS_PER_STREAM;
-    let scoped = mean_run_seconds(
+    let scoped = run_seconds(
         &NativeConfig {
             persistent: false,
             ..NativeConfig::default()
         },
         runs,
     );
-    let pooled = mean_run_seconds(&NativeConfig::default(), runs);
-    let traced = mean_run_seconds(
+    let pooled = run_seconds(&NativeConfig::default(), runs);
+    let traced = run_seconds(
         &NativeConfig {
             trace: true,
             ..NativeConfig::default()
         },
         runs,
     );
-    let scoped_us = scoped / kernels_per_run as f64 * 1e6;
-    let pooled_us = pooled / kernels_per_run as f64 * 1e6;
-    let traced_us = traced / kernels_per_run as f64 * 1e6;
+    let metered = run_seconds(
+        &NativeConfig {
+            metrics: true,
+            ..NativeConfig::default()
+        },
+        runs,
+    );
+    let per_launch_us = |secs: f64| secs / kernels_per_run as f64 * 1e6;
+    let scoped_us = per_launch_us(scoped.mean);
+    let pooled_us = per_launch_us(pooled.mean);
+    let traced_us = per_launch_us(traced.mean);
+    let metered_us = per_launch_us(metered.mean);
     let speedup = scoped_us / pooled_us;
-    let trace_overhead_us = traced_us - pooled_us;
-    let pass = speedup >= target;
+    let trace_overhead_us = per_launch_us(traced.min) - per_launch_us(pooled.min);
+    let metrics_overhead_us = per_launch_us(metered.min) - per_launch_us(pooled.min);
+    let speedup_pass = speedup >= target;
+    let metrics_pass = metrics_overhead_us <= metrics_budget_us;
+    let pass = speedup_pass && metrics_pass;
+
+    // One instrumented run whose snapshot ships inside the result file:
+    // real launch-overhead/kernel-time histograms from this machine.
+    let metrics_snapshot = noop_context()
+        .run_native_with(&NativeConfig {
+            metrics: true,
+            ..NativeConfig::default()
+        })
+        .ok()
+        .and_then(|report| report.metrics);
 
     println!("native launch overhead ({mode} mode), {PARTITIONS} partitions, {kernels_per_run} no-op kernels/run, {} runs ({} warmup):", runs.total, runs.warmup);
     println!("  scoped baseline : {scoped_us:>9.3} us/launch");
@@ -111,30 +146,34 @@ fn main() {
         "  pool + tracing  : {traced_us:>9.3} us/launch  (+{trace_overhead_us:.3} us trace cost)"
     );
     println!(
+        "  pool + metrics  : {metered_us:>9.3} us/launch  (+{metrics_overhead_us:.3} us, budget {metrics_budget_us} us: {})",
+        if metrics_pass { "PASS" } else { "FAIL" }
+    );
+    println!(
         "  speedup         : {speedup:>9.2}x  (target >= {target}x: {})",
-        if pass { "PASS" } else { "FAIL" }
+        if speedup_pass { "PASS" } else { "FAIL" }
     );
 
-    let json = format!(
-        "{{\n  \"bench\": \"native_runtime_launch_overhead\",\n  \"mode\": \"{mode}\",\n  \"partitions\": {PARTITIONS},\n  \"streams\": {PARTITIONS},\n  \"kernels_per_run\": {kernels_per_run},\n  \"runs\": {},\n  \"warmup\": {},\n  \"scoped_per_launch_us\": {scoped_us:.4},\n  \"pooled_per_launch_us\": {pooled_us:.4},\n  \"traced_per_launch_us\": {traced_us:.4},\n  \"trace_overhead_per_launch_us\": {trace_overhead_us:.4},\n  \"speedup\": {speedup:.3},\n  \"speedup_target\": {target},\n  \"pass\": {pass}\n}}\n",
-        runs.total, runs.warmup
-    );
-    let dir = mic_bench::results_dir();
-    if let Err(e) = std::fs::create_dir_all(&dir) {
-        eprintln!("warning: cannot create {}: {e}", dir.display());
-    } else {
-        let path = dir.join("BENCH_native_runtime.json");
-        match std::fs::File::create(&path) {
-            Ok(mut f) => {
-                if let Err(e) = f.write_all(json.as_bytes()) {
-                    eprintln!("warning: write {} failed: {e}", path.display());
-                } else {
-                    println!("[wrote {}]", path.display());
-                }
-            }
-            Err(e) => eprintln!("warning: create {} failed: {e}", path.display()),
-        }
+    let mut json = mic_bench::schema::BenchJson::new("native_runtime_launch_overhead", mode);
+    json.u64("partitions", PARTITIONS as u64)
+        .u64("streams", PARTITIONS as u64)
+        .u64("kernels_per_run", kernels_per_run as u64)
+        .u64("runs", runs.total as u64)
+        .u64("warmup", runs.warmup as u64)
+        .f64("scoped_per_launch_us", scoped_us, 4)
+        .f64("pooled_per_launch_us", pooled_us, 4)
+        .f64("traced_per_launch_us", traced_us, 4)
+        .f64("trace_overhead_per_launch_us", trace_overhead_us, 4)
+        .f64("metrics_per_launch_us", metered_us, 4)
+        .f64("metrics_overhead_per_launch_us", metrics_overhead_us, 4)
+        .f64("metrics_overhead_budget_us", metrics_budget_us, 1)
+        .f64("speedup", speedup, 3)
+        .f64("speedup_target", target, 1)
+        .bool("pass", pass);
+    if let Some(snap) = &metrics_snapshot {
+        json.metrics(snap);
     }
+    json.write("BENCH_native_runtime.json");
 
     if !pass {
         std::process::exit(1);

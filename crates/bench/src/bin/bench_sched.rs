@@ -17,7 +17,6 @@
 //! configurations on *both* executors while staying within noise on the
 //! balanced control.
 
-use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
 use hstreams::kernel::KernelDesc;
@@ -285,51 +284,44 @@ fn main() {
     }
 
     // --- JSON ------------------------------------------------------------
-    let mut json = String::new();
-    let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"bench\": \"sched\",");
-    let _ = writeln!(json, "  \"mode\": \"{mode}\",");
-    let _ = writeln!(json, "  \"schedulers\": [\"fifo\", \"heft\", \"steal\"],");
-    let _ = writeln!(json, "  \"apps\": [");
-    for (i, r) in app_rows.iter().enumerate() {
-        let comma = if i + 1 < app_rows.len() { "," } else { "" };
-        let _ = writeln!(
-            json,
-            "    {{\"app\": \"{}\", \"partitions\": {}, \"tiles\": {}, \"sim_fifo_ms\": {:.4}, \"sim_heft_ms\": {:.4}, \"sim_steal_ms\": {:.4}, \"fifo_identical\": {}}}{comma}",
-            r.name, r.partitions, r.tiles, r.fifo_ms, r.heft_ms, r.steal_ms, r.fifo_identical
-        );
-    }
-    let _ = writeln!(json, "  ],");
-    let _ = writeln!(json, "  \"conditions\": [");
-    for (i, c) in conditions.iter().enumerate() {
-        let comma = if i + 1 < conditions.len() { "," } else { "" };
-        let _ = writeln!(
-            json,
-            "    {{\"name\": \"{}\", \"sim_fifo_ms\": {:.4}, \"sim_heft_ms\": {:.4}, \"sim_steal_ms\": {:.4}, \"native_fifo_ms\": {:.4}, \"native_heft_ms\": {:.4}, \"native_steal_ms\": {:.4}}}{comma}",
-            c.name,
-            c.sim_ms[0],
-            c.sim_ms[1],
-            c.sim_ms[2],
-            c.native_ms[0],
-            c.native_ms[1],
-            c.native_ms[2]
-        );
-    }
-    let _ = writeln!(json, "  ],");
-    let _ = writeln!(json, "  \"win_factor\": {WIN_FACTOR},");
-    let _ = writeln!(json, "  \"pass\": {}", failures.is_empty());
-    let _ = writeln!(json, "}}");
-
-    let dir = mic_bench::results_dir();
-    if let Err(e) = std::fs::create_dir_all(&dir) {
-        eprintln!("warning: cannot create {}: {e}", dir.display());
-    } else {
-        let path = dir.join("BENCH_sched.json");
-        match std::fs::write(&path, &json) {
-            Ok(()) => println!("[wrote {}]", path.display()),
-            Err(e) => eprintln!("warning: write {} failed: {e}", path.display()),
+    let app_rows_json: Vec<String> = app_rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"app\": \"{}\", \"partitions\": {}, \"tiles\": {}, \"sim_fifo_ms\": {:.4}, \"sim_heft_ms\": {:.4}, \"sim_steal_ms\": {:.4}, \"fifo_identical\": {}}}",
+                r.name, r.partitions, r.tiles, r.fifo_ms, r.heft_ms, r.steal_ms, r.fifo_identical
+            )
+        })
+        .collect();
+    let conditions_json: Vec<String> = conditions
+        .iter()
+        .map(|c| {
+            format!(
+                "    {{\"name\": \"{}\", \"sim_fifo_ms\": {:.4}, \"sim_heft_ms\": {:.4}, \"sim_steal_ms\": {:.4}, \"native_fifo_ms\": {:.4}, \"native_heft_ms\": {:.4}, \"native_steal_ms\": {:.4}}}",
+                c.name,
+                c.sim_ms[0],
+                c.sim_ms[1],
+                c.sim_ms[2],
+                c.native_ms[0],
+                c.native_ms[1],
+                c.native_ms[2]
+            )
+        })
+        .collect();
+    let as_array = |rows: &[String]| {
+        if rows.is_empty() {
+            "[\n  ]".to_string()
+        } else {
+            format!("[\n{}\n  ]", rows.join(",\n"))
         }
-    }
+    };
+    let mut json = mic_bench::schema::BenchJson::new("sched", mode);
+    json.raw("schedulers", "[\"fifo\", \"heft\", \"steal\"]")
+        .raw("apps", &as_array(&app_rows_json))
+        .raw("conditions", &as_array(&conditions_json))
+        .f64("win_factor", WIN_FACTOR, 1)
+        .bool("pass", failures.is_empty());
+    json.write("BENCH_sched.json");
 
     if failures.is_empty() {
         println!("scheduler bench: PASS");

@@ -16,7 +16,6 @@
 //! `results/BENCH_chaos.json`; `--quick` shrinks the problem and the
 //! repetition protocol for CI.
 
-use std::io::Write;
 use std::sync::Arc;
 
 use hstreams::action::Action;
@@ -173,34 +172,25 @@ fn main() {
     );
     println!("  sweep    : {evaluated} trials measured, {faulted} killed by faults and logged");
 
-    let json = format!(
-        "{{\n  \"bench\": \"chaos\",\n  \"quick\": {quick},\n  \"n\": {n},\n  \"partitions\": {PARTITIONS},\n  \"runs\": {},\n  \"warmup\": {},\n  \"clean_ms\": {:.4},\n  \"retry_ms\": {:.4},\n  \"retry_overhead_frac\": {retry_overhead:.4},\n  \"retries_per_run\": {},\n  \"degraded_ms\": {:.4},\n  \"degraded_overhead_frac\": {degraded_overhead:.4},\n  \"lost_partitions\": {},\n  \"replayed_actions\": {},\n  \"degraded_runs\": {},\n  \"sweep_trials_measured\": {evaluated},\n  \"sweep_trials_faulted\": {faulted},\n  \"retry_output_identical\": {retry_ok},\n  \"degraded_output_identical\": {degraded_ok}\n}}\n",
-        runs.total,
-        runs.warmup,
-        clean_s.mean * 1e3,
-        retry_s.mean * 1e3,
-        retry_faults.transfer_retries,
-        degraded_s.mean * 1e3,
-        degraded_faults.lost_partitions,
-        degraded_faults.replayed_actions,
-        degraded_faults.degraded_runs,
-    );
-    let dir = mic_bench::results_dir();
-    if let Err(e) = std::fs::create_dir_all(&dir) {
-        eprintln!("warning: cannot create {}: {e}", dir.display());
-    } else {
-        let path = dir.join("BENCH_chaos.json");
-        match std::fs::File::create(&path) {
-            Ok(mut f) => {
-                if let Err(e) = f.write_all(json.as_bytes()) {
-                    eprintln!("warning: write {} failed: {e}", path.display());
-                } else {
-                    println!("[wrote {}]", path.display());
-                }
-            }
-            Err(e) => eprintln!("warning: create {} failed: {e}", path.display()),
-        }
-    }
+    let mut json = mic_bench::schema::BenchJson::new("chaos", if quick { "quick" } else { "full" });
+    json.u64("n", n as u64)
+        .u64("partitions", PARTITIONS as u64)
+        .u64("runs", runs.total as u64)
+        .u64("warmup", runs.warmup as u64)
+        .f64("clean_ms", clean_s.mean * 1e3, 4)
+        .f64("retry_ms", retry_s.mean * 1e3, 4)
+        .f64("retry_overhead_frac", retry_overhead, 4)
+        .u64("retries_per_run", retry_faults.transfer_retries)
+        .f64("degraded_ms", degraded_s.mean * 1e3, 4)
+        .f64("degraded_overhead_frac", degraded_overhead, 4)
+        .u64("lost_partitions", degraded_faults.lost_partitions)
+        .u64("replayed_actions", degraded_faults.replayed_actions)
+        .u64("degraded_runs", degraded_faults.degraded_runs)
+        .u64("sweep_trials_measured", evaluated as u64)
+        .u64("sweep_trials_faulted", faulted as u64)
+        .bool("retry_output_identical", retry_ok)
+        .bool("degraded_output_identical", degraded_ok);
+    json.write("BENCH_chaos.json");
 
     if !pass {
         eprintln!("FAIL: a faulted condition changed the output");

@@ -5,6 +5,11 @@
 //! timeline as a Chrome trace under `results/native_trace_*.json` and the
 //! overlap deltas as `results/native_vs_sim_trace.csv`.
 //!
+//! Also asserts **telemetry parity**: with metrics enabled, the sim and
+//! native executors must export the identical instrument catalog and
+//! labelled series set for the same program (the values differ — one is
+//! modelled, one measured — but the shape may not).
+//!
 //! Pass `--quick` for a small single-configuration run (used by
 //! `scripts/verify.sh`).
 
@@ -25,6 +30,7 @@ fn compare(n: usize, tiles_per_dim: usize, partitions: usize) -> Row {
     let cfg = MmConfig { n, tiles_per_dim };
     let mut ctx = Context::builder(PlatformConfig::phi_31sp())
         .partitions(partitions)
+        .metrics(true)
         .build()
         .unwrap();
     let bufs = mm::build(&mut ctx, &cfg).unwrap();
@@ -61,6 +67,28 @@ fn compare(n: usize, tiles_per_dim: usize, partitions: usize) -> Row {
     assert_eq!(
         sim_kernels, native_kernels,
         "sim and native timelines disagree on the kernel set"
+    );
+
+    // Telemetry parity check: both executors must export the identical
+    // instrument catalog AND the identical labelled series set — the
+    // exported shape is a function of the geometry, not of which executor
+    // ran, so any drift here is a bug in one executor's instrumentation.
+    let sim_metrics = sim.metrics.as_ref().expect("sim metrics enabled");
+    let native_metrics = report.metrics.as_ref().expect("native metrics enabled");
+    assert_eq!(
+        sim_metrics.instrument_names(),
+        native_metrics.instrument_names(),
+        "sim and native executors disagree on the instrument catalog"
+    );
+    assert_eq!(
+        sim_metrics.series_names(),
+        native_metrics.series_names(),
+        "sim and native executors disagree on the labelled series set"
+    );
+    println!(
+        "p={partitions}: metric parity OK ({} instruments, {} series on both executors)",
+        sim_metrics.instrument_names().len(),
+        sim_metrics.series_names().len()
     );
 
     // Export the native timeline for chrome://tracing / Perfetto.

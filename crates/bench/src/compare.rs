@@ -1,0 +1,425 @@
+//! Regression detection over the `BENCH_*.json` trajectory.
+//!
+//! Two documents (a committed baseline and a fresh run) are flattened to
+//! dotted-path leaves and compared per-metric with noise bands:
+//!
+//! * time-like keys (`*_us`, `*_ms`, `*seconds*`, `*_overhead*`,
+//!   `*_delta`) regress when the current value exceeds the baseline by
+//!   more than the relative tolerance plus a unit-scaled absolute floor;
+//! * `speedup` (and `*_speedup`) regresses when it *drops* beyond the
+//!   band;
+//! * booleans regress on any `true -> false` flip (gates, output
+//!   identity);
+//! * everything else (counts, configuration echoes) is informational.
+//!
+//! Documents must carry the same [`crate::schema::BENCH_SCHEMA_VERSION`]
+//! — a mismatch is a hard error, not a finding, because the values may
+//! have changed meaning. When `mode` differs (quick vs full) numeric
+//! comparisons are skipped — the repetition budgets are incomparable —
+//! and only boolean gates are checked.
+
+use std::collections::BTreeMap;
+
+use crate::json::Json;
+use crate::schema::BENCH_SCHEMA_VERSION;
+
+/// A comparable leaf value.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Flat {
+    /// Numeric leaf.
+    Num(f64),
+    /// Boolean leaf.
+    Bool(bool),
+}
+
+/// How a finding should be treated.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Severity {
+    /// Outside the noise band in the bad direction — fails the gate.
+    Regression,
+    /// Outside the noise band in the good direction.
+    Improvement,
+    /// Changed, but not a gated metric.
+    Info,
+}
+
+/// One per-metric comparison result.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Dotted path of the leaf, e.g. `apps[hbench/native].seconds`.
+    pub path: String,
+    /// Verdict.
+    pub severity: Severity,
+    /// Human-readable `baseline -> current` description.
+    pub detail: String,
+}
+
+/// Tunables for the comparison.
+#[derive(Clone, Copy, Debug)]
+pub struct CompareOptions {
+    /// Relative noise band (0.30 = 30%) applied to gated numerics.
+    pub tolerance: f64,
+}
+
+impl Default for CompareOptions {
+    fn default() -> CompareOptions {
+        CompareOptions { tolerance: 0.30 }
+    }
+}
+
+/// Check a parsed document's envelope against the current schema.
+///
+/// # Errors
+/// Returns a message naming `file` when `schema_version` is missing or
+/// differs from [`BENCH_SCHEMA_VERSION`] — the caller should surface it
+/// verbatim and refuse to compare.
+pub fn check_schema(doc: &Json, file: &str) -> Result<(), String> {
+    match doc.get("schema_version").and_then(Json::as_u64) {
+        Some(v) if v == BENCH_SCHEMA_VERSION => Ok(()),
+        Some(v) => Err(format!(
+            "{file}: schema_version {v} != supported {BENCH_SCHEMA_VERSION}; \
+             regenerate the file with the current bench binaries before comparing"
+        )),
+        None => Err(format!(
+            "{file}: missing schema_version; pre-schema result files cannot be \
+             compared — regenerate with the current bench binaries"
+        )),
+    }
+}
+
+/// Keys used to give array elements stable identities instead of
+/// positional indices, tried in order.
+const ID_KEYS: [&str; 5] = ["app", "strategy", "name", "evaluator", "problem"];
+
+fn element_id(v: &Json, index: usize) -> String {
+    let parts: Vec<&str> = ID_KEYS
+        .iter()
+        .filter_map(|k| v.get(k).and_then(Json::as_str))
+        .collect();
+    if parts.is_empty() {
+        index.to_string()
+    } else {
+        parts.join("/")
+    }
+}
+
+/// Flatten a document to `path -> leaf` pairs. The embedded `metrics`
+/// block is skipped — it is a telemetry dump whose per-run values are
+/// not gate metrics (the overhead gate reads the dedicated top-level
+/// fields instead).
+#[must_use]
+pub fn flatten(doc: &Json) -> BTreeMap<String, Flat> {
+    let mut out = BTreeMap::new();
+    walk(doc, String::new(), &mut out);
+    out
+}
+
+fn walk(v: &Json, path: String, out: &mut BTreeMap<String, Flat>) {
+    match v {
+        Json::Num(n) => {
+            out.insert(path, Flat::Num(*n));
+        }
+        Json::Bool(b) => {
+            out.insert(path, Flat::Bool(*b));
+        }
+        Json::Obj(fields) => {
+            for (k, child) in fields {
+                if k == "metrics" {
+                    continue;
+                }
+                let sub = if path.is_empty() {
+                    k.clone()
+                } else {
+                    format!("{path}.{k}")
+                };
+                walk(child, sub, out);
+            }
+        }
+        Json::Arr(items) => {
+            for (i, child) in items.iter().enumerate() {
+                walk(child, format!("{path}[{}]", element_id(child, i)), out);
+            }
+        }
+        Json::Null | Json::Str(_) => {}
+    }
+}
+
+fn leaf_key(path: &str) -> &str {
+    path.rsplit('.').next().unwrap_or(path)
+}
+
+/// Direction a gated numeric can regress in.
+enum Gate {
+    HigherIsWorse { abs_floor: f64 },
+    LowerIsWorse,
+    Ungated,
+}
+
+fn classify(path: &str) -> Gate {
+    let key = leaf_key(path);
+    if key == "speedup" || key.ends_with("_speedup") {
+        return Gate::LowerIsWorse;
+    }
+    if key.ends_with("_us") {
+        return Gate::HigherIsWorse { abs_floor: 0.5 };
+    }
+    if key.ends_with("_ms") {
+        return Gate::HigherIsWorse { abs_floor: 0.1 };
+    }
+    if key.contains("seconds") {
+        return Gate::HigherIsWorse { abs_floor: 1e-3 };
+    }
+    if key.contains("overhead") || key.ends_with("_delta") {
+        return Gate::HigherIsWorse { abs_floor: 0.05 };
+    }
+    Gate::Ungated
+}
+
+/// Compare two parsed documents.
+///
+/// # Errors
+/// Propagates [`check_schema`] failures for either side.
+pub fn compare_docs(
+    baseline: &Json,
+    current: &Json,
+    opts: CompareOptions,
+) -> Result<Vec<Finding>, String> {
+    check_schema(baseline, "baseline")?;
+    check_schema(current, "current")?;
+    let base_mode = baseline.get("mode").and_then(Json::as_str).unwrap_or("");
+    let cur_mode = current.get("mode").and_then(Json::as_str).unwrap_or("");
+    let numeric_comparable = base_mode == cur_mode;
+
+    let base = flatten(baseline);
+    let cur = flatten(current);
+    let mut findings = Vec::new();
+    if !numeric_comparable {
+        findings.push(Finding {
+            path: "mode".to_string(),
+            severity: Severity::Info,
+            detail: format!(
+                "baseline is \"{base_mode}\" but current is \"{cur_mode}\"; \
+                 numeric metrics skipped, only boolean gates checked"
+            ),
+        });
+    }
+
+    for (path, b) in &base {
+        let Some(c) = cur.get(path) else {
+            findings.push(Finding {
+                path: path.clone(),
+                severity: Severity::Info,
+                detail: "present in baseline, missing in current".to_string(),
+            });
+            continue;
+        };
+        match (b, c) {
+            (Flat::Bool(was), Flat::Bool(now)) => {
+                if was != now {
+                    findings.push(Finding {
+                        path: path.clone(),
+                        severity: if *was && !*now {
+                            Severity::Regression
+                        } else {
+                            Severity::Improvement
+                        },
+                        detail: format!("{was} -> {now}"),
+                    });
+                }
+            }
+            (Flat::Num(was), Flat::Num(now)) => {
+                if !numeric_comparable {
+                    continue;
+                }
+                let verdict = judge(path, *was, *now, opts.tolerance);
+                if let Some((severity, detail)) = verdict {
+                    findings.push(Finding {
+                        path: path.clone(),
+                        severity,
+                        detail,
+                    });
+                }
+            }
+            _ => findings.push(Finding {
+                path: path.clone(),
+                severity: Severity::Info,
+                detail: "leaf changed type between baseline and current".to_string(),
+            }),
+        }
+    }
+    for path in cur.keys() {
+        if !base.contains_key(path) {
+            findings.push(Finding {
+                path: path.clone(),
+                severity: Severity::Info,
+                detail: "new metric, absent from baseline".to_string(),
+            });
+        }
+    }
+    Ok(findings)
+}
+
+#[allow(clippy::float_cmp)]
+fn judge(path: &str, was: f64, now: f64, tol: f64) -> Option<(Severity, String)> {
+    match classify(path) {
+        Gate::HigherIsWorse { abs_floor } => {
+            let ceiling = was * (1.0 + tol) + abs_floor;
+            let floor = was * (1.0 - tol) - abs_floor;
+            if now > ceiling {
+                Some((
+                    Severity::Regression,
+                    format!("{was} -> {now} (band allows up to {ceiling:.4})"),
+                ))
+            } else if now < floor {
+                Some((Severity::Improvement, format!("{was} -> {now}")))
+            } else {
+                None
+            }
+        }
+        Gate::LowerIsWorse => {
+            if now < was * (1.0 - tol) {
+                Some((
+                    Severity::Regression,
+                    format!(
+                        "{was} -> {now} (band allows down to {:.4})",
+                        was * (1.0 - tol)
+                    ),
+                ))
+            } else if now > was * (1.0 + tol) {
+                Some((Severity::Improvement, format!("{was} -> {now}")))
+            } else {
+                None
+            }
+        }
+        Gate::Ungated => {
+            if was == now {
+                None
+            } else {
+                Some((Severity::Info, format!("{was} -> {now}")))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    fn doc(extra: &str) -> Json {
+        parse(&format!(
+            "{{\"schema_version\": {BENCH_SCHEMA_VERSION}, \"bench\": \"t\", \"mode\": \"full\"{extra}}}"
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn identical_documents_produce_no_findings() {
+        let a = doc(", \"x_ms\": 1.0, \"pass\": true");
+        let out = compare_docs(&a, &a, CompareOptions::default()).unwrap();
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn time_regression_beyond_band_is_flagged() {
+        let a = doc(", \"lat_ms\": 1.0");
+        let b = doc(", \"lat_ms\": 1.5");
+        let out = compare_docs(&a, &b, CompareOptions::default()).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].severity, Severity::Regression);
+        // Within the band: 30% + 0.1ms floor.
+        let c = doc(", \"lat_ms\": 1.35");
+        assert!(compare_docs(&a, &c, CompareOptions::default())
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn speedup_drop_is_a_regression_and_gain_is_not() {
+        let a = doc(", \"speedup\": 12.0");
+        let drop = doc(", \"speedup\": 7.0");
+        let gain = doc(", \"speedup\": 20.0");
+        let out = compare_docs(&a, &drop, CompareOptions::default()).unwrap();
+        assert_eq!(out[0].severity, Severity::Regression);
+        let out = compare_docs(&a, &gain, CompareOptions::default()).unwrap();
+        assert_eq!(out[0].severity, Severity::Improvement);
+    }
+
+    #[test]
+    fn bool_flip_true_to_false_regresses_even_across_modes() {
+        let a = doc(", \"retry_output_identical\": true, \"clean_ms\": 0.3");
+        // Quick current: numeric skipped, bool still gated.
+        let b = parse(&format!(
+            "{{\"schema_version\": {BENCH_SCHEMA_VERSION}, \"bench\": \"t\", \"mode\": \"quick\", \"retry_output_identical\": false, \"clean_ms\": 9.9}}"
+        ))
+        .unwrap();
+        let out = compare_docs(&a, &b, CompareOptions::default()).unwrap();
+        assert!(out
+            .iter()
+            .any(|f| f.path == "retry_output_identical" && f.severity == Severity::Regression));
+        assert!(
+            !out.iter().any(|f| f.path == "clean_ms"),
+            "cross-mode numeric must be skipped: {out:?}"
+        );
+    }
+
+    #[test]
+    fn schema_mismatch_is_a_hard_error() {
+        let a = doc(", \"x_ms\": 1.0");
+        let old = parse("{\"schema_version\": 999, \"mode\": \"full\"}").unwrap();
+        let err = compare_docs(&a, &old, CompareOptions::default()).unwrap_err();
+        assert!(err.contains("999"), "{err}");
+        let missing = parse("{\"mode\": \"full\"}").unwrap();
+        assert!(compare_docs(&missing, &a, CompareOptions::default()).is_err());
+    }
+
+    #[test]
+    fn array_elements_are_identified_by_name_keys() {
+        let a = doc(", \"apps\": [{\"app\": \"mm\", \"sim_fifo_ms\": 0.2}]");
+        let flat = flatten(&a);
+        assert!(flat.contains_key("apps[mm].sim_fifo_ms"), "{flat:?}");
+    }
+
+    /// End-to-end synthetic regression: two results written through the
+    /// real [`crate::schema::BenchJson`] writer, identical except for one
+    /// injected slowdown, must produce exactly one regression finding —
+    /// this is the acceptance drill for the verify-time advisory compare.
+    #[test]
+    fn injected_regression_in_real_bench_output_is_caught() {
+        let write = |launch_us: f64, pass: bool| {
+            let mut j = crate::schema::BenchJson::new("native_runtime_launch_overhead", "full");
+            j.u64("partitions", 4)
+                .f64("pooled_per_launch_us", launch_us, 4)
+                .f64("speedup", 6.0, 3)
+                .bool("pass", pass)
+                .metrics(&hstreams::MetricsRegistry::new().snapshot());
+            parse(&j.finish()).expect("writer emits valid json")
+        };
+        let baseline = write(1.0, true);
+        let healthy = write(1.2, true);
+        assert!(
+            compare_docs(&baseline, &healthy, CompareOptions::default())
+                .unwrap()
+                .is_empty(),
+            "within-band drift must stay green"
+        );
+        let regressed = write(4.0, false);
+        let out = compare_docs(&baseline, &regressed, CompareOptions::default()).unwrap();
+        let regressions: Vec<&Finding> = out
+            .iter()
+            .filter(|f| f.severity == Severity::Regression)
+            .collect();
+        assert_eq!(regressions.len(), 2, "{out:?}");
+        assert!(regressions.iter().any(|f| f.path == "pooled_per_launch_us"));
+        assert!(regressions.iter().any(|f| f.path == "pass"));
+    }
+
+    #[test]
+    fn metrics_block_is_not_compared() {
+        let a = doc(", \"metrics\": {\"series\": [{\"name\": \"x\", \"value\": 1}]}");
+        let b = doc(", \"metrics\": {\"series\": [{\"name\": \"x\", \"value\": 999}]}");
+        assert!(compare_docs(&a, &b, CompareOptions::default())
+            .unwrap()
+            .is_empty());
+    }
+}

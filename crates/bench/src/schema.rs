@@ -1,0 +1,166 @@
+//! Versioned builder for the machine-readable `BENCH_*.json` results.
+//!
+//! Every gate bench writes its result file through [`BenchJson`] so the
+//! files share a stable envelope: `schema_version` and `mode` come first,
+//! followed by the bench's own fields and an optional embedded `metrics`
+//! block ([`hstreams::MetricsSnapshot`]). `bench_compare` refuses files
+//! whose `schema_version` it does not understand, so bumping the constant
+//! here is the signal that the result shape changed incompatibly.
+
+use std::fs;
+use std::io::Write as _;
+
+use hstreams::MetricsSnapshot;
+
+/// Current version of the `BENCH_*.json` envelope. Bump when a change
+/// would make old/new files incomparable (renamed keys, changed units).
+pub const BENCH_SCHEMA_VERSION: u64 = 1;
+
+/// Incremental builder for one `BENCH_*.json` document.
+///
+/// Fields are emitted in insertion order, two-space indented, one per
+/// line — the same shape the hand-written `format!` blocks used to
+/// produce, so diffs against committed results stay readable.
+#[derive(Debug)]
+pub struct BenchJson {
+    body: String,
+}
+
+impl BenchJson {
+    /// Start a document for bench `bench` in `mode` (`"full"`/`"quick"`).
+    /// The envelope keys `schema_version`, `bench`, `mode` are emitted
+    /// first so readers can dispatch before parsing the rest.
+    #[must_use]
+    pub fn new(bench: &str, mode: &str) -> BenchJson {
+        let mut b = BenchJson {
+            body: String::new(),
+        };
+        b.push_raw("schema_version", &BENCH_SCHEMA_VERSION.to_string());
+        b.push_raw("bench", &format!("\"{bench}\""));
+        b.push_raw("mode", &format!("\"{mode}\""));
+        b
+    }
+
+    fn push_raw(&mut self, key: &str, raw: &str) {
+        if !self.body.is_empty() {
+            self.body.push_str(",\n");
+        }
+        self.body.push_str(&format!("  \"{key}\": {raw}"));
+    }
+
+    /// Add an unsigned integer field.
+    pub fn u64(&mut self, key: &str, v: u64) -> &mut BenchJson {
+        self.push_raw(key, &v.to_string());
+        self
+    }
+
+    /// Add a float field rendered with `prec` decimal places.
+    pub fn f64(&mut self, key: &str, v: f64, prec: usize) -> &mut BenchJson {
+        let safe = if v.is_finite() { v } else { 0.0 };
+        self.push_raw(key, &format!("{safe:.prec$}"));
+        self
+    }
+
+    /// Add a boolean field.
+    pub fn bool(&mut self, key: &str, v: bool) -> &mut BenchJson {
+        self.push_raw(key, &v.to_string());
+        self
+    }
+
+    /// Add a string field.
+    pub fn str(&mut self, key: &str, v: &str) -> &mut BenchJson {
+        self.push_raw(key, &format!("\"{v}\""));
+        self
+    }
+
+    /// Add a field whose value is pre-rendered JSON (arrays, nested
+    /// objects). The caller is responsible for its validity.
+    pub fn raw(&mut self, key: &str, raw: &str) -> &mut BenchJson {
+        self.push_raw(key, raw);
+        self
+    }
+
+    /// Embed a metric snapshot under the `"metrics"` key.
+    pub fn metrics(&mut self, snap: &MetricsSnapshot) -> &mut BenchJson {
+        self.push_raw("metrics", &snap.to_json_value(2));
+        self
+    }
+
+    /// Render the finished document (trailing newline included).
+    #[must_use]
+    pub fn finish(&self) -> String {
+        format!("{{\n{}\n}}\n", self.body)
+    }
+
+    /// Write the document as `<name>` under [`crate::results_dir`],
+    /// creating the directory if needed. IO failures are warnings — a
+    /// bench's pass/fail verdict never depends on the filesystem.
+    pub fn write(&self, name: &str) {
+        let dir = crate::results_dir();
+        if let Err(e) = fs::create_dir_all(&dir) {
+            eprintln!("warning: cannot create {}: {e}", dir.display());
+            return;
+        }
+        let path = dir.join(name);
+        match fs::File::create(&path) {
+            Ok(mut f) => {
+                if let Err(e) = f.write_all(self.finish().as_bytes()) {
+                    eprintln!("warning: write {} failed: {e}", path.display());
+                } else {
+                    println!("[wrote {}]", path.display());
+                }
+            }
+            Err(e) => eprintln!("warning: create {} failed: {e}", path.display()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn envelope_keys_come_first() {
+        let mut b = BenchJson::new("demo", "quick");
+        b.u64("n", 7)
+            .f64("ms", 1.23456, 3)
+            .bool("pass", true)
+            .str("who", "x");
+        let text = b.finish();
+        let first = text.lines().nth(1).unwrap();
+        assert_eq!(
+            first.trim(),
+            format!("\"schema_version\": {BENCH_SCHEMA_VERSION},")
+        );
+        assert!(text.contains("\"bench\": \"demo\""));
+        assert!(text.contains("\"mode\": \"quick\""));
+        assert!(text.contains("\"ms\": 1.235"));
+        assert!(text.ends_with("}\n"));
+    }
+
+    #[test]
+    fn non_finite_floats_are_sanitized() {
+        let mut b = BenchJson::new("demo", "full");
+        b.f64("bad", f64::NAN, 2);
+        assert!(b.finish().contains("\"bad\": 0.00"));
+    }
+
+    #[test]
+    fn parses_back_with_own_parser() {
+        let mut b = BenchJson::new("demo", "full");
+        b.u64("n", 3)
+            .raw("arr", "[1, 2, 3]")
+            .metrics(&hstreams::MetricsRegistry::new().snapshot());
+        let doc = crate::json::parse(&b.finish()).expect("valid json");
+        assert_eq!(
+            doc.get("schema_version")
+                .and_then(crate::json::Json::as_u64),
+            Some(1)
+        );
+        assert_eq!(
+            doc.get("bench").and_then(crate::json::Json::as_str),
+            Some("demo")
+        );
+        assert!(doc.get("metrics").is_some());
+    }
+}

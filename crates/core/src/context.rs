@@ -52,6 +52,7 @@ pub struct ContextBuilder {
     replan_capacity: Option<usize>,
     check_mode: crate::check::CheckMode,
     scheduler: crate::sched::SchedulerKind,
+    metrics: bool,
 }
 
 impl ContextBuilder {
@@ -82,6 +83,17 @@ impl ContextBuilder {
     /// pre-scheduler runtime did.
     pub fn scheduler(mut self, kind: crate::sched::SchedulerKind) -> ContextBuilder {
         self.scheduler = kind;
+        self
+    }
+
+    /// Collect run metrics (see [`crate::metrics`]) on both executors:
+    /// every run registers the full
+    /// [`RunInstruments`](crate::metrics::RunInstruments) catalog and
+    /// attaches a [`MetricsSnapshot`](crate::metrics::MetricsSnapshot) to
+    /// its report. Off by default — the executors then pay one branch per
+    /// instrumentation site (gated by `bench_native_runtime`).
+    pub fn metrics(mut self, on: bool) -> ContextBuilder {
+        self.metrics = on;
         self
     }
 
@@ -123,11 +135,13 @@ impl ContextBuilder {
             buffers: Vec::new(),
             program,
             native_rt: std::sync::OnceLock::new(),
+            run_metrics_cache: parking_lot::Mutex::new(None),
             last_native_trace: parking_lot::Mutex::new(None),
             recovery: parking_lot::Mutex::new(None),
             check_mode: self.check_mode,
             last_check: parking_lot::Mutex::new(None),
             scheduler: self.scheduler,
+            metrics: self.metrics,
         })
     }
 }
@@ -166,6 +180,10 @@ pub struct Context {
     /// engines), built lazily on the first persistent native run and torn
     /// down when the context drops.
     native_rt: std::sync::OnceLock<crate::executor::native::NativeRuntime>,
+    /// Registry + instrument bundle reused across metered native runs:
+    /// registration costs microseconds, resetting costs relaxed stores, and
+    /// launch-overhead runs are themselves only microseconds long.
+    run_metrics_cache: parking_lot::Mutex<Option<crate::metrics::RunMetrics>>,
     /// The most recent traced native run's timeline, published even when the
     /// run failed partway (see [`Context::take_native_trace`]).
     last_native_trace: parking_lot::Mutex<Option<crate::trace::NativeTrace>>,
@@ -179,6 +197,8 @@ pub struct Context {
     last_check: parking_lot::Mutex<Option<crate::check::CheckReport>>,
     /// Which scheduler both executors use (see [`crate::sched`]).
     scheduler: crate::sched::SchedulerKind,
+    /// Collect run metrics on both executors (see [`crate::metrics`]).
+    metrics: bool,
 }
 
 impl std::fmt::Debug for Context {
@@ -203,6 +223,7 @@ impl Context {
             replan_capacity: None,
             check_mode: crate::check::CheckMode::default(),
             scheduler: crate::sched::SchedulerKind::default(),
+            metrics: false,
         }
     }
 
@@ -509,6 +530,17 @@ impl Context {
         self.scheduler
     }
 
+    /// Whether both executors collect run metrics (see [`crate::metrics`]).
+    pub fn metrics_enabled(&self) -> bool {
+        self.metrics
+    }
+
+    /// Turn run-metrics collection on or off for subsequent runs on either
+    /// executor (the builder's [`ContextBuilder::metrics`], post-build).
+    pub fn set_metrics(&mut self, on: bool) {
+        self.metrics = on;
+    }
+
     /// Select the scheduler for subsequent runs — e.g.
     /// [`SchedulerKind::ListHeft`](crate::sched::SchedulerKind) to re-place
     /// the recorded tiles by critical-path rank instead of replaying the
@@ -601,6 +633,31 @@ impl Context {
     pub(crate) fn native_runtime(&self) -> &crate::executor::native::NativeRuntime {
         self.native_rt
             .get_or_init(|| crate::executor::native::NativeRuntime::new(self))
+    }
+
+    /// A cleared [`RunMetrics`](crate::metrics::RunMetrics) bundle for a
+    /// metered native run: the cached one (reset) when its geometry
+    /// matches, a fresh registration otherwise. Taken, not borrowed — a
+    /// concurrent second run simply builds its own and the last
+    /// [`stash_run_metrics`](Context::stash_run_metrics) wins.
+    pub(crate) fn take_run_metrics(
+        &self,
+        devices: usize,
+        partitions: usize,
+    ) -> crate::metrics::RunMetrics {
+        if let Some(rm) = self.run_metrics_cache.lock().take() {
+            if rm.devices == devices && rm.partitions == partitions {
+                rm.reset();
+                return rm;
+            }
+        }
+        crate::metrics::RunMetrics::new(devices, partitions)
+    }
+
+    /// Return a [`RunMetrics`](crate::metrics::RunMetrics) bundle to the
+    /// cache after its snapshot has been taken.
+    pub(crate) fn stash_run_metrics(&self, rm: crate::metrics::RunMetrics) {
+        *self.run_metrics_cache.lock() = Some(rm);
     }
 
     /// Number of persistent threads owned by this context's native runtime

@@ -51,6 +51,7 @@ use crate::buffer::Elem;
 use crate::context::Context;
 use crate::fault::{FaultCounters, FaultPlan, FaultTallies, RecoveryState, RetryPolicy};
 use crate::kernel::KernelCtx;
+use crate::metrics::{MetricsSnapshot, RunInstruments};
 use crate::pool::{self, WorkerGroup, WorkerPool};
 use crate::program::StreamRecord;
 use crate::trace::{CopyStamp, NativeTrace, Recorder};
@@ -106,6 +107,14 @@ pub struct NativeConfig {
     /// program's structure, so scheduling is skipped (FIFO behaviour) when
     /// either is configured.
     pub scheduler: Option<crate::sched::SchedulerKind>,
+    /// Collect run metrics (see [`crate::metrics`]): register the full
+    /// [`RunInstruments`] catalog, record real launch overhead, queue
+    /// wait, wire time and fault activity into it, and attach the
+    /// snapshot to [`NativeReport::metrics`]. Also enabled by
+    /// [`ContextBuilder::metrics`](crate::context::ContextBuilder::metrics).
+    /// Off by default: the hot path then pays one branch per site
+    /// (gated by `bench_native_runtime`).
+    pub metrics: bool,
 }
 
 impl Default for NativeConfig {
@@ -120,6 +129,7 @@ impl Default for NativeConfig {
             isolate_partitions: false,
             max_degraded_runs: 2,
             scheduler: None,
+            metrics: false,
         }
     }
 }
@@ -144,6 +154,10 @@ pub struct NativeReport {
     /// (planned placement under `ListHeft`, runtime steals under
     /// `WorkSteal`). Always zero on FIFO runs.
     pub steals: usize,
+    /// The run's metric snapshot, when [`NativeConfig::metrics`] (or the
+    /// context's metrics flag) was set — the same instrument catalog the
+    /// simulator exports, filled from real clocks (`None` otherwise).
+    pub metrics: Option<MetricsSnapshot>,
 }
 
 struct EventFlag {
@@ -421,6 +435,9 @@ struct RunShared<'a> {
     /// Span recorder; `None` when the run is untraced (the zero-cost
     /// default — every instrumentation site is a branch on this option).
     recorder: Option<&'a Recorder>,
+    /// Run instruments; `None` when metrics are off (same zero-cost
+    /// pattern as the recorder).
+    metrics: Option<&'a RunInstruments>,
     /// Fault injection and isolation state for this run.
     fault: &'a FaultControl,
     first_error: Mutex<Option<Error>>,
@@ -461,8 +478,11 @@ fn exec_transfer(
     };
     let bytes = buffer.bytes();
     done.reset();
-    let submitted = shared.recorder.map(|rec| {
-        rec.copy_submitted();
+    let observing = shared.recorder.is_some() || shared.metrics.is_some();
+    let submitted = observing.then(|| {
+        if let Some(rec) = shared.recorder {
+            rec.copy_submitted();
+        }
         Instant::now()
     });
     shared.engine_tx[dev][chan]
@@ -477,14 +497,27 @@ fn exec_transfer(
         })
         .expect("copy engine alive for run duration");
     done.wait();
-    if let Some(rec) = shared.recorder {
-        rec.record_transfer(
-            rsi,
-            rec.link_lane(dev, chan),
-            label,
-            submitted.unwrap(),
-            stamp.expect("stamp allocated when tracing"),
-        );
+    if observing {
+        // Take the engine's start/end pair once; recorder and metrics
+        // both price the transfer from the same stamps.
+        let pair = stamp.expect("stamp allocated when observing").take();
+        if let Some(rec) = shared.recorder {
+            rec.record_transfer(
+                rsi,
+                rec.link_lane(dev, chan),
+                label,
+                submitted.unwrap(),
+                pair,
+            );
+        }
+        if let Some(m) = shared.metrics {
+            m.bytes_transferred[dev].add(bytes);
+            if let Some((start, end)) = pair {
+                m.queue_wait[dev]
+                    .record_micros(start.saturating_duration_since(submitted.unwrap()));
+                m.transfer_time[dev].record_micros(end.saturating_duration_since(start));
+            }
+        }
     }
     shared.bytes_moved.fetch_add(bytes, Ordering::Relaxed);
     shared.executed.fetch_add(1, Ordering::Relaxed);
@@ -506,7 +539,8 @@ fn exec_kernel(
 ) -> std::thread::Result<()> {
     let ctx = shared.ctx;
     let fc = shared.fault;
-    let t_dispatch = shared.recorder.map(|_| Instant::now());
+    let observing = shared.recorder.is_some() || shared.metrics.is_some();
+    let t_dispatch = observing.then(Instant::now);
     // Host kernels take the host lock instead of a partition lock (they
     // occupy the host, not the card) and act on the buffers' host copies.
     let (_partition_guard, _host_guard) = if desc.host {
@@ -594,11 +628,19 @@ fn exec_kernel(
         };
         pool::install(group.clone())
     });
-    let t_start = shared.recorder.map(|rec| {
+    let t_start = observing.then(|| {
         let now = Instant::now();
         // Launch overhead: dispatch to body start (partition lock, buffer
         // locks, view setup).
-        rec.record_launch_overhead(rsi, now.saturating_duration_since(t_dispatch.unwrap()));
+        let overhead = now.saturating_duration_since(t_dispatch.unwrap());
+        if let Some(rec) = shared.recorder {
+            rec.record_launch_overhead(rsi, overhead);
+        }
+        if let Some(m) = shared.metrics {
+            if !desc.host {
+                m.launch_overhead[dev][part].record_micros(overhead);
+            }
+        }
         now
     });
     let body_started = (slow_factor > 1.0).then(Instant::now);
@@ -618,6 +660,14 @@ fn exec_kernel(
             t_start.unwrap(),
             Instant::now(),
         );
+    }
+    if let Some(m) = shared.metrics {
+        let dur = t_start.unwrap().elapsed();
+        if desc.host {
+            m.host_kernel_time.record_micros(dur);
+        } else {
+            m.kernel_time[dev][part].record_micros(dur);
+        }
     }
     if outcome.is_ok() {
         if let Some(t0) = body_started {
@@ -639,12 +689,14 @@ fn drive_stream(shared: &RunShared<'_>, stream: &StreamRecord) {
     // One reusable completion slot for this driver's transfers: reset, hand
     // to the engine, wait — no per-transfer channel allocation.
     let done = Arc::new(EventFlag::new());
-    // Tracing state, allocated once per driver: the engine-stamp slot and
-    // the sink that routes pool-job spans from kernel bodies into this
-    // driver's buffer.
-    let stamp = shared
-        .recorder
-        .map(super::super::trace::Recorder::copy_stamp);
+    // Tracing state, allocated once per driver: the engine-stamp slot
+    // (also needed by metrics-only runs, to price queue wait and wire
+    // time) and the sink that routes pool-job spans from kernel bodies
+    // into this driver's buffer.
+    let stamp = match shared.recorder {
+        Some(rec) => Some(rec.copy_stamp()),
+        None => shared.metrics.map(|_| CopyStamp::detached()),
+    };
     let _pool_sink = shared
         .recorder
         .map(|rec| crate::trace::install_pool_sink(rec.pool_sink(si)));
@@ -940,9 +992,10 @@ fn dispatch_driver(shared: &RunShared<'_>, dispatch: &GraphDispatch<'_>, idx: us
     // recorder stream index is the driver index: scheduled traces are
     // per-(device, partition) lanes, matching how the work actually ran.
     let done = Arc::new(EventFlag::new());
-    let stamp = shared
-        .recorder
-        .map(super::super::trace::Recorder::copy_stamp);
+    let stamp = match shared.recorder {
+        Some(rec) => Some(rec.copy_stamp()),
+        None => shared.metrics.map(|_| CopyStamp::detached()),
+    };
     let _pool_sink = shared
         .recorder
         .map(|rec| crate::trace::install_pool_sink(rec.pool_sink(idx)));
@@ -999,6 +1052,7 @@ fn finish(shared: RunShared<'_>, wall: Duration, steals: usize) -> Result<Native
         trace: None,                      // attached by `run` from the trace guard
         faults: FaultCounters::default(), // filled by `run` from the tallies
         steals,
+        metrics: None, // attached by `run` from the registry
     })
 }
 
@@ -1061,6 +1115,7 @@ pub fn run(ctx: &Context, cfg: &NativeConfig) -> Result<NativeReport> {
             trace: None,
             faults: FaultCounters::default(),
             steals: 0,
+            metrics: None,
         });
     }
 
@@ -1110,6 +1165,16 @@ pub fn run(ctx: &Context, cfg: &NativeConfig) -> Result<NativeReport> {
         None
     };
 
+    // Metrics: the full instrument catalog is registered up front — the
+    // exported shape is a function of the geometry, not of what ran —
+    // and the executors get lock-free handles into it. The bundle is
+    // cached on the context between runs (reset beats re-registration by
+    // an order of magnitude, which matters for launch-overhead runs that
+    // are themselves only microseconds long).
+    let run_metrics = (cfg.metrics || ctx.metrics_enabled())
+        .then(|| ctx.take_run_metrics(ctx.device_count(), ctx.partitions().max(1)));
+    let instruments = run_metrics.as_ref().map(|rm| &rm.instruments);
+
     let mut guard = TraceGuard {
         ctx,
         recorder: cfg.trace.then(|| Recorder::new(ctx)),
@@ -1123,6 +1188,7 @@ pub fn run(ctx: &Context, cfg: &NativeConfig) -> Result<NativeReport> {
             cfg,
             threads_hint,
             guard.recorder.as_ref(),
+            instruments,
             &fc,
             planned.as_ref(),
         )
@@ -1132,6 +1198,7 @@ pub fn run(ctx: &Context, cfg: &NativeConfig) -> Result<NativeReport> {
             cfg,
             threads_hint,
             guard.recorder.as_ref(),
+            instruments,
             &fc,
             planned.as_ref(),
         )
@@ -1140,10 +1207,23 @@ pub fn run(ctx: &Context, cfg: &NativeConfig) -> Result<NativeReport> {
     // on Err (kernel panic) the trace stays retrievable from the context.
     let trace = guard.publish();
     let faults = fc.tallies.snapshot();
-    match result {
+    let outcome = match result {
         Ok(mut report) => {
             report.trace = trace;
             report.faults = faults;
+            if let Some(rm) = &run_metrics {
+                let ri = &rm.instruments;
+                ri.actions_executed.add(report.actions_executed as u64);
+                ri.steals.add(report.steals as u64);
+                ri.transfer_retries.add(faults.transfer_retries);
+                ri.transfers_failed.add(faults.transfers_failed);
+                ri.kernel_panics.add(faults.kernel_panics);
+                ri.partition_losses.add(faults.lost_partitions);
+                ri.skipped_actions.add(faults.skipped_actions);
+                ri.replayed_actions.add(faults.replayed_actions);
+                ri.finish(report.wall.as_secs_f64() * 1e6);
+                report.metrics = Some(rm.registry.snapshot());
+            }
             Ok(report)
         }
         Err(err) => {
@@ -1156,16 +1236,22 @@ pub fn run(ctx: &Context, cfg: &NativeConfig) -> Result<NativeReport> {
             });
             Err(err)
         }
+    };
+    if let Some(rm) = run_metrics {
+        ctx.stash_run_metrics(rm);
     }
+    outcome
 }
 
 /// Execute on the context's persistent runtime: parked drivers, pinned
 /// kernel pools, long-lived copy engines. No threads are spawned.
+#[allow(clippy::too_many_arguments)]
 fn run_persistent(
     ctx: &Context,
     cfg: &NativeConfig,
     threads_hint: usize,
     recorder: Option<&Recorder>,
+    metrics: Option<&RunInstruments>,
     fault: &FaultControl,
     planned: Option<&(crate::sched::Schedule, crate::sched::TaskGraph)>,
 ) -> Result<NativeReport> {
@@ -1187,6 +1273,7 @@ fn run_persistent(
         engine_tx: &rt.engine_tx,
         pool: Some(&rt.pool),
         recorder,
+        metrics,
         fault,
         first_error: Mutex::new(None),
         executed: AtomicUsize::new(0),
@@ -1214,11 +1301,13 @@ fn run_persistent(
 
 /// The original spawn-per-run executor: scoped driver threads, per-run copy
 /// engines and locks. Kept as the launch-overhead baseline.
+#[allow(clippy::too_many_arguments)]
 fn run_scoped(
     ctx: &Context,
     cfg: &NativeConfig,
     threads_hint: usize,
     recorder: Option<&Recorder>,
+    metrics: Option<&RunInstruments>,
     fault: &FaultControl,
     planned: Option<&(crate::sched::Schedule, crate::sched::TaskGraph)>,
 ) -> Result<NativeReport> {
@@ -1260,6 +1349,7 @@ fn run_scoped(
         engine_tx: &engine_tx,
         pool: None,
         recorder,
+        metrics,
         fault,
         first_error: Mutex::new(None),
         executed: AtomicUsize::new(0),

@@ -26,6 +26,7 @@ use micsim::trace::{
 use crate::action::Action;
 use crate::context::Context;
 use crate::fault::{FaultPlan, RetryPolicy};
+use crate::metrics::{MetricsRegistry, MetricsSnapshot, RunInstruments};
 use crate::types::{Error, Result};
 
 /// Result of a simulated run.
@@ -37,6 +38,13 @@ pub struct SimReport {
     pub kinds: ResourceKinds,
     /// Human-readable resource names, for Gantt rendering.
     pub names: BTreeMap<ResourceId, String>,
+    /// The run's metric snapshot, when the context's
+    /// [metrics flag](crate::context::ContextBuilder::metrics) is set —
+    /// the same instrument catalog the native executor exports, priced
+    /// from the simulated timeline. Fully deterministic: identical runs
+    /// export byte-identical JSONL/OpenMetrics text. `None` when metrics
+    /// are off.
+    pub metrics: Option<MetricsSnapshot>,
 }
 
 impl SimReport {
@@ -175,6 +183,13 @@ fn lower(
     let mut last: Vec<Option<TaskId>> = vec![None; n_streams];
     let mut event_task: Vec<Option<TaskId>> = vec![None; program.events.len()];
 
+    // Metric inputs only the lowering walk knows (payload sizes, priced
+    // retry attempts, executable-action count); consumed after the run
+    // when the context's metrics flag is set.
+    let mut bytes_per_dev = vec![0u64; devices.len()];
+    let mut retries_priced = 0u64;
+    let mut actions_lowered = 0u64;
+
     let add = |engine: &mut Engine, spec: TaskSpec| -> Result<TaskId> {
         engine
             .add_task(spec)
@@ -243,6 +258,9 @@ fn lower(
                         } else {
                             cfg.link.transfer_time(bytes)
                         };
+                        bytes_per_dev[dev_idx] += bytes;
+                        retries_priced += u64::from(fail_attempts);
+                        actions_lowered += 1;
                         // Price each failed attempt as a full occupation of
                         // the link, followed by the retry backoff off-link.
                         for attempt in 0..fail_attempts {
@@ -281,6 +299,7 @@ fn lower(
                     Action::Kernel(desc) if desc.host => {
                         // Host-side kernel: no offload launch, no partition
                         // effects — just the host's aggregate rate.
+                        actions_lowered += 1;
                         let secs = desc.work / (desc.profile.thread_rate * cfg.host_equivalents);
                         let duration = SimDuration::from_secs_f64(secs) + cfg.enqueue_overhead;
                         add(
@@ -294,6 +313,7 @@ fn lower(
                         )?
                     }
                     Action::Kernel(desc) => {
+                        actions_lowered += 1;
                         let placement = stream.placement;
                         let plan = ctx.platform.plan(placement.device)?;
                         let part = &plan.partitions[placement.partition];
@@ -379,10 +399,74 @@ fn lower(
     }
 
     let timeline = engine.run();
+
+    // Price the shared instrument catalog off the finished timeline. The
+    // registration is identical to the native executor's, so the exported
+    // shape is a differential check; the values come from simulated time
+    // and are fully deterministic.
+    let metrics = ctx.metrics_enabled().then(|| {
+        enum Lane {
+            Link(usize),
+            Host,
+            Partition(usize, usize),
+        }
+        let reg = MetricsRegistry::new();
+        let ri = RunInstruments::register(&reg, devices.len(), ctx.partitions().max(1));
+        let mut lane_of: BTreeMap<ResourceId, Lane> = BTreeMap::new();
+        for (d, chans) in link_channels.iter().enumerate() {
+            for &r in chans {
+                lane_of.insert(r, Lane::Link(d));
+            }
+        }
+        lane_of.insert(host_res, Lane::Host);
+        for (d, parts) in partition_res.iter().enumerate() {
+            for (p, &r) in parts.iter().enumerate() {
+                lane_of.insert(r, Lane::Partition(d, p));
+            }
+        }
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let us = |d: SimDuration| d.as_micros_f64().round() as u64;
+        for rec in &timeline.records {
+            let Some(res) = rec.resource else { continue };
+            // Resourceless tasks (events, barriers, retry backoffs) and
+            // failed-attempt link occupations are not executed actions.
+            if rec.label.contains("!fail") {
+                continue;
+            }
+            // Every priced task carries the enqueue overhead; split it
+            // back out so `kernel_time`/`transfer_time` mean the work
+            // itself, as they do natively.
+            let work = us((rec.finish - rec.start).saturating_sub(cfg.enqueue_overhead));
+            match lane_of.get(&res) {
+                Some(&Lane::Link(d)) => {
+                    ri.transfer_time[d].record(work);
+                    // Queue wait: ready (every dependency satisfied) to
+                    // start (the link actually free) — the sim analogue of
+                    // submit-to-engine-pickup.
+                    ri.queue_wait[d].record(us(rec.start - rec.ready));
+                }
+                Some(&Lane::Host) => ri.host_kernel_time.record(work),
+                Some(&Lane::Partition(d, p)) => {
+                    ri.kernel_time[d][p].record(work);
+                    ri.launch_overhead[d][p].record(us(cfg.enqueue_overhead));
+                }
+                None => {}
+            }
+        }
+        for (d, b) in bytes_per_dev.iter().enumerate() {
+            ri.bytes_transferred[d].add(*b);
+        }
+        ri.actions_executed.add(actions_lowered);
+        ri.transfer_retries.add(retries_priced);
+        ri.finish(timeline.makespan.as_micros_f64());
+        reg.snapshot()
+    });
+
     Ok(SimReport {
         timeline,
         kinds,
         names,
+        metrics,
     })
 }
 

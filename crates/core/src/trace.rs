@@ -134,6 +134,16 @@ pub(crate) struct CopyStamp {
 }
 
 impl CopyStamp {
+    /// A stamp slot not wired to any recorder — used by metrics-only runs
+    /// (no trace), which still need the engine's start/end pair to price
+    /// queue wait and wire time.
+    pub(crate) fn detached() -> Arc<CopyStamp> {
+        Arc::new(CopyStamp {
+            slot: Mutex::new(None),
+            queue_depth: Arc::new(AtomicUsize::new(0)),
+        })
+    }
+
     /// Engine side: the copy queue shrank by one job.
     pub(crate) fn picked_up(&self) {
         self.queue_depth.fetch_sub(1, Ordering::Relaxed);
@@ -142,6 +152,13 @@ impl CopyStamp {
     /// Engine side: record when the copy held the engine.
     pub(crate) fn stamp(&self, start: Instant, end: Instant) {
         *self.slot.lock() = Some((start, end));
+    }
+
+    /// Driver side, after the completion handshake: consume the engine's
+    /// start/end pair. Taken exactly once per transfer; the recorder and
+    /// the metrics instruments both read the returned value.
+    pub(crate) fn take(&self) -> Option<(Instant, Instant)> {
+        self.slot.lock().take()
     }
 }
 
@@ -362,17 +379,19 @@ impl Recorder {
         });
     }
 
-    /// Record a completed transfer: the engine-lane span plus the queue
-    /// wait between submit and engine pickup.
+    /// Record a completed transfer from the engine's stamped start/end
+    /// pair: the engine-lane span plus the queue wait between submit and
+    /// engine pickup. The caller takes the pair off the [`CopyStamp`] so
+    /// the metrics instruments can consume the same stamps.
     pub(crate) fn record_transfer(
         &self,
         stream: usize,
         lane: ResourceId,
         label: String,
         submitted: Instant,
-        stamp: &CopyStamp,
+        pair: Option<(Instant, Instant)>,
     ) {
-        let Some((start, end)) = stamp.slot.lock().take() else {
+        let Some((start, end)) = pair else {
             return;
         };
         *self.streams[stream].queue_wait.lock() += start.saturating_duration_since(submitted);

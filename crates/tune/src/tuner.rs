@@ -226,6 +226,25 @@ impl Tuner {
         }
     }
 
+    /// Export the tuner's trial/cache activity as a metric snapshot in
+    /// the shared [`hstreams::metrics`] shape:
+    /// `tune_trials` (cache lookups, i.e. feasible candidates priced),
+    /// `tune_cache_hits` / `tune_cache_misses`, and `tune_cached_configs`
+    /// (distinct `(app, problem, P, T, scheduler)` entries memoized).
+    /// Embedded in the autotune bench JSON's `metrics` block.
+    pub fn metrics_snapshot(&self) -> hstreams::MetricsSnapshot {
+        use hstreams::metrics::{Labels, Unit};
+        let reg = hstreams::MetricsRegistry::new();
+        let count = |name: &str, v: usize| {
+            reg.counter(name, Unit::Count, Labels::GLOBAL).add(v as u64);
+        };
+        count("tune_trials", self.cache.hits() + self.cache.misses());
+        count("tune_cache_hits", self.cache.hits());
+        count("tune_cache_misses", self.cache.misses());
+        count("tune_cached_configs", self.cache.len());
+        reg.snapshot()
+    }
+
     /// Tune `app` on `eval` over the candidates `strategy` selects within
     /// `bounds`.
     ///
@@ -517,6 +536,37 @@ mod tests {
         assert_eq!(first.winner, second.winner);
         assert!(second.landscape.iter().all(|r| r.cached));
         assert_eq!(tuner.cache.hits(), first.candidates_visited);
+    }
+
+    #[test]
+    fn metrics_snapshot_reflects_cache_activity() {
+        let platform = PlatformConfig::phi_31sp();
+        let mut tuner = Tuner::new(RepeatPolicy::sim());
+        let mut eval = Scripted::new();
+        tuner.tune(
+            &mut AnyApp,
+            &mut eval,
+            &platform,
+            &bounds(),
+            Strategy::Pruned,
+        );
+        tuner.tune(
+            &mut AnyApp,
+            &mut eval,
+            &platform,
+            &bounds(),
+            Strategy::Pruned,
+        );
+        let snap = tuner.metrics_snapshot();
+        let hits = snap.counter_sum("tune_cache_hits");
+        let misses = snap.counter_sum("tune_cache_misses");
+        assert_eq!(snap.counter_sum("tune_trials"), hits + misses);
+        assert!(hits > 0, "second pass should hit the cache");
+        assert_eq!(misses, tuner.cache.len() as u64);
+        assert_eq!(
+            snap.counter_sum("tune_cached_configs"),
+            tuner.cache.len() as u64
+        );
     }
 
     #[test]

@@ -33,6 +33,12 @@ cargo test -q -p hstreams --test check_suite
 cargo test -q -p hstreams --test proptest_check
 cargo test -q --test static_check_apps
 
+echo "==> snapshot BENCH trajectory (baseline for the advisory compare)"
+BASELINE_DIR="$(mktemp -d)"
+trap 'rm -rf "$BASELINE_DIR"' EXIT
+cp results/BENCH_*.json "$BASELINE_DIR"/ 2>/dev/null || \
+  echo "  (no prior BENCH_*.json — first run, advisory compare will be a no-op)"
+
 echo "==> chaos suite (quick: retry + degraded recovery keep MM's output exact)"
 cargo run --release -p mic-bench --bin chaos -- --quick
 
@@ -44,5 +50,15 @@ cargo run --release -p mic-bench --bin autotune -- --quick
 
 echo "==> scheduler bench (quick: HEFT/WorkSteal within 5% of FIFO on every app)"
 cargo run --release -p mic-bench --bin bench_sched -- --quick
+
+echo "==> metrics-overhead gate (quick: pool speedup >= 2x, metrics <= 1.5 us/launch)"
+cargo run --release -p mic-bench --bin bench_native_runtime -- --quick
+
+echo "==> bench result envelopes (schema_version/bench/mode on every BENCH_*.json)"
+cargo run --release -p mic-bench --bin bench_compare
+
+echo "==> advisory perf diff (fresh quick benches vs pre-run trajectory)"
+cargo run --release -p mic-bench --bin bench_compare -- \
+  --baseline "$BASELINE_DIR" --current results --advisory
 
 echo "verify: OK"

@@ -1,0 +1,118 @@
+//! Telemetry parity and determinism across the executors.
+//!
+//! * **Parity**: for every shipped app, the sim and native executors must
+//!   export the identical instrument catalog and the identical labelled
+//!   series set — the exported shape is a function of the run geometry,
+//!   never of which executor ran or what the program did. This is the
+//!   differential check the metrics layer was designed around: a counter
+//!   added to one executor but not the other fails here, not in a
+//!   dashboard three PRs later.
+//! * **Determinism**: the sim executor prices instruments off simulated
+//!   time, so two identical runs must export **byte-identical** JSONL and
+//!   OpenMetrics text (no wall clock, no RNG, no iteration-order leaks).
+
+use mic_streams::apps::tunable::{
+    Tunable, TunableCf, TunableHbench, TunableKmeans, TunableMm, TunableNn, TunablePartitionMicro,
+};
+use mic_streams::hstreams::context::Context;
+use mic_streams::hstreams::MetricsSnapshot;
+use mic_streams::micsim::PlatformConfig;
+
+const PARTITIONS: usize = 2;
+const TASKS: usize = 4;
+
+/// The six apps at small native-runnable problem sizes (fill seeds set so
+/// the native kernels have real inputs), paired with a feasible task count.
+fn apps() -> Vec<Box<dyn Tunable>> {
+    vec![
+        Box::new(TunableHbench::new(1 << 10, 2, Some(7))),
+        Box::new(TunableMm::new(32, Some(7))),
+        Box::new(TunableCf::new(32, Some(7))),
+        Box::new(TunableNn::new(1 << 10, Some(7))),
+        Box::new(TunableKmeans::new(1 << 10, 8, 2, Some(7))),
+        Box::new(TunablePartitionMicro::new(1 << 10, 2)),
+    ]
+}
+
+fn metered_context() -> Context {
+    Context::builder(PlatformConfig::phi_31sp())
+        .partitions(PARTITIONS)
+        .metrics(true)
+        .build()
+        .unwrap()
+}
+
+fn record(app: &mut dyn Tunable) -> Context {
+    let mut ctx = metered_context();
+    assert!(
+        app.feasible(TASKS),
+        "{} must accept T={TASKS} for this test's geometry",
+        app.name()
+    );
+    app.record(&mut ctx, TASKS).unwrap();
+    ctx
+}
+
+fn shape(snap: &MetricsSnapshot) -> (Vec<String>, Vec<String>) {
+    (snap.instrument_names(), snap.series_names())
+}
+
+#[test]
+fn every_app_exports_the_same_instrument_set_on_both_executors() {
+    let mut expected_catalog: Option<Vec<String>> = None;
+    for mut app in apps() {
+        let ctx = record(app.as_mut());
+        let sim = ctx.run_sim().unwrap();
+        let native = ctx.run_native().unwrap();
+        let sim_snap = sim.metrics.expect("sim metrics enabled");
+        let native_snap = native.metrics.expect("native metrics enabled");
+        assert_eq!(
+            shape(&sim_snap),
+            shape(&native_snap),
+            "{}: executors disagree on the exported metric shape",
+            app.name()
+        );
+        // The catalog is also app-independent: same geometry, same names.
+        let names = sim_snap.instrument_names();
+        match &expected_catalog {
+            None => expected_catalog = Some(names),
+            Some(expected) => assert_eq!(
+                expected,
+                &names,
+                "{}: instrument catalog differs from the other apps'",
+                app.name()
+            ),
+        }
+    }
+    let catalog = expected_catalog.unwrap();
+    for required in [
+        "launch_overhead_us",
+        "kernel_time_us",
+        "transfer_time_us",
+        "queue_wait_us",
+        "bytes_transferred",
+        "actions_executed",
+        "makespan_us",
+        "hidden_transfer_fraction",
+    ] {
+        assert!(
+            catalog.iter().any(|n| n == required),
+            "instrument catalog lost {required}: {catalog:?}"
+        );
+    }
+}
+
+#[test]
+fn sim_metrics_exports_are_byte_identical_across_runs() {
+    let export = |app: &mut dyn Tunable| {
+        let ctx = record(app);
+        let snap = ctx.run_sim().unwrap().metrics.expect("metrics enabled");
+        (snap.to_jsonl(), snap.to_openmetrics())
+    };
+    // Two runs from two independently built contexts — nothing shared, so
+    // any divergence is nondeterminism inside the executor or exporters.
+    let (jsonl_a, om_a) = export(&mut TunableMm::new(32, Some(7)));
+    let (jsonl_b, om_b) = export(&mut TunableMm::new(32, Some(7)));
+    assert_eq!(jsonl_a, jsonl_b, "sim JSONL export must be deterministic");
+    assert_eq!(om_a, om_b, "sim OpenMetrics export must be deterministic");
+}

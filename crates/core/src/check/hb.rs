@@ -23,24 +23,27 @@ use crate::types::StreamId;
 
 use super::diagnostics::Site;
 
-/// Dense happens-before representation; see the [module docs](self).
-pub struct HbGraph {
-    n_streams: usize,
+/// Node layout + predecessor lists of the happens-before graph — the
+/// part of the construction shared between [`HbGraph::build`] (which adds
+/// cycle detection and vector clocks on top) and the witness scheduler
+/// ([`super::witness`], which runs constrained topological sorts over the
+/// same edges to produce executable schedules).
+pub(crate) struct HbEdges {
     /// First node id of each stream's action run (last entry = total
     /// action count).
-    offsets: Vec<usize>,
+    pub(crate) offsets: Vec<usize>,
+    /// Action-node count; barrier join nodes follow.
+    pub(crate) total_actions: usize,
     /// Total nodes: actions + barrier join nodes.
-    nodes: usize,
-    edges: usize,
-    /// Flat `nodes × n_streams` in-clocks; empty when the graph is cyclic.
-    clocks: Vec<u32>,
-    /// One witness cycle (action sites only, causal order), if any.
-    cycle: Option<Vec<Site>>,
+    pub(crate) nodes: usize,
+    /// Predecessor lists, indexed by node.
+    pub(crate) preds: Vec<Vec<u32>>,
 }
 
-impl HbGraph {
-    /// Build the graph and run cycle detection + clock propagation.
-    pub fn build(program: &Program) -> HbGraph {
+impl HbEdges {
+    /// Build the edge lists for `program` under the executors' ordering
+    /// rules (FIFO, events, barriers).
+    pub(crate) fn build(program: &Program) -> HbEdges {
         let n_streams = program.streams.len();
         let mut offsets = Vec::with_capacity(n_streams + 1);
         let mut total = 0usize;
@@ -89,6 +92,63 @@ impl HbGraph {
                 }
             }
         }
+
+        HbEdges {
+            offsets,
+            total_actions: total,
+            nodes,
+            preds,
+        }
+    }
+
+    /// The stream owning action node `v`, or `None` for barrier joins.
+    pub(crate) fn stream_of(&self, v: usize) -> Option<usize> {
+        if v >= self.total_actions {
+            return None;
+        }
+        // offsets is sorted; partition_point finds the owning stream.
+        Some(self.offsets.partition_point(|&o| o <= v) - 1)
+    }
+
+    /// The site of action node `v`, or `None` for barrier joins.
+    pub(crate) fn site_of(&self, v: usize) -> Option<Site> {
+        self.stream_of(v).map(|s| Site {
+            stream: StreamId(s),
+            action_index: v - self.offsets[s],
+        })
+    }
+
+    /// The node id of `site`.
+    pub(crate) fn node_of(&self, site: Site) -> usize {
+        self.offsets[site.stream.0] + site.action_index
+    }
+}
+
+/// Dense happens-before representation; see the [module docs](self).
+pub struct HbGraph {
+    n_streams: usize,
+    /// First node id of each stream's action run (last entry = total
+    /// action count).
+    offsets: Vec<usize>,
+    /// Total nodes: actions + barrier join nodes.
+    nodes: usize,
+    edges: usize,
+    /// Flat `nodes × n_streams` in-clocks; empty when the graph is cyclic.
+    clocks: Vec<u32>,
+    /// One witness cycle (action sites only, causal order), if any.
+    cycle: Option<Vec<Site>>,
+}
+
+impl HbGraph {
+    /// Build the graph and run cycle detection + clock propagation.
+    pub fn build(program: &Program) -> HbGraph {
+        let n_streams = program.streams.len();
+        let HbEdges {
+            offsets,
+            total_actions: total,
+            nodes,
+            preds,
+        } = HbEdges::build(program);
 
         let edges = preds.iter().map(Vec::len).sum();
 

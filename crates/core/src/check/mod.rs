@@ -42,12 +42,14 @@ pub mod diagnostics;
 mod hb;
 mod races;
 mod residency;
+pub mod witness;
 
 use std::time::Instant;
 
 use crate::program::Program;
 
 pub use diagnostics::{CheckClass, CheckCode, CheckReport, CheckStats, Diagnostic, Severity, Site};
+pub use witness::{HazardWitness, WitnessKind};
 
 // The scheduler module reuses the race detector's access analysis to build
 // its task graph (same conflict definition, same memory-space split).
@@ -152,6 +154,14 @@ impl Analysis {
     /// time.
     pub fn concurrent(&self, a: Site, b: Site) -> bool {
         self.hb.concurrent(a, b)
+    }
+
+    /// Turn `diag`'s claim into an executable demonstration: witness
+    /// schedules for races, the wait cycle for deadlocks, a structural
+    /// refusal otherwise (see [`witness`]). `program` must
+    /// be the program this analysis was built from.
+    pub fn witness(&self, program: &Program, diag: &Diagnostic) -> HazardWitness {
+        witness::witness(program, self.hb.cycle(), diag)
     }
 
     /// Count the cross-stream (transfer, kernel) pairs left unordered —

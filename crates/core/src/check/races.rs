@@ -108,6 +108,10 @@ pub(super) fn check(
     groups.sort_by_key(|((buf, space), _)| (buf.0, *space != Space::Host, space_key(space)));
     for ((buf, space), group) in groups {
         let mut reported = 0usize;
+        // First pair past the cap: every Race diagnostic — including the
+        // overflow summary — must name a concrete unordered pair, or its
+        // witness schedules degenerate to `a == a` (found by fuzzing).
+        let mut unlisted: Option<(Site, Site)> = None;
         for (i, a) in group.iter().enumerate() {
             if !a.write {
                 continue;
@@ -134,15 +138,17 @@ pub(super) fn check(
                             label(b.site)
                         ),
                     });
+                } else if unlisted.is_none() {
+                    unlisted = Some((a.site, b.site));
                 }
                 reported += 1;
             }
         }
-        if reported > MAX_RACES_PER_GROUP {
+        if let Some((site, partner)) = unlisted {
             report.push(Diagnostic {
                 code: CheckCode::Race,
-                site: group[0].site,
-                related: vec![],
+                site,
+                related: vec![partner],
                 message: format!(
                     "{} further unsynchronized pairs on {buf} ({space}) not listed",
                     reported - MAX_RACES_PER_GROUP

@@ -454,6 +454,67 @@ impl Context {
         &self.program
     }
 
+    /// Replace the recorded program wholesale — the fuzzing and
+    /// differential-testing entry point: build or mutate a bare
+    /// [`Program`] elsewhere, install it here, run it on either executor.
+    ///
+    /// Beyond [`Program::validate`], this enforces the **hard safety
+    /// bounds** that keep the executors panic-free even with the static
+    /// checker [off](crate::check::CheckMode): every buffer reference must
+    /// be allocated in this context, every placement must name a real
+    /// device and a partition inside the **current** geometry, and the
+    /// stream count must fit what the native runtime was (or will be)
+    /// sized for. Violations are typed [`Error`]s, never panics — the
+    /// checker still runs at execution time under the context's
+    /// [`CheckMode`](crate::check::CheckMode) and may reject more.
+    pub fn install_program(&mut self, program: Program) -> Result<()> {
+        program.validate()?;
+        let devices = self.platform.device_count();
+        let max_streams = devices * self.replan_capacity * self.streams_per_partition;
+        if program.streams.len() > max_streams {
+            return Err(Error::Config(format!(
+                "program has {} streams; this context can drive at most {max_streams}",
+                program.streams.len()
+            )));
+        }
+        for s in &program.streams {
+            if s.placement.device.0 >= devices {
+                return Err(Error::Config(format!(
+                    "stream {} placed on {} but the platform has {devices} device(s)",
+                    s.id, s.placement.device
+                )));
+            }
+            if s.placement.partition >= self.partitions {
+                return Err(Error::Config(format!(
+                    "stream {} placed on partition {} but the current plan has {}",
+                    s.id, s.placement.partition, self.partitions
+                )));
+            }
+            for a in &s.actions {
+                for b in a.buffers() {
+                    self.check_buf(b)?;
+                }
+            }
+        }
+        self.program = program;
+        Ok(())
+    }
+
+    /// Reset every allocated buffer's host **and** device storage to zeros
+    /// (materialized storage is zeroed in place; still-lazy storage stays
+    /// lazy, which already reads as zeros). Between two native runs this
+    /// restores the initial memory state, making their outputs comparable
+    /// bit for bit — the differential harness's reset button.
+    pub fn zero_buffers(&self) {
+        for b in &self.buffers {
+            for side in [&b.host, &b.device] {
+                for x in side.write().iter_mut() {
+                    *x = 0.0;
+                }
+            }
+        }
+    }
+
     /// Discard all recorded actions, events and barriers, keeping streams,
     /// partitions and buffers. Handy for sweeping a parameter with the same
     /// buffers.
@@ -951,6 +1012,78 @@ mod tests {
         c.replan(4).unwrap();
         assert_eq!(c.replan_capacity(), 4);
         assert_eq!(c.partitions(), 4);
+    }
+
+    #[test]
+    fn install_program_enforces_hard_bounds() {
+        use crate::program::{StreamPlacement, StreamRecord};
+        let mut c = ctx(2, 1);
+        let a = c.alloc("a", 8);
+
+        // A well-formed program referencing allocated buffers installs.
+        let mut good = Program::default();
+        good.streams.push(StreamRecord {
+            id: StreamId(0),
+            placement: StreamPlacement {
+                device: DeviceId(0),
+                partition: 1,
+            },
+            actions: vec![Action::Transfer {
+                dir: Direction::HostToDevice,
+                buf: a,
+            }],
+        });
+        c.install_program(good.clone()).unwrap();
+        assert_eq!(c.program().action_count(), 1);
+
+        // Unknown buffer.
+        let mut bad_buf = good.clone();
+        bad_buf.streams[0].actions.push(Action::Transfer {
+            dir: Direction::HostToDevice,
+            buf: BufId(7),
+        });
+        assert!(matches!(
+            c.install_program(bad_buf),
+            Err(Error::UnknownBuffer(BufId(7)))
+        ));
+
+        // Partition outside the current geometry.
+        let mut bad_part = good.clone();
+        bad_part.streams[0].placement.partition = 5;
+        assert!(matches!(c.install_program(bad_part), Err(Error::Config(_))));
+
+        // Device outside the platform.
+        let mut bad_dev = good.clone();
+        bad_dev.streams[0].placement.device = DeviceId(3);
+        assert!(matches!(c.install_program(bad_dev), Err(Error::Config(_))));
+
+        // More streams than the runtime can drive.
+        let mut too_wide = good;
+        for i in 1..40 {
+            too_wide.streams.push(StreamRecord {
+                id: StreamId(i),
+                placement: StreamPlacement {
+                    device: DeviceId(0),
+                    partition: 0,
+                },
+                actions: vec![],
+            });
+        }
+        assert!(matches!(c.install_program(too_wide), Err(Error::Config(_))));
+        // The rejected installs left the good program in place.
+        assert_eq!(c.program().action_count(), 1);
+    }
+
+    #[test]
+    fn zero_buffers_resets_materialized_storage() {
+        let mut c = ctx(1, 1);
+        let a = c.alloc("a", 4);
+        c.write_host(a, &[1.0, 2.0, 3.0, 4.0]).unwrap();
+        c.buffer(a).unwrap().ensure_materialized();
+        c.buffer(a).unwrap().device.write()[0] = 9.0;
+        c.zero_buffers();
+        assert_eq!(c.read_host(a).unwrap(), vec![0.0; 4]);
+        assert_eq!(*c.buffer(a).unwrap().device.read(), vec![0.0; 4]);
     }
 
     #[test]

@@ -298,8 +298,18 @@ fn lower(
                     }
                     Action::Kernel(desc) if desc.host => {
                         // Host-side kernel: no offload launch, no partition
-                        // effects — just the host's aggregate rate.
+                        // effects — just the host's aggregate rate. Injected
+                        // panics still apply (the native executor injects
+                        // regardless of where the kernel runs); with no
+                        // partition to lose, the loss is the kernel itself.
                         actions_lowered += 1;
+                        if let Some(fp) = fault {
+                            if fp.kernel_panics_at(si, cursor[si]) {
+                                return Err(Error::KernelPanicked {
+                                    kernel: desc.label.clone(),
+                                });
+                            }
+                        }
                         let secs = desc.work / (desc.profile.thread_rate * cfg.host_equivalents);
                         let duration = SimDuration::from_secs_f64(secs) + cfg.enqueue_overhead;
                         add(

@@ -74,11 +74,15 @@ pub mod pool;
 pub mod program;
 pub mod residency;
 pub mod sched;
+pub mod testutil;
 pub mod trace;
 pub mod types;
 
 pub use buffer::{Buffer, Elem};
-pub use check::{Analysis, CheckClass, CheckCode, CheckEnv, CheckMode, CheckReport, Severity};
+pub use check::{
+    Analysis, CheckClass, CheckCode, CheckEnv, CheckMode, CheckReport, HazardWitness, Severity,
+    WitnessKind,
+};
 pub use context::Context;
 pub use executor::native::{NativeConfig, NativeReport};
 pub use executor::sim::SimReport;

@@ -8,7 +8,7 @@
 use micsim::device::DeviceId;
 
 use crate::action::Action;
-use crate::types::{Error, Result, StreamId};
+use crate::types::{Error, EventId, Result, StreamId};
 
 /// Where a stream runs: which card and which partition on it.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -202,6 +202,131 @@ impl Program {
             ));
         }
         out
+    }
+
+    // ----- mutation-safe editing -------------------------------------------
+    //
+    // The fuzzer and the test tooling edit recorded programs structurally.
+    // The invariant these accessors preserve is the events table: every
+    // `EventSite` keeps pointing at its `RecordEvent` action as actions
+    // shift around it, and removing a record cascades to its waits so the
+    // program never references a dangling event. Barrier completeness
+    // (`validate()`'s all-streams rule) is the caller's to maintain —
+    // barriers are a whole-program construct, not a per-stream edit.
+
+    /// Re-point event sites in `stream` after an insertion (`delta = +1`)
+    /// or removal (`delta = -1`) at `index`. For removals the site *at*
+    /// `index` must already be gone from the table.
+    fn shift_event_sites(&mut self, stream: StreamId, index: usize, delta: isize) {
+        for site in &mut self.events {
+            let moved = site.stream == stream
+                && if delta > 0 {
+                    site.action_index >= index
+                } else {
+                    site.action_index > index
+                };
+            if moved {
+                site.action_index = site.action_index.wrapping_add_signed(delta);
+            }
+        }
+    }
+
+    /// Insert `action` at `index` in `stream`'s queue, keeping the events
+    /// table pointing at the right sites.
+    ///
+    /// # Panics
+    /// On an out-of-range stream or index (like `Vec::insert`), and on a
+    /// [`Action::RecordEvent`] — records allocate table entries, use
+    /// [`Program::insert_record_event`]. A `WaitEvent` is fine here; it is
+    /// the caller's job that the event exists (`validate()` checks).
+    pub fn insert_action(&mut self, stream: StreamId, index: usize, action: Action) {
+        assert!(
+            !matches!(action, Action::RecordEvent(_)),
+            "insert RecordEvent via Program::insert_record_event"
+        );
+        self.shift_event_sites(stream, index, 1);
+        self.streams[stream.0].actions.insert(index, action);
+    }
+
+    /// Insert a fresh `RecordEvent` at `index` in `stream`'s queue and
+    /// register it in the events table. Returns the new event's id.
+    ///
+    /// # Panics
+    /// On an out-of-range stream or index.
+    pub fn insert_record_event(&mut self, stream: StreamId, index: usize) -> EventId {
+        let event = EventId(self.events.len());
+        self.shift_event_sites(stream, index, 1);
+        self.streams[stream.0]
+            .actions
+            .insert(index, Action::RecordEvent(event));
+        self.events.push(EventSite {
+            stream,
+            action_index: index,
+        });
+        event
+    }
+
+    /// Remove the action at `index` in `stream` and return it, keeping the
+    /// events table consistent. Removing a `RecordEvent` **cascades**: every
+    /// `WaitEvent` on it (in any stream) is removed too, the event leaves
+    /// the table, and higher event ids are renumbered down — so the result
+    /// still satisfies `validate()`'s event rules.
+    ///
+    /// # Panics
+    /// On an out-of-range stream or index (like `Vec::remove`).
+    pub fn remove_action(&mut self, stream: StreamId, index: usize) -> Action {
+        let removed = self.streams[stream.0].actions.remove(index);
+        if let Action::RecordEvent(e) = removed {
+            // The record's own site leaves the table before the shift so
+            // `shift_event_sites`'s strict `>` never misses it.
+            self.events.remove(e.0);
+            self.shift_event_sites(stream, index, -1);
+            // Cascade: drop every wait on the now-gone event.
+            for si in 0..self.streams.len() {
+                let mut ai = 0;
+                while ai < self.streams[si].actions.len() {
+                    if matches!(self.streams[si].actions[ai], Action::WaitEvent(x) if x == e) {
+                        self.streams[si].actions.remove(ai);
+                        self.shift_event_sites(StreamId(si), ai, -1);
+                    } else {
+                        ai += 1;
+                    }
+                }
+            }
+            // Renumber the ids above the removed slot.
+            for s in &mut self.streams {
+                for a in &mut s.actions {
+                    if let Action::RecordEvent(x) | Action::WaitEvent(x) = a {
+                        if x.0 > e.0 {
+                            x.0 -= 1;
+                        }
+                    }
+                }
+            }
+        } else {
+            self.shift_event_sites(stream, index, -1);
+        }
+        removed
+    }
+
+    /// Remove event `e` entirely: its `RecordEvent`, every wait on it, and
+    /// its table entry (with renumbering) — [`Program::remove_action`] at
+    /// the record site.
+    ///
+    /// # Panics
+    /// On an unknown event id.
+    pub fn remove_event(&mut self, e: EventId) -> Action {
+        let site = self.events[e.0];
+        self.remove_action(site.stream, site.action_index)
+    }
+
+    /// Re-home `stream` onto `placement`. Pure metadata — the action queue
+    /// and events are untouched.
+    ///
+    /// # Panics
+    /// On an out-of-range stream.
+    pub fn set_placement(&mut self, stream: StreamId, placement: StreamPlacement) {
+        self.streams[stream.0].placement = placement;
     }
 
     /// Validate cross-stream structure:
@@ -419,6 +544,110 @@ mod tests {
         assert!(text.ends_with("check: 1 error(s), 0 warning(s)\n"));
         // The plain dump stays annotation-free.
         assert!(!p.dump().contains('^'));
+    }
+
+    #[test]
+    fn insert_and_remove_keep_event_sites_pointed_at_their_records() {
+        // s0: h2d b0, record e0 ; s1: wait e0.
+        let mut p = Program::default();
+        p.streams.push(stream(
+            0,
+            vec![
+                Action::Transfer {
+                    dir: Direction::HostToDevice,
+                    buf: crate::types::BufId(0),
+                },
+                Action::RecordEvent(EventId(0)),
+            ],
+        ));
+        p.streams
+            .push(stream(1, vec![Action::WaitEvent(EventId(0))]));
+        p.events.push(EventSite {
+            stream: StreamId(0),
+            action_index: 1,
+        });
+        p.validate().unwrap();
+
+        // Inserting before the record shifts its site.
+        p.insert_action(
+            StreamId(0),
+            0,
+            Action::Transfer {
+                dir: Direction::HostToDevice,
+                buf: crate::types::BufId(1),
+            },
+        );
+        assert_eq!(p.events[0].action_index, 2);
+        p.validate().unwrap();
+
+        // Removing before the record shifts it back.
+        p.remove_action(StreamId(0), 0);
+        assert_eq!(p.events[0].action_index, 1);
+        p.validate().unwrap();
+
+        // A second record inserted *before* the first renumbers nothing
+        // (fresh id) but shifts the existing site.
+        let e1 = p.insert_record_event(StreamId(0), 0);
+        assert_eq!(e1, EventId(1));
+        assert_eq!(p.events[0].action_index, 2);
+        assert_eq!(p.events[1].action_index, 0);
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn removing_a_record_cascades_to_waits_and_renumbers() {
+        // Two events; the waiter waits on both; remove event 0's record.
+        let mut p = Program::default();
+        p.streams.push(stream(
+            0,
+            vec![
+                Action::RecordEvent(EventId(0)),
+                Action::RecordEvent(EventId(1)),
+            ],
+        ));
+        p.streams.push(stream(
+            1,
+            vec![Action::WaitEvent(EventId(0)), Action::WaitEvent(EventId(1))],
+        ));
+        p.events.push(EventSite {
+            stream: StreamId(0),
+            action_index: 0,
+        });
+        p.events.push(EventSite {
+            stream: StreamId(0),
+            action_index: 1,
+        });
+        p.validate().unwrap();
+
+        let removed = p.remove_event(EventId(0));
+        assert!(matches!(removed, Action::RecordEvent(EventId(0))));
+        // Event 1 became event 0 everywhere.
+        assert_eq!(p.events.len(), 1);
+        assert_eq!(p.events[0].action_index, 0);
+        assert_eq!(p.streams[1].actions.len(), 1);
+        assert!(matches!(
+            p.streams[1].actions[0],
+            Action::WaitEvent(EventId(0))
+        ));
+        assert!(matches!(
+            p.streams[0].actions[0],
+            Action::RecordEvent(EventId(0))
+        ));
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn set_placement_rehomes_a_stream() {
+        let mut p = Program::default();
+        p.streams.push(stream(0, vec![]));
+        p.set_placement(
+            StreamId(0),
+            StreamPlacement {
+                device: DeviceId(0),
+                partition: 3,
+            },
+        );
+        assert_eq!(p.streams[0].placement.partition, 3);
     }
 
     #[test]

@@ -1,88 +1,21 @@
 //! Property test for the static analyzer: randomly generated
 //! well-synchronized programs analyze clean, and knocking any single
-//! `WaitEvent` out of one turns it into a program the analyzer rejects
-//! (shape-only: a race on the now-unordered producer/consumer pair, or —
-//! never here, but accepted — a deadlock).
+//! `WaitEvent` out of one turns it into a program the analyzer rejects —
+//! with a **demonstrable** claim. The race witness's two schedules are
+//! executed through the reference interpreter and must produce different
+//! bits (the misorder is observable, not just declared); a deadlock
+//! witness must wedge the FIFO interpretation.
 //!
-//! The generator builds raw [`Program`]s rather than recording through a
-//! [`Context`]: the recording API cannot express the broken variants (its
-//! record-before-wait rule keeps API programs cycle-free), and the point
-//! is to probe the analyzer's semantics, not the builder's.
+//! The generator ([`build_synced`]) builds raw [`Program`]s rather than
+//! recording through a `Context`: the recording API cannot express the
+//! broken variants (its record-before-wait rule keeps API programs
+//! cycle-free), and the point is to probe the analyzer's semantics, not
+//! the builder's. It is shared with the scheduler proptest and the
+//! differential fuzzer's seed corpus via [`hstreams::testutil`].
 
-use hstreams::action::Action;
-use hstreams::check::{analyze, CheckCode, CheckEnv};
-use hstreams::kernel::KernelDesc;
-use hstreams::program::{EventSite, Program, StreamPlacement, StreamRecord};
-use hstreams::types::{BufId, EventId, StreamId};
-use micsim::compute::KernelProfile;
-use micsim::device::DeviceId;
-use micsim::pcie::Direction;
+use hstreams::check::{analyze, CheckCode, CheckEnv, WitnessKind};
+use hstreams::testutil::{build_synced, drop_one_wait, RefExec};
 use proptest::prelude::*;
-
-/// One producer/consumer conflict per entry: a fresh buffer uploaded and
-/// event-recorded on the producer stream, then waited on and read by a
-/// kernel on the consumer stream. Every cross-stream ordering in the
-/// program flows through exactly one wait, so each wait is load-bearing.
-fn build_synced(n_streams: usize, conflicts: &[(usize, usize)]) -> Program {
-    let mut p = Program::default();
-    for i in 0..n_streams {
-        p.streams.push(StreamRecord {
-            id: StreamId(i),
-            placement: StreamPlacement {
-                device: DeviceId(0),
-                partition: i,
-            },
-            actions: vec![],
-        });
-    }
-    for (k, &(a, b)) in conflicts.iter().enumerate() {
-        let producer = a % n_streams;
-        // Distinct from the producer by construction.
-        let consumer = (producer + 1 + b % (n_streams - 1)) % n_streams;
-        let buf = BufId(k);
-        let event = EventId(k);
-        p.streams[producer].actions.push(Action::Transfer {
-            dir: Direction::HostToDevice,
-            buf,
-        });
-        p.events.push(EventSite {
-            stream: StreamId(producer),
-            action_index: p.streams[producer].actions.len(),
-        });
-        p.streams[producer].actions.push(Action::RecordEvent(event));
-        p.streams[consumer].actions.push(Action::WaitEvent(event));
-        p.streams[consumer].actions.push(Action::Kernel(
-            KernelDesc::simulated(format!("r{k}"), KernelProfile::streaming("read", 1e9), 1.0)
-                .reading([buf]),
-        ));
-    }
-    p
-}
-
-/// Remove the `pick`-th `WaitEvent` (in stream order) and re-point the
-/// event table at the shifted `RecordEvent` sites so the program stays
-/// structurally valid — only the synchronization edge is gone.
-fn drop_one_wait(p: &Program, pick: usize) -> Program {
-    let mut out = p.clone();
-    let mut seen = 0usize;
-    for s in 0..out.streams.len() {
-        for i in 0..out.streams[s].actions.len() {
-            if matches!(out.streams[s].actions[i], Action::WaitEvent(_)) {
-                if seen == pick {
-                    out.streams[s].actions.remove(i);
-                    for site in &mut out.events {
-                        if site.stream.0 == s && site.action_index > i {
-                            site.action_index -= 1;
-                        }
-                    }
-                    return out;
-                }
-                seen += 1;
-            }
-        }
-    }
-    unreachable!("pick is always in range: one wait per conflict");
-}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
@@ -110,12 +43,48 @@ proptest! {
         let broken = drop_one_wait(&program, pick.index(conflicts.len()));
         broken.validate().expect("still structurally valid without the wait");
         let analysis = analyze(&broken, &CheckEnv::permissive(&broken));
-        prop_assert!(
-            analysis.report.errors().any(|d| {
-                d.code == CheckCode::Race || d.code == CheckCode::DeadlockCycle
-            }),
-            "removing one sync edge must surface a race or deadlock:\n{}",
-            broken.dump_annotated(&analysis.report)
-        );
+        let diag = analysis
+            .report
+            .errors()
+            .find(|d| d.code == CheckCode::Race || d.code == CheckCode::DeadlockCycle);
+        let Some(diag) = diag else {
+            return Err(TestCaseError(format!(
+                "removing one sync edge must surface a race or deadlock:\n{}",
+                broken.dump_annotated(&analysis.report)
+            )));
+        };
+
+        // The claim must be executable: conflict buffers are `k`, result
+        // buffers `conflicts.len() + k`.
+        let lens = vec![4usize; 2 * conflicts.len()];
+        let witness = analysis.witness(&broken, diag);
+        match &witness.kind {
+            WitnessKind::Race { order_ab, order_ba, .. } => {
+                prop_assert_eq!(order_ab.len(), broken.action_count());
+                prop_assert_eq!(order_ba.len(), broken.action_count());
+                let sab = RefExec::run_order(&broken, &lens, order_ab);
+                let sba = RefExec::run_order(&broken, &lens, order_ba);
+                prop_assert!(
+                    sab.fingerprint() != sba.fingerprint(),
+                    "executing the witness schedules must observably misorder \
+                     the unsynchronized pair:\n{}",
+                    broken.dump_annotated(&analysis.report)
+                );
+            }
+            // Never produced by deleting an edge from an acyclic graph,
+            // but if the analyzer ever claims it, the claim must hold.
+            WitnessKind::Deadlock { cycle } => {
+                prop_assert!(!cycle.is_empty());
+                prop_assert!(
+                    RefExec::run_fifo(&broken, &lens).is_err(),
+                    "a claimed deadlock must wedge the FIFO interpretation"
+                );
+            }
+            WitnessKind::Structural => {
+                return Err(TestCaseError(
+                    "a dropped wait is a scheduling hazard, not a structural defect".to_string(),
+                ));
+            }
+        }
     }
 }

@@ -14,19 +14,18 @@
 //! consumer kernel to a different lane than its producer must keep the
 //! HB edge via a materialized event, or the analyzer flags a race.
 
-use hstreams::action::Action;
 use hstreams::check::{analyze, CheckEnv};
-use hstreams::kernel::KernelDesc;
-use hstreams::program::{EventSite, Program, StreamPlacement, StreamRecord};
 use hstreams::sched::{plan_program, CostModel};
-use hstreams::types::{BufId, EventId, StreamId};
+use hstreams::testutil::{build_chained, work_fingerprint};
 use hstreams::SchedulerKind;
-use micsim::compute::KernelProfile;
 use micsim::device::DeviceId;
-use micsim::pcie::Direction;
 use proptest::prelude::*;
 
 const PARTITIONS: usize = 4;
+
+/// Region split for [`build_chained`]: tile chains use buffers below 32,
+/// conflicts 32 and up.
+const CHAIN_BUF_LIMIT: usize = 32;
 
 fn cost_model() -> CostModel {
     let cfg = micsim::PlatformConfig::phi_31sp();
@@ -34,88 +33,6 @@ fn cost_model() -> CostModel {
     platform.init_partitions(DeviceId(0), PARTITIONS).unwrap();
     let plan = platform.plan(DeviceId(0)).unwrap().partitions.clone();
     CostModel::new(&cfg, &[plan], &[1u64 << 16; 64])
-}
-
-/// `tiles[s]` private chains on stream `s`, then one event-synchronized
-/// producer/consumer conflict per entry of `conflicts` (same shape as the
-/// analyzer proptest's generator). Buffer ids are disjoint by region:
-/// chains use `2i`/`2i+1` below 32, conflicts use 32 and up.
-fn build_program(tiles: &[usize], conflicts: &[(usize, usize)]) -> Program {
-    let n_streams = tiles.len();
-    let mut p = Program::default();
-    for (i, _) in tiles.iter().enumerate() {
-        p.streams.push(StreamRecord {
-            id: StreamId(i),
-            placement: StreamPlacement {
-                device: DeviceId(0),
-                partition: i % PARTITIONS,
-            },
-            actions: vec![],
-        });
-    }
-    let mut next_buf = 0usize;
-    for (s, &n) in tiles.iter().enumerate() {
-        for t in 0..n {
-            let a = BufId(next_buf);
-            let b = BufId(next_buf + 1);
-            next_buf += 2;
-            p.streams[s].actions.push(Action::Transfer {
-                dir: Direction::HostToDevice,
-                buf: a,
-            });
-            p.streams[s].actions.push(Action::Kernel(
-                KernelDesc::simulated(
-                    format!("tile{s}_{t}"),
-                    KernelProfile::streaming("k", 1e9),
-                    1e7,
-                )
-                .reading([a])
-                .writing([b]),
-            ));
-            p.streams[s].actions.push(Action::Transfer {
-                dir: Direction::DeviceToHost,
-                buf: b,
-            });
-        }
-    }
-    for (k, &(a, b)) in conflicts.iter().enumerate() {
-        let producer = a % n_streams;
-        let consumer = (producer + 1 + b % (n_streams - 1)) % n_streams;
-        let buf = BufId(32 + k);
-        let event = EventId(k);
-        p.streams[producer].actions.push(Action::Transfer {
-            dir: Direction::HostToDevice,
-            buf,
-        });
-        p.events.push(EventSite {
-            stream: StreamId(producer),
-            action_index: p.streams[producer].actions.len(),
-        });
-        p.streams[producer].actions.push(Action::RecordEvent(event));
-        p.streams[consumer].actions.push(Action::WaitEvent(event));
-        p.streams[consumer].actions.push(Action::Kernel(
-            KernelDesc::simulated(format!("use{k}"), KernelProfile::streaming("k", 1e9), 1e7)
-                .reading([buf]),
-        ));
-    }
-    p
-}
-
-/// Multiset fingerprint of the non-control actions: scheduling may reorder
-/// and re-home work, never change it.
-fn work_fingerprint(p: &Program) -> Vec<String> {
-    let mut work: Vec<String> = p
-        .streams
-        .iter()
-        .flat_map(|s| s.actions.iter())
-        .filter_map(|a| match a {
-            Action::Transfer { dir, buf } => Some(format!("{dir:?} {buf:?}")),
-            Action::Kernel(desc) => Some(format!("kernel {}", desc.label)),
-            _ => None,
-        })
-        .collect();
-    work.sort();
-    work
 }
 
 proptest! {
@@ -126,7 +43,7 @@ proptest! {
         tiles in proptest::collection::vec(0usize..4, 2..5),
         conflicts in proptest::collection::vec((0usize..16, 0usize..16), 0..6),
     ) {
-        let program = build_program(&tiles, &conflicts);
+        let program = build_chained(&tiles, &conflicts, PARTITIONS, CHAIN_BUF_LIMIT);
         program.validate().expect("generator emits valid programs");
         let env = CheckEnv::permissive(&program);
         prop_assert!(analyze(&program, &env).report.is_clean());

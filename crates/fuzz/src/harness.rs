@@ -1,0 +1,621 @@
+//! The three-oracle differential harness.
+//!
+//! [`Harness::run_case`] runs one genome through the static checker, the
+//! simulator, and (on `full` runs) the native executor plus the
+//! [`RefExec`] reference interpreter, enforcing both directions of the
+//! contract:
+//!
+//! * **clean** (no error diagnostics): the simulator must price the
+//!   program twice with byte-identical metric exports; the native
+//!   executor must run it twice with bit-identical buffer contents, agree
+//!   bit-for-bit with the reference interpreter, and export the same
+//!   metric catalog the simulator does; a spliced fault plan must resolve
+//!   to the same outcome class (recovered / fault / panic) on both
+//!   executors;
+//! * **rejected** (error diagnostics): both executors must refuse with a
+//!   checker report, and the diagnostic's
+//!   [witness](hstreams::check::HazardWitness) must be demonstrable — a
+//!   deadlock witness wedges the FIFO interpretation, a race witness's
+//!   two schedules replay with the racing pair in both orders.
+//!
+//! Any violation is a [`Disagreement`], tagged with a stable class name
+//! that shrinking preserves. Contexts are cached per geometry — every
+//! genome addresses the same fixed buffer palette, so one context serves
+//! arbitrarily many cases, and [`Context::zero_buffers`] resets state
+//! between native runs.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+use hstreams::check::WitnessKind;
+use hstreams::context::Context;
+use hstreams::executor::native::NativeConfig;
+use hstreams::testutil::RefExec;
+use hstreams::types::{BufId, Error};
+use micsim::PlatformConfig;
+
+use crate::genome::{buf_len, buf_lens, ProgramSpec, N_BUFS};
+use crate::signals::{
+    check_signals, fault_signals, metrics_signals, overlap_signals, sched_signals,
+};
+
+/// A violated oracle contract: `class` is stable across shrinking (the
+/// reproducer must fail the same way), `detail` is for humans.
+#[derive(Clone, Debug)]
+pub struct Disagreement {
+    /// Stable class, e.g. `native-ref-divergence`, `witness-deadlock-completed`.
+    pub class: String,
+    /// Human-readable specifics.
+    pub detail: String,
+}
+
+/// Everything one case produced: its coverage signals, whether the
+/// checker rejected it, and the first contract violation (if any).
+#[derive(Clone, Debug)]
+pub struct CaseOutcome {
+    /// Coverage signals for corpus retention.
+    pub signals: BTreeSet<String>,
+    /// The checker found error-severity diagnostics.
+    pub rejected: bool,
+    /// First contract violation observed, if any.
+    pub disagreement: Option<Disagreement>,
+}
+
+/// Geometry-keyed context cache plus the differential logic.
+pub struct Harness {
+    ctxs: BTreeMap<(usize, usize), Context>,
+}
+
+impl Default for Harness {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Harness {
+    /// An empty harness; contexts are built lazily per geometry.
+    pub fn new() -> Harness {
+        Harness {
+            ctxs: BTreeMap::new(),
+        }
+    }
+
+    /// Number of live cached contexts (bounded by the geometry space:
+    /// partitions × streams-per-partition combinations).
+    pub fn context_count(&self) -> usize {
+        self.ctxs.len()
+    }
+
+    /// Run one genome through the oracles. `full` additionally runs the
+    /// native executor (twice), the reference interpreter, metric-catalog
+    /// parity and fault-outcome agreement; without it only the cheap
+    /// oracles (checker + simulator) run — the fuzzer's inner loop.
+    pub fn run_case(&mut self, spec: &ProgramSpec, full: bool) -> CaseOutcome {
+        let partitions = spec.partitions.max(1);
+        let spp = spec.streams_per_partition();
+        let ctx = self
+            .ctxs
+            .entry((partitions, spp))
+            .or_insert_with(|| build_ctx(partitions, spp));
+        run_case_in(ctx, spec, full)
+    }
+}
+
+fn build_ctx(partitions: usize, spp: usize) -> Context {
+    let mut ctx = Context::builder(PlatformConfig::phi_31sp())
+        .partitions(partitions)
+        .streams_per_partition(spp)
+        .metrics(true)
+        .build()
+        .expect("fuzz geometry is within platform limits");
+    for i in 0..N_BUFS {
+        ctx.alloc(format!("b{i}"), buf_len(i));
+    }
+    ctx
+}
+
+/// Outcome class of an executor result, for class-level agreement (the
+/// executors legitimately differ in *which* typed error a hazard
+/// surfaces as — e.g. an injected kernel panic is `PartitionLost` on the
+/// simulator and `KernelPanicked` natively — but must agree on the class).
+fn error_class(e: &Error) -> &'static str {
+    match e {
+        Error::Check(_) => "check",
+        Error::Fault { .. } => "fault",
+        Error::KernelPanicked { .. } | Error::PartitionLost { .. } => "panic",
+        Error::MissingNativeBody { .. } => "native-body",
+        Error::UnknownBuffer(_) | Error::UnknownEvent(_) | Error::UnknownStream(_) => "unknown-ref",
+        Error::Config(_) => "config",
+        _ => "other",
+    }
+}
+
+fn run_case_in(ctx: &mut Context, spec: &ProgramSpec, full: bool) -> CaseOutcome {
+    let program = spec.to_program();
+    let mut signals: BTreeSet<String> = BTreeSet::new();
+    let mut disagreement: Option<Disagreement> = None;
+    let disagree = |d: &mut Option<Disagreement>, class: &str, detail: String| {
+        if d.is_none() {
+            *d = Some(Disagreement {
+                class: class.to_string(),
+                detail,
+            });
+        }
+    };
+
+    ctx.set_scheduler(spec.scheduler);
+    if let Err(e) = ctx.install_program(program.clone()) {
+        // Repair guarantees validity, so installation failures are
+        // structural coverage, not contract violations.
+        signals.insert(format!("check:install-{}", error_class(&e)));
+        return CaseOutcome {
+            signals,
+            rejected: true,
+            disagreement: None,
+        };
+    }
+
+    let analysis = ctx.analyze();
+    signals.extend(check_signals(&analysis.report));
+    signals.extend(sched_signals(spec.scheduler, ctx.plan_schedule().as_ref()));
+    let summary = analysis.overlap_summary();
+    let mut hidden_fraction = None;
+    let rejected = analysis.report.error_count() > 0;
+
+    if !rejected {
+        // ---- clean direction: both executors run, deterministically ----
+        match ctx.run_sim() {
+            Err(e) => disagree(
+                &mut disagreement,
+                "clean-sim-refused",
+                format!("checker passed but sim failed: {e:?}"),
+            ),
+            Ok(s1) => {
+                hidden_fraction = Some(s1.overlap().hidden_fraction());
+                if let Some(m) = &s1.metrics {
+                    signals.extend(metrics_signals(m));
+                }
+                match ctx.run_sim() {
+                    Err(e) => disagree(
+                        &mut disagreement,
+                        "sim-nondeterminism",
+                        format!("second sim run failed: {e:?}"),
+                    ),
+                    Ok(s2) => {
+                        let same_makespan = s1.makespan() == s2.makespan();
+                        let same_metrics = match (&s1.metrics, &s2.metrics) {
+                            (Some(a), Some(b)) => a.to_jsonl() == b.to_jsonl(),
+                            (None, None) => true,
+                            _ => false,
+                        };
+                        if !same_makespan || !same_metrics {
+                            disagree(
+                                &mut disagreement,
+                                "sim-nondeterminism",
+                                format!(
+                                    "repeat sim diverged (makespan {:?} vs {:?})",
+                                    s1.makespan(),
+                                    s2.makespan()
+                                ),
+                            );
+                        }
+                    }
+                }
+                if full && disagreement.is_none() {
+                    native_differential(ctx, spec, &program, &s1, &mut signals, &mut disagreement);
+                }
+            }
+        }
+        // ---- fault-outcome agreement -------------------------------------
+        if let Some(f) = spec.fault {
+            let plan = f.to_plan();
+            let sim_class = match ctx.run_sim_faulted(&plan) {
+                Ok(_) => "ok",
+                Err(e) => error_class(&e),
+            };
+            signals.insert(format!("fault:sim:{sim_class}"));
+            if full {
+                ctx.zero_buffers();
+                let cfg = NativeConfig {
+                    fault: Some(Arc::new(f.to_plan())),
+                    ..NativeConfig::default()
+                };
+                let native = ctx.run_native_with(&cfg);
+                let native_class = match &native {
+                    Ok(_) => "ok",
+                    Err(e) => error_class(e),
+                };
+                if let Ok(r) = &native {
+                    signals.extend(fault_signals(&r.faults));
+                }
+                if sim_class != native_class {
+                    disagree(
+                        &mut disagreement,
+                        "fault-divergence",
+                        format!(
+                            "fault {:?}: sim outcome {sim_class}, native outcome {native_class}",
+                            f.site
+                        ),
+                    );
+                }
+                ctx.zero_buffers();
+            }
+        }
+    } else {
+        // ---- rejected direction: both refuse, and the claim replays ----
+        match ctx.run_sim() {
+            Err(Error::Check(_)) => {
+                signals.insert("reject:sim".to_string());
+            }
+            Err(e) => disagree(
+                &mut disagreement,
+                "reject-sim-class",
+                format!("checker rejected but sim failed as {:?}", error_class(&e)),
+            ),
+            Ok(_) => disagree(
+                &mut disagreement,
+                "rejected-sim-ran",
+                "checker rejected the program but the simulator executed it".to_string(),
+            ),
+        }
+        if full {
+            ctx.zero_buffers();
+            match ctx.run_native() {
+                Err(Error::Check(_)) => {
+                    signals.insert("reject:native".to_string());
+                }
+                Err(e) => disagree(
+                    &mut disagreement,
+                    "reject-native-class",
+                    format!(
+                        "checker rejected but native failed as {:?}",
+                        error_class(&e)
+                    ),
+                ),
+                Ok(_) => disagree(
+                    &mut disagreement,
+                    "rejected-native-ran",
+                    "checker rejected the program but the native executor ran it".to_string(),
+                ),
+            }
+            ctx.zero_buffers();
+        }
+        if let Some(diag) = analysis.report.errors().next() {
+            let w = analysis.witness(&program, diag);
+            let lens = buf_lens();
+            match &w.kind {
+                WitnessKind::Deadlock { cycle } => match RefExec::run_fifo(&program, &lens) {
+                    Err(_) => {
+                        signals.insert("witness:deadlock-wedged".to_string());
+                    }
+                    Ok(_) => disagree(
+                        &mut disagreement,
+                        "witness-deadlock-completed",
+                        format!(
+                            "deadlock claimed on cycle {cycle:?} but FIFO interpretation completed"
+                        ),
+                    ),
+                },
+                WitnessKind::Race {
+                    a,
+                    b,
+                    order_ab,
+                    order_ba,
+                } => {
+                    let total = program.action_count();
+                    if order_ab.len() == total && order_ba.len() == total {
+                        let pos = |order: &[hstreams::check::Site],
+                                   s: &hstreams::check::Site|
+                         -> Option<usize> {
+                            order.iter().position(|x| x == s)
+                        };
+                        let ab_ok = pos(order_ab, a) < pos(order_ab, b);
+                        let ba_ok = pos(order_ba, b) < pos(order_ba, a);
+                        if !(ab_ok && ba_ok && pos(order_ab, a).is_some()) {
+                            disagree(
+                                &mut disagreement,
+                                "witness-order-invalid",
+                                format!("race witness orders do not bracket the pair {a} / {b}"),
+                            );
+                        } else {
+                            let sab = RefExec::run_order(&program, &lens, order_ab);
+                            let sba = RefExec::run_order(&program, &lens, order_ba);
+                            if sab.fingerprint() != sba.fingerprint() {
+                                signals.insert("witness:race-observable".to_string());
+                            } else {
+                                signals.insert("witness:race-benign".to_string());
+                            }
+                        }
+                    } else {
+                        // Cyclic graph elsewhere: the orders are partial by
+                        // construction; the deadlock diagnostic carries the
+                        // executable witness instead.
+                        signals.insert("witness:race-partial".to_string());
+                    }
+                }
+                WitnessKind::Structural => {
+                    signals.insert("witness:structural".to_string());
+                }
+            }
+        }
+    }
+
+    signals.extend(overlap_signals(&summary, hidden_fraction));
+    CaseOutcome {
+        signals,
+        rejected,
+        disagreement,
+    }
+}
+
+/// The native-side clean checks: two runs bit-identical, agreement with
+/// the reference interpreter, metric-catalog parity against the sim run.
+fn native_differential(
+    ctx: &mut Context,
+    spec: &ProgramSpec,
+    program: &hstreams::program::Program,
+    sim: &hstreams::executor::sim::SimReport,
+    signals: &mut BTreeSet<String>,
+    disagreement: &mut Option<Disagreement>,
+) {
+    let disagree = |d: &mut Option<Disagreement>, class: &str, detail: String| {
+        if d.is_none() {
+            *d = Some(Disagreement {
+                class: class.to_string(),
+                detail,
+            });
+        }
+    };
+    ctx.zero_buffers();
+    let n1 = match ctx.run_native() {
+        Err(e) => {
+            disagree(
+                disagreement,
+                "clean-native-refused",
+                format!("checker passed but native failed: {e:?}"),
+            );
+            ctx.zero_buffers();
+            return;
+        }
+        Ok(r) => r,
+    };
+    let bits1 = ctx_bits(ctx);
+    if let (Some(nm), Some(sm)) = (&n1.metrics, &sim.metrics) {
+        let mut ns = nm.series_names();
+        let mut ss = sm.series_names();
+        ns.sort();
+        ns.dedup();
+        ss.sort();
+        ss.dedup();
+        if nm.instrument_names() != sm.instrument_names() || ns != ss {
+            disagree(
+                disagreement,
+                "metrics-parity",
+                format!(
+                    "instrument/series catalogs diverge: native {}x{}, sim {}x{}",
+                    nm.instrument_names().len(),
+                    ns.len(),
+                    sm.instrument_names().len(),
+                    ss.len()
+                ),
+            );
+        }
+    }
+    ctx.zero_buffers();
+    match ctx.run_native() {
+        Err(e) => disagree(
+            disagreement,
+            "native-nondeterminism",
+            format!("second native run failed: {e:?}"),
+        ),
+        Ok(_) => {
+            let bits2 = ctx_bits(ctx);
+            if bits1 != bits2 {
+                disagree(
+                    disagreement,
+                    "native-nondeterminism",
+                    format!(
+                        "repeat native runs differ in buffers {:?} (scheduler {})",
+                        diff_bufs(&bits1, &bits2),
+                        spec.scheduler.label()
+                    ),
+                );
+            } else {
+                match RefExec::run_fifo(program, &buf_lens()) {
+                    Err(stuck) => disagree(
+                        disagreement,
+                        "clean-ref-wedged",
+                        format!(
+                            "checker passed but reference interpretation wedged: {:?}",
+                            stuck.frontier
+                        ),
+                    ),
+                    Ok(reference) => {
+                        let rbits = ref_bits(&reference);
+                        if rbits != bits2 {
+                            disagree(
+                                disagreement,
+                                "native-ref-divergence",
+                                format!(
+                                    "native and reference states differ in buffers {:?}",
+                                    diff_bufs(&rbits, &bits2)
+                                ),
+                            );
+                        } else {
+                            signals.insert("diff:native-ref-agree".to_string());
+                        }
+                    }
+                }
+            }
+        }
+    }
+    ctx.zero_buffers();
+}
+
+type BufBits = Vec<(Vec<u32>, Vec<u32>)>;
+
+/// Bit-exact `(host, device)` contents of every palette buffer. Lazy
+/// (never-materialized) storage normalizes to zeros of the palette
+/// length, matching the runtime's read semantics.
+fn ctx_bits(ctx: &Context) -> BufBits {
+    (0..N_BUFS)
+        .map(|i| {
+            let b = ctx.buffer(BufId(i)).expect("palette buffer exists");
+            let norm = |v: &[f32]| -> Vec<u32> {
+                if v.is_empty() {
+                    vec![0f32.to_bits(); buf_len(i)]
+                } else {
+                    v.iter().map(|x| x.to_bits()).collect()
+                }
+            };
+            let host = norm(b.host.read().as_slice());
+            let dev = norm(b.device.read().as_slice());
+            (host, dev)
+        })
+        .collect()
+}
+
+fn ref_bits(r: &RefExec) -> BufBits {
+    (0..N_BUFS)
+        .map(|i| {
+            (
+                r.host[i].iter().map(|x| x.to_bits()).collect(),
+                r.device[0][i].iter().map(|x| x.to_bits()).collect(),
+            )
+        })
+        .collect()
+}
+
+fn diff_bufs(a: &BufBits, b: &BufBits) -> Vec<usize> {
+    a.iter()
+        .zip(b.iter())
+        .enumerate()
+        .filter(|(_, (x, y))| x != y)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::genome::{FaultSite, FaultSpec, Gene};
+    use hstreams::sched::SchedulerKind;
+
+    fn two_lane_synced() -> ProgramSpec {
+        let mut s = ProgramSpec {
+            partitions: 2,
+            placements: vec![0, 1],
+            lanes: vec![
+                vec![
+                    Gene::H2D(0),
+                    Gene::Kernel {
+                        reads: vec![0],
+                        writes: vec![1],
+                        work: 3,
+                        host: false,
+                    },
+                    Gene::Record(0),
+                ],
+                vec![Gene::Wait(0), Gene::D2H(1)],
+            ],
+            scheduler: SchedulerKind::Fifo,
+            fault: None,
+        };
+        s.repair();
+        s
+    }
+
+    #[test]
+    fn clean_case_upholds_the_full_contract() {
+        let mut h = Harness::new();
+        let out = h.run_case(&two_lane_synced(), true);
+        assert!(!out.rejected, "synced two-lane genome is clean");
+        assert!(
+            out.disagreement.is_none(),
+            "contract must hold: {:?}",
+            out.disagreement
+        );
+        assert!(out.signals.contains("check:clean"));
+        assert!(out.signals.contains("diff:native-ref-agree"));
+    }
+
+    #[test]
+    fn racy_case_is_rejected_with_an_observable_witness() {
+        let mut s = two_lane_synced();
+        // Remove the wait: the d2h now races the producer's kernel write.
+        s.lanes[1].remove(0);
+        s.repair();
+        let mut h = Harness::new();
+        let out = h.run_case(&s, true);
+        assert!(out.rejected, "dropped wait must be rejected");
+        assert!(
+            out.disagreement.is_none(),
+            "refusal is contract-conforming: {:?}",
+            out.disagreement
+        );
+        assert!(out.signals.contains("reject:sim"));
+        assert!(out.signals.contains("reject:native"));
+    }
+
+    #[test]
+    fn deadlock_case_witnesses_a_wedge() {
+        let mut s = ProgramSpec {
+            partitions: 2,
+            placements: vec![0, 1],
+            lanes: vec![
+                vec![Gene::Wait(1), Gene::Record(0)],
+                vec![Gene::Wait(0), Gene::Record(1)],
+            ],
+            scheduler: SchedulerKind::Fifo,
+            fault: None,
+        };
+        s.repair();
+        let mut h = Harness::new();
+        let out = h.run_case(&s, true);
+        assert!(out.rejected);
+        assert!(out.disagreement.is_none(), "{:?}", out.disagreement);
+        assert!(out.signals.contains("witness:deadlock-wedged"));
+    }
+
+    #[test]
+    fn forced_transfer_fault_agrees_across_executors() {
+        for attempts in [1u32, 6] {
+            let mut s = two_lane_synced();
+            s.fault = Some(FaultSpec {
+                seed: 11,
+                attempts,
+                site: FaultSite::Transfer { lane: 0, index: 0 },
+            });
+            s.repair();
+            let mut h = Harness::new();
+            let out = h.run_case(&s, true);
+            assert!(
+                out.disagreement.is_none(),
+                "attempts={attempts}: {:?}",
+                out.disagreement
+            );
+            let has_fault_signal = out.signals.iter().any(|x| x.starts_with("fault:"));
+            assert!(
+                has_fault_signal,
+                "fault family must light up: {:?}",
+                out.signals
+            );
+        }
+    }
+
+    #[test]
+    fn scheduler_variants_keep_the_clean_contract() {
+        for kind in SchedulerKind::all() {
+            let mut s = two_lane_synced();
+            s.scheduler = kind;
+            let mut h = Harness::new();
+            let out = h.run_case(&s, true);
+            assert!(
+                out.disagreement.is_none(),
+                "{}: {:?}",
+                kind.label(),
+                out.disagreement
+            );
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! # stream-fuzz — coverage-guided differential fuzzing of the runtime
+//!
+//! The workspace carries three independent opinions about every recorded
+//! [`Program`](hstreams::program::Program):
+//!
+//! 1. the **static checker** ([`hstreams::check`]) claims the program is
+//!    clean, or names a hazard (race, deadlock, dangling reference);
+//! 2. the **simulator** ([`hstreams::executor::sim`]) prices it on the
+//!    calibrated platform model and exports a deterministic metric
+//!    snapshot;
+//! 3. the **native executor** ([`hstreams::executor::native`]) really runs
+//!    it on partitioned thread pools.
+//!
+//! This crate grinds the three against each other. A deterministic
+//! mutator ([`mutate()`]) perturbs program *genomes* ([`genome`]) — adding,
+//! removing and moving waits and record-event edges, re-homing streams,
+//! splitting tiles, swapping scheduler kinds, splicing fault plans — and a
+//! corpus keeps every input that lights up a **novel coverage signal**
+//! ([`signals`]): a new checker diagnostic class at a new site, a new
+//! overlap shape, a new metrics-catalog delta, a new fault-counter or
+//! steal pattern. Retained inputs run through the **differential
+//! harness** ([`harness`]), which enforces the three-oracle contract:
+//!
+//! * **clean** programs must execute on both executors, bit-identically
+//!   across repeated native runs, agreeing with the sequential reference
+//!   interpreter ([`hstreams::testutil::RefExec`]), with parity-equal
+//!   metric catalogs;
+//! * **rejected** programs must be refused by both executors, and the
+//!   checker's claim must be *demonstrable*: its
+//!   [witness](hstreams::check::HazardWitness) schedule wedges (deadlock)
+//!   or diverges (race) when replayed.
+//!
+//! Disagreements are shrunk ([`shrink()`]) to minimal reproducers and
+//! surfaced as [`fuzzer::Finding`]s for committal as regression tests.
+//!
+//! Everything is deterministic end to end: seeds live in the corpus
+//! entries, no wall clock or global RNG is consulted, and the same seed
+//! plus the same seed corpus reproduce the same corpus evolution
+//! byte-for-byte ([`fuzzer::Fuzzer::evolution_hash`]).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod fuzzer;
+pub mod genome;
+pub mod harness;
+pub mod mutate;
+pub mod shrink;
+pub mod signals;
+
+pub use fuzzer::{CorpusEntry, Finding, Fuzzer, FuzzerConfig};
+pub use genome::{buf_len, buf_lens, FaultSite, FaultSpec, Gene, ProgramSpec, N_BUFS};
+pub use harness::{CaseOutcome, Disagreement, Harness};
+pub use mutate::{mutate, Rng, OPS};
+pub use shrink::shrink;

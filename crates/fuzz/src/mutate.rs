@@ -1,0 +1,501 @@
+//! Deterministic genome mutations.
+//!
+//! [`mutate`] applies one randomly chosen operator from [`OPS`] and then
+//! [`ProgramSpec::repair`]s the result, so every child is structurally
+//! valid. All randomness flows from the caller's seed through the
+//! splitmix64-based [`Rng`] — no global state, no wall clock — which is
+//! what makes corpus evolution reproducible from the corpus entries
+//! alone.
+//!
+//! Operators cover the mutation surface the differential harness cares
+//! about: synchronization edges (waits, record-events, barriers), stream
+//! placement, tile shape (split/add/drop), buffer conflict structure,
+//! scheduler kind, and fault-plan splicing. Each operator degrades to a
+//! no-op when the genome lacks the material it needs (e.g. dropping a
+//! wait from a wait-free genome), so the operator table needs no
+//! precondition bookkeeping.
+
+use hstreams::sched::SchedulerKind;
+use hstreams::testutil::splitmix64;
+
+use crate::genome::{FaultSite, FaultSpec, Gene, ProgramSpec, MAX_PARTITIONS, N_BUFS};
+
+/// Tiny deterministic generator: iterates the splitmix64 finalizer.
+#[derive(Clone, Debug)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// Start a stream at `seed`.
+    pub fn new(seed: u64) -> Rng {
+        Rng {
+            state: splitmix64(seed),
+        }
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = splitmix64(self.state);
+        self.state
+    }
+
+    /// Uniform draw in `0..n` (0 when `n == 0`).
+    pub fn below(&mut self, n: usize) -> usize {
+        if n == 0 {
+            0
+        } else {
+            (self.next_u64() % n as u64) as usize
+        }
+    }
+}
+
+/// A mutation operator: name plus transformation. The name is recorded on
+/// corpus entries and findings so lineages read like a changelog.
+pub type Op = (&'static str, fn(&mut ProgramSpec, &mut Rng));
+
+/// The operator table. Order matters for determinism — appending is safe,
+/// reordering changes every historical corpus evolution.
+pub const OPS: &[Op] = &[
+    ("add-wait", add_wait),
+    ("drop-wait", drop_wait),
+    ("move-wait", move_wait),
+    ("add-event", add_event),
+    ("drop-event", drop_event),
+    ("move-record", move_record),
+    ("reassign-placement", reassign_placement),
+    ("resize-partitions", resize_partitions),
+    ("retarget-buffer", retarget_buffer),
+    ("add-tile", add_tile),
+    ("split-tile", split_tile),
+    ("drop-gene", drop_gene),
+    ("swap-dir", swap_dir),
+    ("toggle-host", toggle_host),
+    ("swap-scheduler", swap_scheduler),
+    ("splice-fault", splice_fault),
+    ("add-barrier", add_barrier),
+    ("drop-barrier", drop_barrier),
+    ("add-lane", add_lane),
+    ("drop-lane", drop_lane),
+];
+
+/// Apply one operator chosen by `seed` and repair the child. Returns the
+/// mutated genome and the operator's name.
+pub fn mutate(spec: &ProgramSpec, seed: u64) -> (ProgramSpec, &'static str) {
+    let mut rng = Rng::new(seed);
+    let mut out = spec.clone();
+    let (name, op) = OPS[rng.below(OPS.len())];
+    op(&mut out, &mut rng);
+    out.repair();
+    (out, name)
+}
+
+// ---------------------------------------------------------------------------
+// Position helpers
+// ---------------------------------------------------------------------------
+
+fn positions(spec: &ProgramSpec, pred: fn(&Gene) -> bool) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    for (li, lane) in spec.lanes.iter().enumerate() {
+        for (gi, g) in lane.iter().enumerate() {
+            if pred(g) {
+                out.push((li, gi));
+            }
+        }
+    }
+    out
+}
+
+fn record_lane(spec: &ProgramSpec, event: usize) -> Option<usize> {
+    spec.lanes.iter().position(|l| {
+        l.iter()
+            .any(|g| matches!(g, Gene::Record(e) if *e == event))
+    })
+}
+
+fn insert_at(lane: &mut Vec<Gene>, rng: &mut Rng, g: Gene) {
+    let pos = rng.below(lane.len() + 1);
+    lane.insert(pos, g);
+}
+
+// ---------------------------------------------------------------------------
+// Synchronization edges
+// ---------------------------------------------------------------------------
+
+fn add_wait(spec: &mut ProgramSpec, rng: &mut Rng) {
+    let events = spec.event_count();
+    if events == 0 || spec.lanes.len() < 2 {
+        return;
+    }
+    let e = rng.below(events);
+    let Some(rl) = record_lane(spec, e) else {
+        return;
+    };
+    let others: Vec<usize> = (0..spec.lanes.len()).filter(|&l| l != rl).collect();
+    let li = others[rng.below(others.len())];
+    insert_at(&mut spec.lanes[li], rng, Gene::Wait(e));
+}
+
+fn drop_wait(spec: &mut ProgramSpec, rng: &mut Rng) {
+    let waits = positions(spec, |g| matches!(g, Gene::Wait(_)));
+    if waits.is_empty() {
+        return;
+    }
+    let (li, gi) = waits[rng.below(waits.len())];
+    spec.lanes[li].remove(gi);
+}
+
+fn move_wait(spec: &mut ProgramSpec, rng: &mut Rng) {
+    let waits = positions(spec, |g| matches!(g, Gene::Wait(_)));
+    if waits.is_empty() {
+        return;
+    }
+    let (li, gi) = waits[rng.below(waits.len())];
+    let g = spec.lanes[li].remove(gi);
+    let Gene::Wait(e) = g else { unreachable!() };
+    let rl = record_lane(spec, e);
+    let candidates: Vec<usize> = (0..spec.lanes.len()).filter(|&l| Some(l) != rl).collect();
+    if candidates.is_empty() {
+        return;
+    }
+    let li = candidates[rng.below(candidates.len())];
+    insert_at(&mut spec.lanes[li], rng, Gene::Wait(e));
+}
+
+fn add_event(spec: &mut ProgramSpec, rng: &mut Rng) {
+    if spec.lanes.len() < 2 {
+        return;
+    }
+    let e = spec.event_count();
+    let a = rng.below(spec.lanes.len());
+    insert_at(&mut spec.lanes[a], rng, Gene::Record(e));
+    let others: Vec<usize> = (0..spec.lanes.len()).filter(|&l| l != a).collect();
+    let b = others[rng.below(others.len())];
+    insert_at(&mut spec.lanes[b], rng, Gene::Wait(e));
+}
+
+fn drop_event(spec: &mut ProgramSpec, rng: &mut Rng) {
+    let records = positions(spec, |g| matches!(g, Gene::Record(_)));
+    if records.is_empty() {
+        return;
+    }
+    let (li, gi) = records[rng.below(records.len())];
+    // Repair cascades: orphaned waits drop, ids renumber densely.
+    spec.lanes[li].remove(gi);
+}
+
+fn move_record(spec: &mut ProgramSpec, rng: &mut Rng) {
+    let records = positions(spec, |g| matches!(g, Gene::Record(_)));
+    if records.is_empty() {
+        return;
+    }
+    let (li, gi) = records[rng.below(records.len())];
+    let g = spec.lanes[li].remove(gi);
+    insert_at(&mut spec.lanes[li], rng, g);
+}
+
+fn add_barrier(spec: &mut ProgramSpec, rng: &mut Rng) {
+    for li in 0..spec.lanes.len() {
+        insert_at(&mut spec.lanes[li], rng, Gene::Barrier);
+    }
+}
+
+fn drop_barrier(spec: &mut ProgramSpec, rng: &mut Rng) {
+    let n = spec.barrier_count();
+    if n == 0 {
+        return;
+    }
+    let pick = rng.below(n);
+    for lane in &mut spec.lanes {
+        let mut seen = 0usize;
+        let mut at = None;
+        for (gi, g) in lane.iter().enumerate() {
+            if matches!(g, Gene::Barrier) {
+                if seen == pick {
+                    at = Some(gi);
+                    break;
+                }
+                seen += 1;
+            }
+        }
+        if let Some(gi) = at {
+            lane.remove(gi);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Placement and geometry
+// ---------------------------------------------------------------------------
+
+fn reassign_placement(spec: &mut ProgramSpec, rng: &mut Rng) {
+    if spec.placements.is_empty() {
+        return;
+    }
+    let li = rng.below(spec.placements.len());
+    spec.placements[li] = rng.below(spec.partitions.max(1));
+}
+
+fn resize_partitions(spec: &mut ProgramSpec, rng: &mut Rng) {
+    spec.partitions = 1 + rng.below(MAX_PARTITIONS);
+}
+
+fn add_lane(spec: &mut ProgramSpec, rng: &mut Rng) {
+    spec.lanes.push(Vec::new());
+    spec.placements.push(rng.below(spec.partitions.max(1)));
+    // Give the new lane something to do: a private tile.
+    let b = rng.below(N_BUFS);
+    let w = (b + 1 + rng.below(N_BUFS - 1)) % N_BUFS;
+    let lane = spec.lanes.last_mut().expect("just pushed");
+    lane.push(Gene::H2D(b));
+    lane.push(Gene::Kernel {
+        reads: vec![b],
+        writes: vec![w],
+        work: 1 + rng.below(8) as u32,
+        host: false,
+    });
+    lane.push(Gene::D2H(w));
+}
+
+fn drop_lane(spec: &mut ProgramSpec, rng: &mut Rng) {
+    if spec.lanes.len() < 2 {
+        return;
+    }
+    let li = rng.below(spec.lanes.len());
+    spec.lanes.remove(li);
+    spec.placements.remove(li);
+}
+
+// ---------------------------------------------------------------------------
+// Tiles and buffers
+// ---------------------------------------------------------------------------
+
+fn retarget_buffer(spec: &mut ProgramSpec, rng: &mut Rng) {
+    let mut refs = Vec::new();
+    for (li, lane) in spec.lanes.iter().enumerate() {
+        for (gi, g) in lane.iter().enumerate() {
+            match g {
+                Gene::H2D(_) | Gene::D2H(_) => refs.push((li, gi, 0usize)),
+                Gene::Kernel { reads, writes, .. } => {
+                    for slot in 0..reads.len() + writes.len() {
+                        refs.push((li, gi, slot));
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    if refs.is_empty() {
+        return;
+    }
+    let (li, gi, slot) = refs[rng.below(refs.len())];
+    let nb = rng.below(N_BUFS);
+    match &mut spec.lanes[li][gi] {
+        Gene::H2D(b) | Gene::D2H(b) => *b = nb,
+        Gene::Kernel { reads, writes, .. } => {
+            if slot < reads.len() {
+                reads[slot] = nb;
+            } else {
+                writes[slot - reads.len()] = nb;
+            }
+        }
+        _ => unreachable!(),
+    }
+}
+
+fn add_tile(spec: &mut ProgramSpec, rng: &mut Rng) {
+    if spec.lanes.is_empty() {
+        return;
+    }
+    let li = rng.below(spec.lanes.len());
+    let a = rng.below(N_BUFS);
+    let b = (a + 1 + rng.below(N_BUFS - 1)) % N_BUFS;
+    let pos = rng.below(spec.lanes[li].len() + 1);
+    let work = 1 + rng.below(8) as u32;
+    spec.lanes[li].splice(
+        pos..pos,
+        [
+            Gene::H2D(a),
+            Gene::Kernel {
+                reads: vec![a],
+                writes: vec![b],
+                work,
+                host: false,
+            },
+            Gene::D2H(b),
+        ],
+    );
+}
+
+fn split_tile(spec: &mut ProgramSpec, rng: &mut Rng) {
+    let kernels = positions(
+        spec,
+        |g| matches!(g, Gene::Kernel { work, .. } if *work >= 2),
+    );
+    if kernels.is_empty() {
+        return;
+    }
+    let (li, gi) = kernels[rng.below(kernels.len())];
+    let Gene::Kernel { work, .. } = &mut spec.lanes[li][gi] else {
+        unreachable!()
+    };
+    let half = *work / 2;
+    *work -= half;
+    let mut twin = spec.lanes[li][gi].clone();
+    if let Gene::Kernel { work, .. } = &mut twin {
+        *work = half.max(1);
+    }
+    spec.lanes[li].insert(gi + 1, twin);
+}
+
+fn drop_gene(spec: &mut ProgramSpec, rng: &mut Rng) {
+    // Records are dropped by `drop-event`, barriers by `drop-barrier`
+    // (keeping counts uniform); everything else is fair game here.
+    let others = positions(spec, |g| !matches!(g, Gene::Record(_) | Gene::Barrier));
+    if others.is_empty() {
+        return;
+    }
+    let (li, gi) = others[rng.below(others.len())];
+    spec.lanes[li].remove(gi);
+}
+
+fn swap_dir(spec: &mut ProgramSpec, rng: &mut Rng) {
+    let transfers = positions(spec, |g| matches!(g, Gene::H2D(_) | Gene::D2H(_)));
+    if transfers.is_empty() {
+        return;
+    }
+    let (li, gi) = transfers[rng.below(transfers.len())];
+    spec.lanes[li][gi] = match spec.lanes[li][gi] {
+        Gene::H2D(b) => Gene::D2H(b),
+        Gene::D2H(b) => Gene::H2D(b),
+        _ => unreachable!(),
+    };
+}
+
+fn toggle_host(spec: &mut ProgramSpec, rng: &mut Rng) {
+    let kernels = positions(spec, |g| matches!(g, Gene::Kernel { .. }));
+    if kernels.is_empty() {
+        return;
+    }
+    let (li, gi) = kernels[rng.below(kernels.len())];
+    if let Gene::Kernel { host, .. } = &mut spec.lanes[li][gi] {
+        *host = !*host;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler and faults
+// ---------------------------------------------------------------------------
+
+fn swap_scheduler(spec: &mut ProgramSpec, rng: &mut Rng) {
+    let all = SchedulerKind::all();
+    let others: Vec<SchedulerKind> = all
+        .iter()
+        .copied()
+        .filter(|&k| k != spec.scheduler)
+        .collect();
+    spec.scheduler = others[rng.below(others.len())];
+}
+
+fn splice_fault(spec: &mut ProgramSpec, rng: &mut Rng) {
+    if rng.below(4) == 0 {
+        spec.fault = None;
+        return;
+    }
+    let transfers = positions(spec, |g| matches!(g, Gene::H2D(_) | Gene::D2H(_)));
+    let kernels = positions(spec, |g| matches!(g, Gene::Kernel { host: false, .. }));
+    let mut sites = Vec::new();
+    for &(lane, index) in &transfers {
+        sites.push(FaultSite::Transfer { lane, index });
+    }
+    for &(lane, index) in &kernels {
+        sites.push(FaultSite::KernelPanic { lane, index });
+    }
+    sites.push(FaultSite::Alloc {
+        buf: rng.below(N_BUFS),
+    });
+    let site = sites[rng.below(sites.len())];
+    spec.fault = Some(FaultSpec {
+        seed: rng.next_u64(),
+        attempts: 1 + rng.below(6) as u32,
+        site,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seed_spec() -> ProgramSpec {
+        let mut s = ProgramSpec {
+            partitions: 2,
+            placements: vec![0, 1],
+            lanes: vec![
+                vec![
+                    Gene::H2D(0),
+                    Gene::Kernel {
+                        reads: vec![0],
+                        writes: vec![1],
+                        work: 4,
+                        host: false,
+                    },
+                    Gene::Record(0),
+                ],
+                vec![Gene::Wait(0), Gene::D2H(1)],
+            ],
+            scheduler: SchedulerKind::Fifo,
+            fault: None,
+        };
+        s.repair();
+        s
+    }
+
+    #[test]
+    fn mutation_is_deterministic() {
+        let s = seed_spec();
+        let (a, op_a) = mutate(&s, 42);
+        let (b, op_b) = mutate(&s, 42);
+        assert_eq!(op_a, op_b);
+        assert_eq!(a, b);
+        assert_eq!(a.to_text(), b.to_text());
+    }
+
+    #[test]
+    fn different_seeds_explore_different_ops() {
+        let s = seed_spec();
+        let ops: std::collections::BTreeSet<&str> = (0..200u64).map(|i| mutate(&s, i).1).collect();
+        assert!(
+            ops.len() > OPS.len() / 2,
+            "200 seeds should hit most operators, got {ops:?}"
+        );
+    }
+
+    #[test]
+    fn every_child_is_structurally_valid() {
+        let mut s = seed_spec();
+        for i in 0..500u64 {
+            let (child, op) = mutate(&s, splitmix64(i));
+            child
+                .to_program()
+                .validate()
+                .unwrap_or_else(|e| panic!("op {op} broke validity at step {i}: {e:?}"));
+            s = child;
+        }
+        assert!(s.gene_count() <= crate::genome::MAX_LANES * crate::genome::MAX_GENES_PER_LANE);
+    }
+
+    #[test]
+    fn every_op_applied_directly_keeps_validity() {
+        for (name, op) in OPS {
+            let mut s = seed_spec();
+            for seed in 0..50u64 {
+                let mut rng = Rng::new(seed);
+                op(&mut s, &mut rng);
+                s.repair();
+                s.to_program()
+                    .validate()
+                    .unwrap_or_else(|e| panic!("op {name} seed {seed}: {e:?}"));
+            }
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Greedy disagreement shrinking.
+//!
+//! Given a genome whose case produced a [`Disagreement`](crate::harness::Disagreement), repeatedly try
+//! structure-removing simplifications — drop a gene, drop a lane, drop
+//! the fault plan, reset the scheduler to FIFO — keeping each change only
+//! if the case still disagrees **with the same class**. The result is the
+//! minimal reproducer committed as a regression test.
+//!
+//! Shrinking is deterministic (fixed iteration order, no randomness) and
+//! bounded: at most [`MAX_PASSES`] full passes, each of which must make
+//! progress to continue.
+
+use hstreams::sched::SchedulerKind;
+
+use crate::genome::ProgramSpec;
+use crate::harness::Harness;
+
+/// Maximum simplification passes over the genome.
+pub const MAX_PASSES: usize = 6;
+
+fn still_fails(h: &mut Harness, spec: &ProgramSpec, class: &str, full: bool) -> bool {
+    h.run_case(spec, full)
+        .disagreement
+        .is_some_and(|d| d.class == class)
+}
+
+/// Shrink `spec` while preserving a disagreement of class `class`.
+/// `full` must match the oracle depth that produced the disagreement
+/// (native-side classes need full runs to reproduce).
+pub fn shrink(h: &mut Harness, spec: &ProgramSpec, class: &str, full: bool) -> ProgramSpec {
+    let mut cur = spec.clone();
+    if !still_fails(h, &cur, class, full) {
+        // Not reproducible (e.g. it needed corpus context): return as-is.
+        return cur;
+    }
+    for _ in 0..MAX_PASSES {
+        let mut progressed = false;
+
+        // Drop whole lanes, last first.
+        let mut li = cur.lanes.len();
+        while li > 0 && cur.lanes.len() > 1 {
+            li -= 1;
+            let mut cand = cur.clone();
+            cand.lanes.remove(li);
+            cand.placements.remove(li);
+            cand.repair();
+            if still_fails(h, &cand, class, full) {
+                cur = cand;
+                progressed = true;
+            }
+        }
+
+        // Drop single genes, last lane/position first.
+        for li in (0..cur.lanes.len()).rev() {
+            let mut gi = cur.lanes[li].len();
+            while gi > 0 {
+                gi -= 1;
+                if gi >= cur.lanes[li].len() {
+                    continue;
+                }
+                let mut cand = cur.clone();
+                cand.lanes[li].remove(gi);
+                cand.repair();
+                if still_fails(h, &cand, class, full) {
+                    cur = cand;
+                    progressed = true;
+                }
+            }
+        }
+
+        // Simplify the environment: no fault plan, baseline scheduler.
+        if cur.fault.is_some() {
+            let mut cand = cur.clone();
+            cand.fault = None;
+            if still_fails(h, &cand, class, full) {
+                cur = cand;
+                progressed = true;
+            }
+        }
+        if cur.scheduler != SchedulerKind::Fifo {
+            let mut cand = cur.clone();
+            cand.scheduler = SchedulerKind::Fifo;
+            if still_fails(h, &cand, class, full) {
+                cur = cand;
+                progressed = true;
+            }
+        }
+
+        if !progressed {
+            break;
+        }
+    }
+    cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::genome::Gene;
+
+    /// A genome with a racy pair buried under unrelated tiles: shrinking a
+    /// rejection-class "disagreement" stand-in isn't directly testable
+    /// without a real oracle bug, so instead verify the engine respects
+    /// the no-reproduction guard and determinism on a contract-conforming
+    /// genome.
+    #[test]
+    fn shrink_returns_input_when_nothing_fails() {
+        let mut spec = ProgramSpec::minimal();
+        spec.lanes[0].push(Gene::H2D(2));
+        spec.repair();
+        let mut h = Harness::new();
+        let out = shrink(&mut h, &spec, "native-ref-divergence", false);
+        assert_eq!(out, spec, "conforming genomes shrink to themselves");
+    }
+}

@@ -33,6 +33,10 @@ cargo test -q -p hstreams --test check_suite
 cargo test -q -p hstreams --test proptest_check
 cargo test -q --test static_check_apps
 
+echo "==> differential fuzz smoke (quick: corpus replay + 2 fixed-seed sessions agree)"
+cargo run --release -p mic-bench --bin fuzz_smoke -- --quick
+cargo test -q --test fuzz_regressions
+
 echo "==> snapshot BENCH trajectory (baseline for the advisory compare)"
 BASELINE_DIR="$(mktemp -d)"
 trap 'rm -rf "$BASELINE_DIR"' EXIT

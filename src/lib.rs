@@ -10,6 +10,8 @@
 //! * [`micsim`] — the platform simulator substrate.
 //! * [`apps`] — hBench plus the six applications the paper evaluates.
 //! * [`tune`] — the Sec. V-C search-space pruning heuristics.
+//! * [`fuzz`] — coverage-guided differential fuzzing of the runtime and
+//!   checker (the three-oracle agreement harness).
 //!
 //! See `README.md` for a quickstart, `DESIGN.md` for the system inventory,
 //! and `EXPERIMENTS.md` for the paper-vs-measured record.
@@ -24,3 +26,7 @@ pub use mic_apps as apps;
 
 /// Task- and resource-granularity selection heuristics.
 pub use stream_tune as tune;
+
+/// Coverage-guided differential fuzzing: checker, simulator and native
+/// executor as three oracles that must agree on every program.
+pub use stream_fuzz as fuzz;

@@ -32,3 +32,4 @@ pub mod profiles;
 pub mod srad;
 pub mod tunable;
 pub mod util;
+pub mod workload;

@@ -1,0 +1,168 @@
+//! Tenant workload generators for the serving layer.
+//!
+//! A [`Workload`] is a self-contained recipe a multi-tenant service can
+//! replay: *record me onto a private scratch context of this geometry*.
+//! The service captures the recorded program plus the scratch context's
+//! buffers and relocates them into its shared partition space — so a
+//! workload knows nothing about serving, leases, or other tenants.
+//!
+//! Two families ship here:
+//!
+//! * [`catalog`] wraps the six [`Tunable`](crate::tunable) app builders
+//!   (hbench, MM, CF, NN, kmeans, partition-micro) at small, fast sizes —
+//!   real pipelines with transfers, events and barriers;
+//! * [`synthetic`] builds deterministic mix-kernel pipelines of any lane
+//!   count from a seed — cheap, thread-count-invariant tenants that let a
+//!   benchmark scale to dozens of concurrent clients and inject faults at
+//!   known sites.
+
+use hstreams::context::Context;
+use hstreams::testutil::{mix_kernel, splitmix64};
+use hstreams::types::Result;
+
+use crate::tunable::{
+    Tunable, TunableCf, TunableHbench, TunableKmeans, TunableMm, TunableNn, TunablePartitionMicro,
+};
+
+/// Recording closure of a [`Workload`]: replays the app onto a scratch
+/// context. Stateful (tunables cache their tile buffers), hence `FnMut`.
+pub type RecordFn = Box<dyn FnMut(&mut Context) -> Result<()> + Send>;
+
+/// A recordable tenant workload. See the [module docs](self).
+pub struct Workload {
+    /// Display name, e.g. `"mm"` or `"syn3"`.
+    pub name: String,
+    /// Virtual partitions the scratch context should plan.
+    pub partitions: usize,
+    /// Streams per virtual partition.
+    pub streams_per_partition: usize,
+    /// Record the workload onto a scratch context of that geometry.
+    pub record: RecordFn,
+}
+
+/// Wrap one [`Tunable`] at task count `t` as a workload over `partitions`
+/// virtual partitions (one stream each).
+#[must_use]
+pub fn from_tunable(mut app: Box<dyn Tunable + Send>, t: usize, partitions: usize) -> Workload {
+    let name = app.name().to_string();
+    Workload {
+        name,
+        partitions,
+        streams_per_partition: 1,
+        record: Box::new(move |ctx| app.record(ctx, t)),
+    }
+}
+
+/// The six app builders at small serving sizes: four overlappable
+/// pipelines (hbench, MM, CF, NN) and two barrier-separated ones (kmeans,
+/// partition-micro) — the latter exercise the service's barrier-to-event
+/// lowering. `seed` varies the input fills.
+#[must_use]
+pub fn catalog(seed: u64) -> Vec<Workload> {
+    vec![
+        from_tunable(Box::new(TunableHbench::new(1 << 10, 2, Some(seed))), 4, 2),
+        from_tunable(Box::new(TunableMm::new(24, Some(seed ^ 1))), 4, 2),
+        from_tunable(Box::new(TunableCf::new(24, Some(seed ^ 2))), 4, 2),
+        from_tunable(Box::new(TunableNn::new(256, Some(seed ^ 3))), 4, 2),
+        from_tunable(
+            Box::new(TunableKmeans::new(128, 4, 2, Some(seed ^ 4))),
+            4,
+            2,
+        ),
+        from_tunable(Box::new(TunablePartitionMicro::new(1 << 10, 2)), 4, 2),
+    ]
+}
+
+/// A deterministic synthetic tenant: `lanes` parallel streams (one per
+/// virtual partition), each `h2d → kernel → kernel → d2h` over its own
+/// pair of buffers, with a seed-chosen cross-lane event edge. The kernel
+/// bodies are [`mix_kernel`]s — sequential per output element, so results
+/// are independent of partition thread counts and bit-comparable between
+/// solo and multi-tenant runs.
+#[must_use]
+pub fn synthetic(name: impl Into<String>, seed: u64, lanes: usize) -> Workload {
+    let name = name.into();
+    let lanes = lanes.max(1);
+    let label = name.clone();
+    Workload {
+        name,
+        partitions: lanes,
+        streams_per_partition: 1,
+        record: Box::new(move |ctx| {
+            let elems = 64 + (splitmix64(seed) % 4) as usize * 32;
+            let mut outs = Vec::with_capacity(lanes);
+            for lane in 0..lanes {
+                let a = ctx.alloc(format!("{label}.a{lane}"), elems);
+                let b = ctx.alloc(format!("{label}.b{lane}"), elems);
+                let fill: Vec<f32> = (0..elems)
+                    .map(|i| {
+                        (splitmix64(seed ^ ((lane * elems + i) as u64)) % 1024) as f32 / 1024.0
+                    })
+                    .collect();
+                ctx.write_host(a, &fill)?;
+                let s = ctx.stream(lane % ctx.stream_count())?;
+                ctx.h2d(s, a)?;
+                ctx.kernel(s, mix_kernel(format!("{label}.k{lane}a"), [a], [b], 1e4))?;
+                ctx.kernel(s, mix_kernel(format!("{label}.k{lane}b"), [a], [b], 1e4))?;
+                ctx.d2h(s, b)?;
+                outs.push((s, b));
+            }
+            // One seed-chosen producer/consumer edge between two lanes.
+            if lanes >= 2 {
+                let from = (splitmix64(seed ^ 0xabcd) % lanes as u64) as usize;
+                let to = (from + 1) % lanes;
+                let e = ctx.record_event(outs[from].0)?;
+                ctx.wait_event(outs[to].0, e)?;
+            }
+            Ok(())
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use micsim::PlatformConfig;
+
+    fn scratch(w: &Workload) -> Context {
+        Context::builder(PlatformConfig::phi_31sp())
+            .partitions(w.partitions)
+            .streams_per_partition(w.streams_per_partition)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn catalog_records_clean_programs() {
+        for mut w in catalog(7) {
+            let mut ctx = scratch(&w);
+            (w.record)(&mut ctx).unwrap();
+            ctx.program().validate().unwrap();
+            assert!(
+                ctx.analyze().report.is_clean(),
+                "{} must record clean",
+                w.name
+            );
+            assert!(ctx.program().action_count() > 0, "{} is empty", w.name);
+        }
+    }
+
+    #[test]
+    fn synthetic_is_deterministic_and_rerecordable() {
+        let mut w = synthetic("syn", 42, 3);
+        let mut ctx = scratch(&w);
+        (w.record)(&mut ctx).unwrap();
+        let first = ctx.program().dump();
+        let first_host = ctx.read_host(hstreams::types::BufId(0)).unwrap();
+
+        let mut w2 = synthetic("syn", 42, 3);
+        let mut ctx2 = scratch(&w2);
+        (w2.record)(&mut ctx2).unwrap();
+        assert_eq!(ctx2.program().dump(), first);
+        assert_eq!(
+            ctx2.read_host(hstreams::types::BufId(0)).unwrap(),
+            first_host
+        );
+        ctx.analyze().report.is_clean();
+    }
+}

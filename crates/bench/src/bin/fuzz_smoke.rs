@@ -73,6 +73,10 @@ fn seeded_fuzzer(full_oracles: bool) -> Fuzzer {
         seed: SEED,
         full_oracles,
         shrink_findings: true,
+        // Serve-mode rides the full-oracle tier: retained children are
+        // interleaved with their parents as two service tenants and must
+        // serve bit-identically to solo.
+        serve_oracle: full_oracles,
     });
     f.add_seed("minimal", ProgramSpec::minimal());
     f.add_seed(

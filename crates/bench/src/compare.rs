@@ -261,6 +261,19 @@ pub fn compare_docs(
 
 #[allow(clippy::float_cmp)]
 fn judge(path: &str, was: f64, now: f64, tol: f64) -> Option<(Severity, String)> {
+    if !was.is_finite() || !now.is_finite() {
+        // Every band comparison against NaN (or a band derived from an
+        // infinite baseline) is false, so a non-finite value would slip
+        // through all gates without a verdict. Fail closed instead.
+        let severity = match classify(path) {
+            Gate::Ungated => Severity::Info,
+            Gate::HigherIsWorse { .. } | Gate::LowerIsWorse => Severity::Regression,
+        };
+        return Some((
+            severity,
+            format!("{was} -> {now} (non-finite value; band cannot judge)"),
+        ));
+    }
     match classify(path) {
         Gate::HigherIsWorse { abs_floor } => {
             let ceiling = was * (1.0 + tol) + abs_floor;

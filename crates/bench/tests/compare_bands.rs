@@ -1,0 +1,83 @@
+//! Regression: noise bands must stay meaningful at the edges of f64.
+//!
+//! A zero-valued baseline (e.g. a `steals` counter that never fired) used
+//! to be the classic divide-by-baseline trap; the multiplicative bands
+//! avoid the division, and these tests pin the exact-zero semantics.
+//! Non-finite values are nastier: every comparison against NaN is false,
+//! so a NaN baseline or current silently swallowed real regressions.
+//! `judge` now fails closed with a deterministic finding. The JSON parser
+//! rejects non-finite literals, so the documents are built in memory.
+
+use mic_bench::compare::{compare_docs, CompareOptions, Severity};
+use mic_bench::json::Json;
+use mic_bench::schema::BENCH_SCHEMA_VERSION;
+
+/// A minimal schema-v1 document with one numeric leaf `key` = `value`,
+/// built without the parser so the value may be non-finite.
+fn doc(key: &str, value: f64) -> Json {
+    Json::Obj(vec![
+        (
+            "schema_version".to_string(),
+            #[allow(clippy::cast_precision_loss)]
+            Json::Num(BENCH_SCHEMA_VERSION as f64),
+        ),
+        ("bench".to_string(), Json::Str("bands".to_string())),
+        ("mode".to_string(), Json::Str("full".to_string())),
+        (key.to_string(), Json::Num(value)),
+    ])
+}
+
+fn findings(key: &str, was: f64, now: f64) -> Vec<(Severity, String)> {
+    compare_docs(&doc(key, was), &doc(key, now), CompareOptions::default())
+        .unwrap()
+        .into_iter()
+        .filter(|f| f.path.contains(key))
+        .map(|f| (f.severity, f.detail))
+        .collect()
+}
+
+#[test]
+fn zero_baseline_zero_current_is_clean() {
+    assert!(findings("steal_overhead", 0.0, 0.0).is_empty());
+    assert!(findings("wait_us", 0.0, 0.0).is_empty());
+}
+
+#[test]
+fn zero_baseline_growth_is_judged_by_the_absolute_floor_alone() {
+    // ceiling = 0 * (1 + tol) + abs_floor, so the `_us` floor of 0.5 is
+    // the whole band: 0.4 passes, 0.6 regresses. No NaN, no ∞-verdict.
+    assert!(findings("wait_us", 0.0, 0.4).is_empty());
+    let out = findings("wait_us", 0.0, 0.6);
+    assert_eq!(out.len(), 1, "{out:?}");
+    assert_eq!(out[0].0, Severity::Regression);
+    assert!(out[0].1.contains("band allows up to 0.5"), "{}", out[0].1);
+}
+
+#[test]
+fn nan_baseline_fails_closed_instead_of_swallowing_regressions() {
+    for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+        let out = findings("launch_overhead", bad, 12.0);
+        assert_eq!(out.len(), 1, "baseline {bad} must produce a finding");
+        assert_eq!(out[0].0, Severity::Regression);
+        assert!(out[0].1.contains("non-finite"), "{}", out[0].1);
+    }
+}
+
+#[test]
+fn nan_current_fails_closed_on_gated_paths() {
+    let out = findings("total_seconds", 1.0, f64::NAN);
+    assert_eq!(out.len(), 1);
+    assert_eq!(out[0].0, Severity::Regression);
+
+    let out = findings("best_speedup", 2.0, f64::INFINITY);
+    assert_eq!(out.len(), 1);
+    assert_eq!(out[0].0, Severity::Regression);
+}
+
+#[test]
+fn non_finite_on_ungated_paths_is_informational() {
+    let out = findings("tenants", f64::NAN, 8.0);
+    assert_eq!(out.len(), 1);
+    assert_eq!(out[0].0, Severity::Info);
+    assert!(out[0].1.contains("non-finite"), "{}", out[0].1);
+}

@@ -135,7 +135,7 @@ impl ContextBuilder {
             buffers: Vec::new(),
             program,
             native_rt: std::sync::OnceLock::new(),
-            run_metrics_cache: parking_lot::Mutex::new(None),
+            run_metrics_cache: parking_lot::Mutex::new(std::collections::HashMap::new()),
             last_native_trace: parking_lot::Mutex::new(None),
             recovery: parking_lot::Mutex::new(None),
             check_mode: self.check_mode,
@@ -180,10 +180,16 @@ pub struct Context {
     /// engines), built lazily on the first persistent native run and torn
     /// down when the context drops.
     native_rt: std::sync::OnceLock<crate::executor::native::NativeRuntime>,
-    /// Registry + instrument bundle reused across metered native runs:
-    /// registration costs microseconds, resetting costs relaxed stores, and
-    /// launch-overhead runs are themselves only microseconds long.
-    run_metrics_cache: parking_lot::Mutex<Option<crate::metrics::RunMetrics>>,
+    /// Registry + instrument bundles reused across metered native runs,
+    /// keyed by `(devices, partitions)`: registration costs microseconds,
+    /// resetting costs relaxed stores, and launch-overhead runs are
+    /// themselves only microseconds long. One bundle **per geometry** —
+    /// a single shared registry would keep a larger geometry's stale
+    /// `(device, partition, stream)` series alive in a smaller one's
+    /// catalog (`register` reuses existing cells), so interleaved reuse
+    /// across replans could alias instruments between shapes.
+    run_metrics_cache:
+        parking_lot::Mutex<std::collections::HashMap<(usize, usize), crate::metrics::RunMetrics>>,
     /// The most recent traced native run's timeline, published even when the
     /// run failed partway (see [`Context::take_native_trace`]).
     last_native_trace: parking_lot::Mutex<Option<crate::trace::NativeTrace>>,
@@ -264,7 +270,13 @@ impl Context {
     /// runtime is built, replanning past the capacity simply raises it.
     ///
     /// On error (e.g. more partitions than cores) the context keeps its
-    /// previous geometry.
+    /// previous geometry — including any pending
+    /// [recovery state](Context::take_recovery_state), which stays
+    /// consumable. A **successful** replan discards pending recovery
+    /// state along with the program: its skipped-action coordinates and
+    /// poisoned-partition taint index into the geometry being thrown
+    /// away, so replaying them against the new stream set would replay
+    /// the wrong actions (or panic on out-of-range streams).
     pub fn replan(&mut self, partitions: usize) -> Result<()> {
         if partitions > self.replan_capacity && self.native_rt.get().is_some() {
             return Err(Error::Config(format!(
@@ -289,6 +301,11 @@ impl Context {
         }
         self.partitions = partitions;
         self.program = streams_for(&devices, partitions, self.streams_per_partition);
+        // The taint in a pending RecoveryState is keyed by (stream,
+        // action-index) pairs of the program just discarded; stranding it
+        // would hand a later resilient replay coordinates into the wrong
+        // program. Same reasoning in install_program / reset_program.
+        self.recovery.lock().take();
         Ok(())
     }
 
@@ -497,6 +514,8 @@ impl Context {
             }
         }
         self.program = program;
+        // Pending recovery coordinates referenced the replaced program.
+        self.recovery.lock().take();
         Ok(())
     }
 
@@ -524,6 +543,8 @@ impl Context {
         }
         self.program.events.clear();
         self.program.barriers = 0;
+        // Pending recovery coordinates referenced the cleared actions.
+        self.recovery.lock().take();
     }
 
     // ----- static analysis -------------------------------------------------
@@ -697,20 +718,22 @@ impl Context {
     }
 
     /// A cleared [`RunMetrics`](crate::metrics::RunMetrics) bundle for a
-    /// metered native run: the cached one (reset) when its geometry
-    /// matches, a fresh registration otherwise. Taken, not borrowed — a
-    /// concurrent second run simply builds its own and the last
+    /// metered native run: the cached one for this exact geometry (reset),
+    /// a fresh registration otherwise. Bundles are cached **per geometry**
+    /// so interleaved runs at different partition counts (replan sweeps,
+    /// multi-tenant lease changes) neither thrash re-registration nor
+    /// share a registry whose catalog would alias the shapes. Taken, not
+    /// borrowed — a concurrent second run at the same geometry simply
+    /// builds its own and the last
     /// [`stash_run_metrics`](Context::stash_run_metrics) wins.
     pub(crate) fn take_run_metrics(
         &self,
         devices: usize,
         partitions: usize,
     ) -> crate::metrics::RunMetrics {
-        if let Some(rm) = self.run_metrics_cache.lock().take() {
-            if rm.devices == devices && rm.partitions == partitions {
-                rm.reset();
-                return rm;
-            }
+        if let Some(rm) = self.run_metrics_cache.lock().remove(&(devices, partitions)) {
+            rm.reset();
+            return rm;
         }
         crate::metrics::RunMetrics::new(devices, partitions)
     }
@@ -718,7 +741,9 @@ impl Context {
     /// Return a [`RunMetrics`](crate::metrics::RunMetrics) bundle to the
     /// cache after its snapshot has been taken.
     pub(crate) fn stash_run_metrics(&self, rm: crate::metrics::RunMetrics) {
-        *self.run_metrics_cache.lock() = Some(rm);
+        self.run_metrics_cache
+            .lock()
+            .insert((rm.devices, rm.partitions), rm);
     }
 
     /// Number of persistent threads owned by this context's native runtime
@@ -1072,6 +1097,26 @@ mod tests {
         assert!(matches!(c.install_program(too_wide), Err(Error::Config(_))));
         // The rejected installs left the good program in place.
         assert_eq!(c.program().action_count(), 1);
+    }
+
+    #[test]
+    fn run_metrics_cache_keeps_one_bundle_per_geometry() {
+        let c = ctx(2, 1);
+        let rm2 = c.take_run_metrics(1, 2);
+        let rm4 = c.take_run_metrics(1, 4);
+        let probe = rm2.instruments.actions_executed.clone();
+        c.stash_run_metrics(rm2);
+        c.stash_run_metrics(rm4);
+        // Taking the (1, 2) bundle back hands out the same cells — the
+        // stale handle observes the increment — so alternating geometries
+        // no longer discard each other's registrations.
+        let rm2b = c.take_run_metrics(1, 2);
+        probe.inc();
+        assert_eq!(rm2b.instruments.actions_executed.get(), 1);
+        // The (1, 4) bundle survived alongside it.
+        let rm4b = c.take_run_metrics(1, 4);
+        assert_eq!((rm4b.devices, rm4b.partitions), (1, 4));
+        assert_eq!(rm4b.instruments.actions_executed.get(), 0);
     }
 
     #[test]

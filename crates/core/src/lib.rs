@@ -66,6 +66,7 @@ pub mod context;
 pub mod executor;
 pub mod fault;
 pub mod kernel;
+pub mod lease;
 pub mod metrics;
 pub mod parallel;
 pub mod place;
@@ -88,6 +89,7 @@ pub use executor::native::{NativeConfig, NativeReport};
 pub use executor::sim::SimReport;
 pub use fault::{FaultCounters, FaultPlan, RecoveryState, ResilientReport, RetryPolicy};
 pub use kernel::{KernelCtx, KernelDesc, KernelFn};
+pub use lease::{Lease, LeaseTable, TenantId};
 pub use metrics::{HistogramSnapshot, MetricsRegistry, MetricsSnapshot, RunInstruments};
 pub use place::ResourceView;
 pub use plan::{enqueue_tiles, FlowMode, TileTask};

@@ -36,6 +36,9 @@ fn labels_json(l: Labels) -> String {
     if let Some(s) = l.stream {
         parts.push(format!("\"stream\":{s}"));
     }
+    if let Some(t) = l.tenant {
+        parts.push(format!("\"tenant\":{t}"));
+    }
     format!("{{{}}}", parts.join(","))
 }
 

@@ -86,7 +86,9 @@ impl Kind {
 
 /// Dimension labels attached to a time series. All optional; `None`
 /// means the dimension does not apply (e.g. host-side work has no
-/// device). Ordering is derived so snapshots sort deterministically.
+/// device). Ordering is derived so snapshots sort deterministically;
+/// `tenant` sorts last, so adding the dimension did not reorder any
+/// pre-existing (tenant-free) catalog.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
 pub struct Labels {
     /// Device ordinal (0-based); `None` for host-side series.
@@ -95,6 +97,9 @@ pub struct Labels {
     pub partition: Option<u16>,
     /// Logical stream id.
     pub stream: Option<u16>,
+    /// Serving tenant (see the `stream-serve` crate); `None` outside
+    /// multi-tenant contexts, which keeps single-run catalogs unchanged.
+    pub tenant: Option<u16>,
 }
 
 impl Labels {
@@ -103,6 +108,7 @@ impl Labels {
         device: None,
         partition: None,
         stream: None,
+        tenant: None,
     };
 
     /// Series keyed by device only.
@@ -120,7 +126,7 @@ impl Labels {
         Labels {
             device: Some(device),
             partition: Some(partition),
-            stream: None,
+            ..Labels::GLOBAL
         }
     }
 
@@ -129,9 +135,26 @@ impl Labels {
     pub fn stream(device: u16, stream: u16) -> Labels {
         Labels {
             device: Some(device),
-            partition: None,
             stream: Some(stream),
+            ..Labels::GLOBAL
         }
+    }
+
+    /// Series keyed by tenant only (service-level instruments).
+    #[must_use]
+    pub fn tenant(tenant: u16) -> Labels {
+        Labels {
+            tenant: Some(tenant),
+            ..Labels::GLOBAL
+        }
+    }
+
+    /// This labelling with the tenant dimension set — how the serving
+    /// layer scopes any per-run series to the tenant that owns it.
+    #[must_use]
+    pub fn for_tenant(mut self, tenant: u16) -> Labels {
+        self.tenant = Some(tenant);
+        self
     }
 
     /// True when every dimension is `None`.
@@ -156,6 +179,9 @@ impl fmt::Display for Labels {
         }
         if let Some(s) = self.stream {
             parts.push(format!("stream=\"{s}\""));
+        }
+        if let Some(t) = self.tenant {
+            parts.push(format!("tenant=\"{t}\""));
         }
         write!(f, "{{{}}}", parts.join(","))
     }
@@ -560,6 +586,27 @@ mod tests {
         assert_eq!(
             Labels::stream(1, 7).to_string(),
             "{device=\"1\",stream=\"7\"}"
+        );
+        assert_eq!(Labels::tenant(4).to_string(), "{tenant=\"4\"}");
+        assert_eq!(
+            Labels::partition(0, 3).for_tenant(2).to_string(),
+            "{device=\"0\",partition=\"3\",tenant=\"2\"}"
+        );
+    }
+
+    #[test]
+    fn tenant_dimension_sorts_after_tenant_free_series() {
+        let reg = MetricsRegistry::new();
+        let _ = reg.counter("n", Unit::Count, Labels::partition(0, 1).for_tenant(0));
+        let _ = reg.counter("n", Unit::Count, Labels::partition(0, 1));
+        let names = reg.snapshot().series_names();
+        assert_eq!(
+            names,
+            vec![
+                "n{device=\"0\",partition=\"1\"}".to_string(),
+                "n{device=\"0\",partition=\"1\",tenant=\"0\"}".to_string(),
+            ],
+            "a tenant-free series must keep its pre-tenant sort position"
         );
     }
 }

@@ -195,6 +195,66 @@ fn resilient_run_gives_up_when_every_partition_dies() {
     assert!(matches!(err, Error::PartitionLost { .. }), "{err}");
 }
 
+// ----- replan / recovery interaction ----------------------------------------
+
+/// Leave a pending `RecoveryState` behind by running the two-lane rig
+/// with an isolated kernel panic on lane 0.
+fn poisoned_two_lane() -> Context {
+    let (ctx, _ins, _outs) = two_lane_ctx();
+    let plan = FaultPlan::seeded(3).panic_kernel_at(0, 1);
+    let cfg = NativeConfig {
+        isolate_partitions: true,
+        ..faulted_cfg(plan)
+    };
+    ctx.run_native_with(&cfg).unwrap_err();
+    ctx
+}
+
+#[test]
+fn replan_discards_stale_recovery_state() {
+    // The recovery state's skipped/lost coordinates index the recorded
+    // program; a successful replan throws that program away, so keeping
+    // the state would hand a later resilient replay coordinates into a
+    // freshly rebuilt (empty) stream set.
+    let mut ctx = poisoned_two_lane();
+    ctx.replan(1).unwrap();
+    assert!(
+        ctx.take_recovery_state().is_none(),
+        "replan must not strand poisoned-partition taint"
+    );
+}
+
+#[test]
+fn failed_replan_keeps_recovery_state_consumable() {
+    // A rejected replan keeps the old geometry and program, so the
+    // pending recovery material is still valid — and must survive.
+    let mut ctx = poisoned_two_lane();
+    assert!(ctx.replan(999).is_err());
+    let state = ctx
+        .take_recovery_state()
+        .expect("rejected replan leaves the pending recovery state intact");
+    assert_eq!(state.skipped, vec![(0, 1), (0, 2)]);
+}
+
+#[test]
+fn reset_and_install_discard_stale_recovery_state() {
+    let mut ctx = poisoned_two_lane();
+    ctx.reset_program();
+    assert!(
+        ctx.take_recovery_state().is_none(),
+        "reset_program cleared the actions the state points into"
+    );
+
+    let ctx2 = poisoned_two_lane();
+    let mut ctx2 = ctx2;
+    let replacement = ctx2.program().clone();
+    ctx2.install_program(replacement).unwrap();
+    assert!(
+        ctx2.take_recovery_state().is_none(),
+        "install_program replaced the program the state points into"
+    );
+}
+
 // ----- allocation faults ----------------------------------------------------
 
 #[test]

@@ -40,6 +40,11 @@ pub struct FuzzerConfig {
     pub full_oracles: bool,
     /// Shrink disagreements before recording them.
     pub shrink_findings: bool,
+    /// Serve-mode: additionally interleave each retained child with its
+    /// parent as two tenants of a [`StreamService`](stream_serve) and
+    /// assert isolation ([`crate::serve::serve_case`]). Serve findings
+    /// are recorded unshrunk — the *pair* is the reproducer.
+    pub serve_oracle: bool,
 }
 
 impl Default for FuzzerConfig {
@@ -48,6 +53,7 @@ impl Default for FuzzerConfig {
             seed: 0x5eed_f02d,
             full_oracles: true,
             shrink_findings: true,
+            serve_oracle: false,
         }
     }
 }
@@ -173,6 +179,25 @@ impl Fuzzer {
                 if disagreement.is_none() {
                     disagreement = out.disagreement;
                 }
+                if self.cfg.serve_oracle && disagreement.is_none() {
+                    let serve = crate::serve::serve_case(&child, &self.corpus[parent_idx].spec);
+                    self.execs += 1;
+                    novel.extend(serve.signals.difference(&self.seen).cloned());
+                    if let Some(d) = serve.disagreement {
+                        self.log.push(format!(
+                            "SERVE DISAGREEMENT m{tick}: {} — {}",
+                            d.class, d.detail
+                        ));
+                        // Unshrunk: the (child, parent) pair reproduces it.
+                        self.findings.push(Finding {
+                            class: d.class,
+                            detail: d.detail,
+                            op: op.to_string(),
+                            text: child.to_text(),
+                            spec: child.clone(),
+                        });
+                    }
+                }
                 self.seen.extend(novel.iter().cloned());
                 let id = self.corpus.len();
                 let new_signals: Vec<String> = novel.into_iter().collect();
@@ -288,6 +313,7 @@ mod tests {
             seed: 99,
             full_oracles: false, // keep unit tests fast; integration covers full
             shrink_findings: true,
+            serve_oracle: false,
         };
         let mut f = Fuzzer::new(cfg);
         f.add_seed("minimal", ProgramSpec::minimal());

@@ -45,6 +45,7 @@ pub mod fuzzer;
 pub mod genome;
 pub mod harness;
 pub mod mutate;
+pub mod serve;
 pub mod shrink;
 pub mod signals;
 
@@ -52,4 +53,5 @@ pub use fuzzer::{CorpusEntry, Finding, Fuzzer, FuzzerConfig};
 pub use genome::{buf_len, buf_lens, FaultSite, FaultSpec, Gene, ProgramSpec, N_BUFS};
 pub use harness::{CaseOutcome, Disagreement, Harness};
 pub use mutate::{mutate, Rng, OPS};
+pub use serve::serve_case;
 pub use shrink::shrink;

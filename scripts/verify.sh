@@ -58,6 +58,9 @@ cargo run --release -p mic-bench --bin bench_sched -- --quick
 echo "==> metrics-overhead gate (quick: pool speedup >= 2x, metrics <= 1.5 us/launch)"
 cargo run --release -p mic-bench --bin bench_native_runtime -- --quick
 
+echo "==> serving gate (quick: 8 tenants, Jain >= 0.9, chaos isolation bit-exact)"
+cargo run --release -p mic-bench --bin bench_serve -- --quick
+
 echo "==> bench result envelopes (schema_version/bench/mode on every BENCH_*.json)"
 cargo run --release -p mic-bench --bin bench_compare
 

@@ -2,7 +2,7 @@
 //!
 //! Facade crate for the reproduction of *"Evaluating the Performance Impact
 //! of Multiple Streams on the MIC-based Heterogeneous Platform"* (Li et al.,
-//! 2016). It re-exports the four member crates:
+//! 2016). It re-exports the member crates:
 //!
 //! * [`hstreams`] — the multiple-streams runtime (the paper's mechanism):
 //!   streams, partitions, buffers, and two executors — a calibrated
@@ -12,6 +12,8 @@
 //! * [`tune`] — the Sec. V-C search-space pruning heuristics.
 //! * [`fuzz`] — coverage-guided differential fuzzing of the runtime and
 //!   checker (the three-oracle agreement harness).
+//! * [`serve`] — multi-tenant stream service: elastic partition leasing,
+//!   fair-share dispatch, and per-lease fault isolation.
 //!
 //! See `README.md` for a quickstart, `DESIGN.md` for the system inventory,
 //! and `EXPERIMENTS.md` for the paper-vs-measured record.
@@ -30,3 +32,7 @@ pub use stream_tune as tune;
 /// Coverage-guided differential fuzzing: checker, simulator and native
 /// executor as three oracles that must agree on every program.
 pub use stream_fuzz as fuzz;
+
+/// Multi-tenant stream service: admission control, elastic partition
+/// leasing, and DRR fair-share scheduling over one shared device.
+pub use stream_serve as serve;

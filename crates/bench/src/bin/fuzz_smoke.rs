@@ -1,4 +1,4 @@
-//! Differential-fuzzing smoke gate: the three oracles must agree on
+//! Differential-fuzzing smoke gate: the four oracles must agree on
 //! everything the fuzzer can generate, deterministically.
 //!
 //! Seeds the corpus from the shared test generators
@@ -9,7 +9,7 @@
 //!
 //! 1. **Determinism** — both sessions produce the same
 //!    [`Fuzzer::evolution_hash`] (byte-identical corpus evolution);
-//! 2. **Agreement** — zero three-oracle disagreements anywhere (replay or
+//! 2. **Agreement** — zero four-oracle disagreements anywhere (replay or
 //!    fuzzing); any finding's shrunk genome is printed ready to commit to
 //!    `tests/fuzz_regressions.rs`;
 //! 3. **Breadth** — the retained corpus lights up at least 4 signal
@@ -77,6 +77,7 @@ fn seeded_fuzzer(full_oracles: bool) -> Fuzzer {
         // interleaved with their parents as two service tenants and must
         // serve bit-identically to solo.
         serve_oracle: full_oracles,
+        opt_oracle: true,
     });
     f.add_seed("minimal", ProgramSpec::minimal());
     f.add_seed(
@@ -210,7 +211,7 @@ fn main() {
         eprintln!("FAIL: the two sessions diverged — fuzzing is not deterministic");
     }
     if findings > 0 {
-        eprintln!("FAIL: {findings} three-oracle disagreement(s)");
+        eprintln!("FAIL: {findings} four-oracle disagreement(s)");
     }
 
     let family_json: Vec<String> = families.keys().map(|k| format!("\"{k}\"")).collect();

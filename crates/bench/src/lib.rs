@@ -21,6 +21,7 @@
 //! | `native_vs_sim_trace` | (ext) same program, sim vs traced-native overlap |
 //! | `ext_multi_mic_scaling` | (ext) Sec. VI on 1–4 cards |
 //! | `autotune` | (ext) closed-loop `(T, P)` tuning: exhaustive vs pruned vs model-seeded, sim + native |
+//! | `bench_opt` | (ext) sync-elision exactness + static-cost-bound soundness gates over the six apps |
 //! | `bench_compare` | (ext) `BENCH_*.json` envelope validation + noise-banded perf diff of two result sets |
 
 #![warn(missing_docs)]

@@ -1,0 +1,173 @@
+//! Round-trip of the checker's SARIF export through the bench JSON
+//! parser: every field the CI annotator consumes must survive
+//! serialization exactly — rule ids, levels, messages, and the
+//! positional `stream/<s>/action/<i>` logical locations of both primary
+//! and related sites.
+
+use hstreams::action::Action;
+use hstreams::check::sarif::to_sarif;
+use hstreams::check::{analyze, CheckEnv, CheckReport, Severity};
+use hstreams::program::{Program, StreamPlacement, StreamRecord};
+use hstreams::testutil::{build_synced, mix_kernel};
+use hstreams::types::{BufId, StreamId};
+use mic_bench::json::{parse, Json};
+use micsim::device::DeviceId;
+
+/// Parse the document and check every structural invariant against the
+/// report it came from.
+fn assert_roundtrip(report: &CheckReport) -> Json {
+    let doc = to_sarif(report);
+    assert_eq!(doc, to_sarif(report), "export is deterministic");
+    let v = parse(&doc).expect("export is valid JSON");
+
+    assert_eq!(v.get("version").and_then(Json::as_str), Some("2.1.0"));
+    let runs = v.get("runs").and_then(Json::as_array).expect("runs array");
+    assert_eq!(runs.len(), 1, "one run per report");
+    let run = &runs[0];
+    let driver = run
+        .get("tool")
+        .and_then(|t| t.get("driver"))
+        .expect("driver");
+    assert_eq!(
+        driver.get("name").and_then(Json::as_str),
+        Some("stream-check")
+    );
+
+    // The rule catalog lists exactly the distinct codes that fired,
+    // sorted by name.
+    let mut expect_rules: Vec<&str> = report.diagnostics.iter().map(|d| d.code.name()).collect();
+    expect_rules.sort_unstable();
+    expect_rules.dedup();
+    let rules: Vec<&str> = driver
+        .get("rules")
+        .and_then(Json::as_array)
+        .expect("rules")
+        .iter()
+        .map(|r| r.get("id").and_then(Json::as_str).expect("rule id"))
+        .collect();
+    assert_eq!(rules, expect_rules);
+
+    // One result per diagnostic, in report order.
+    let results = run
+        .get("results")
+        .and_then(Json::as_array)
+        .expect("results");
+    assert_eq!(results.len(), report.diagnostics.len());
+    for (r, d) in results.iter().zip(&report.diagnostics) {
+        assert_eq!(r.get("ruleId").and_then(Json::as_str), Some(d.code.name()));
+        let level = match d.code.severity() {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        };
+        assert_eq!(r.get("level").and_then(Json::as_str), Some(level));
+        assert_eq!(
+            r.get("message")
+                .and_then(|m| m.get("text"))
+                .and_then(Json::as_str),
+            Some(d.message.as_str())
+        );
+        let fqn = |loc: &Json| -> String {
+            loc.get("logicalLocations")
+                .and_then(Json::as_array)
+                .and_then(|l| l.first())
+                .and_then(|l| l.get("fullyQualifiedName"))
+                .and_then(Json::as_str)
+                .expect("logical location")
+                .to_string()
+        };
+        let locs = r
+            .get("locations")
+            .and_then(Json::as_array)
+            .expect("locations");
+        assert_eq!(locs.len(), 1);
+        assert_eq!(
+            fqn(&locs[0]),
+            format!("stream/{}/action/{}", d.site.stream.0, d.site.action_index)
+        );
+        let related = r
+            .get("relatedLocations")
+            .and_then(Json::as_array)
+            .map(<[Json]>::to_vec)
+            .unwrap_or_default();
+        assert_eq!(related.len(), d.related.len());
+        for (loc, site) in related.iter().zip(&d.related) {
+            assert_eq!(
+                fqn(loc),
+                format!("stream/{}/action/{}", site.stream.0, site.action_index)
+            );
+        }
+    }
+    v
+}
+
+#[test]
+fn clean_report_round_trips_as_an_empty_run() {
+    let p = build_synced(3, &[(0, 0), (1, 1)]);
+    let report = analyze(&p, &CheckEnv::permissive(&p)).report;
+    assert_eq!(report.error_count(), 0);
+    let v = assert_roundtrip(&report);
+    let results = v.get("runs").and_then(Json::as_array).unwrap()[0]
+        .get("results")
+        .and_then(Json::as_array)
+        .unwrap()
+        .len();
+    assert_eq!(results, report.diagnostics.len());
+}
+
+#[test]
+fn race_errors_round_trip_with_related_sites() {
+    // Two kernels conflict on b0 with no synchronization at all: the
+    // race diagnostics carry the opposing site as a related location.
+    let mut p = Program::default();
+    let kernels = [
+        mix_kernel("w", [], [BufId(0)], 1.0),
+        mix_kernel("r", [BufId(0)], [BufId(1)], 1.0),
+    ];
+    for (pos, k) in kernels.into_iter().enumerate() {
+        p.streams.push(StreamRecord {
+            id: StreamId(pos),
+            placement: StreamPlacement {
+                device: DeviceId(0),
+                partition: pos,
+            },
+            actions: vec![Action::Kernel(k)],
+        });
+    }
+    let report = analyze(&p, &CheckEnv::permissive(&p)).report;
+    assert!(report.error_count() > 0, "unsynced conflict must error");
+    assert!(
+        report.diagnostics.iter().any(|d| !d.related.is_empty()),
+        "race diagnostics carry related sites"
+    );
+    assert_roundtrip(&report);
+}
+
+#[test]
+fn perf_lints_round_trip_as_warnings() {
+    // A duplicated wait turns the optimizer's advisory lint on; the
+    // redundant-sync diagnostic is Perf-class and exports as "warning".
+    let mut p = build_synced(3, &[(0, 0), (1, 1)]);
+    let mut dup = None;
+    'scan: for (si, s) in p.streams.iter().enumerate() {
+        for (ai, a) in s.actions.iter().enumerate() {
+            if let Action::WaitEvent(e) = a {
+                dup = Some((si, ai, *e));
+                break 'scan;
+            }
+        }
+    }
+    let (si, ai, e) = dup.expect("build_synced waits on its conflicts");
+    p.insert_action(StreamId(si), ai + 1, Action::WaitEvent(e));
+
+    let report = hstreams::opt::lint(&p, &CheckEnv::permissive(&p), None);
+    assert!(
+        report
+            .diagnostics
+            .iter()
+            .any(|d| d.code.name() == "redundant-sync"),
+        "duplicate wait must lint: {}",
+        report.render()
+    );
+    assert_eq!(report.error_count(), 0, "lints are advisory");
+    assert_roundtrip(&report);
+}

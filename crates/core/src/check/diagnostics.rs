@@ -3,9 +3,10 @@
 //! Every finding is a [`Diagnostic`]: a [`CheckCode`] (what rule fired), a
 //! primary [`Site`] (which action), optional related sites (the other half
 //! of a race, the rest of a deadlock cycle), and a rendered message. Codes
-//! map to a fixed [`Severity`] and one of the four [`CheckClass`]es the
-//! analyzer covers; a program is *clean* when it has no `Severity::Error`
-//! diagnostics.
+//! map to a fixed [`Severity`] and a [`CheckClass`]; a program is *clean*
+//! when it has no `Severity::Error` diagnostics. The analyzer emits the
+//! first four classes; the optimizer's advisory lints
+//! ([`crate::opt::lint`]) emit [`CheckClass::Perf`].
 
 use std::fmt;
 use std::time::Duration;
@@ -35,7 +36,8 @@ impl fmt::Display for Severity {
     }
 }
 
-/// The four families of checks the analyzer performs.
+/// The families of checks the analyzer and the optimizer's advisory
+/// lints cover.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum CheckClass {
     /// Cross-stream event cycles and unsatisfiable waits.
@@ -46,6 +48,11 @@ pub enum CheckClass {
     Dataflow,
     /// Placement and partition-budget lints.
     Resource,
+    /// Performance advisories from the static optimizer
+    /// ([`crate::opt::lint`]): over-synchronization, starvation,
+    /// serialized overlap. Never emitted by
+    /// [`analyze`](super::analyze), so they cannot affect enforcement.
+    Perf,
 }
 
 /// The specific rule a diagnostic fired under.
@@ -75,6 +82,17 @@ pub enum CheckCode {
     /// More active streams share a partition than the context was built
     /// with.
     PartitionOversubscribed,
+    /// A wait, record, or barrier whose ordering is already implied by
+    /// other happens-before edges — sync elision would remove it.
+    RedundantSync,
+    /// The program statically leaves partitions idle: fewer busy
+    /// placements than the platform provides (`T < P`, the paper's
+    /// starvation class).
+    StarvedPartitions,
+    /// A transfer and an independent cross-stream kernel are
+    /// happens-before-ordered: the sync serializing them costs overlap
+    /// without adding safety.
+    SerializedOverlap,
 }
 
 impl CheckCode {
@@ -89,7 +107,10 @@ impl CheckCode {
             | CheckCode::PlacementOutOfRange => Severity::Error,
             CheckCode::UseBeforeProduce
             | CheckCode::DeadEvent
-            | CheckCode::PartitionOversubscribed => Severity::Warning,
+            | CheckCode::PartitionOversubscribed
+            | CheckCode::RedundantSync
+            | CheckCode::StarvedPartitions
+            | CheckCode::SerializedOverlap => Severity::Warning,
         }
     }
 
@@ -106,6 +127,9 @@ impl CheckCode {
             CheckCode::PlacementOutOfRange | CheckCode::PartitionOversubscribed => {
                 CheckClass::Resource
             }
+            CheckCode::RedundantSync
+            | CheckCode::StarvedPartitions
+            | CheckCode::SerializedOverlap => CheckClass::Perf,
         }
     }
 
@@ -122,6 +146,9 @@ impl CheckCode {
             CheckCode::DeadEvent => "dead-event",
             CheckCode::PlacementOutOfRange => "placement-out-of-range",
             CheckCode::PartitionOversubscribed => "partition-oversubscribed",
+            CheckCode::RedundantSync => "redundant-sync",
+            CheckCode::StarvedPartitions => "starved-partitions",
+            CheckCode::SerializedOverlap => "serialized-overlap",
         }
     }
 }

@@ -124,7 +124,7 @@ impl HbEdges {
     }
 }
 
-/// Dense happens-before representation; see the [module docs](self).
+/// Dense happens-before representation built by [`crate::check::analyze`].
 pub struct HbGraph {
     n_streams: usize,
     /// First node id of each stream's action run (last entry = total

@@ -42,6 +42,7 @@ pub mod diagnostics;
 mod hb;
 mod races;
 mod residency;
+pub mod sarif;
 pub mod witness;
 
 use std::time::Instant;
@@ -53,6 +54,8 @@ pub use witness::{HazardWitness, WitnessKind};
 
 // The scheduler module reuses the race detector's access analysis to build
 // its task graph (same conflict definition, same memory-space split).
+pub(crate) use hb::HbEdges;
+pub use hb::HbGraph;
 pub(crate) use races::{collect_accesses, Space};
 
 /// What the executors do with analyzer findings.

@@ -1,0 +1,143 @@
+//! SARIF-style machine-readable export of a [`CheckReport`].
+//!
+//! Emits the subset of SARIF 2.1.0 that CI annotators consume: one run,
+//! a `tool.driver` with a rule catalog, and one `result` per
+//! [`Diagnostic`] with a stable logical location per site. The workspace
+//! is offline (no serde), so the document is written by hand; it uses
+//! only stable, deterministic content — two identical reports serialize
+//! byte-identically.
+//!
+//! Location convention: a [`Site`] becomes the fully-qualified logical
+//! name `stream/<index>/action/<index>` — the same coordinates
+//! [`Program::dump`](crate::program::Program::dump) prints, and for
+//! serve-merged programs the *rebased* (post-merge) coordinates.
+
+use std::collections::BTreeSet;
+
+use super::{CheckCode, CheckReport, Diagnostic, Severity, Site};
+
+/// SARIF severity level for a code.
+fn level(code: CheckCode) -> &'static str {
+    match code.severity() {
+        Severity::Warning => "warning",
+        Severity::Error => "error",
+    }
+}
+
+/// Stable logical path of a site.
+fn logical(site: Site) -> String {
+    format!("stream/{}/action/{}", site.stream.0, site.action_index)
+}
+
+/// Minimal JSON string escape (the messages only contain printable
+/// ASCII, but escape defensively).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn location(site: Site) -> String {
+    format!(
+        "{{\"logicalLocations\":[{{\"fullyQualifiedName\":\"{}\"}}]}}",
+        logical(site)
+    )
+}
+
+fn result(d: &Diagnostic) -> String {
+    let mut s = format!(
+        "{{\"ruleId\":\"{}\",\"level\":\"{}\",\"message\":{{\"text\":\"{}\"}},\"locations\":[{}]",
+        d.code.name(),
+        level(d.code),
+        escape(&d.message),
+        location(d.site)
+    );
+    if !d.related.is_empty() {
+        let related: Vec<String> = d.related.iter().map(|&r| location(r)).collect();
+        s.push_str(&format!(",\"relatedLocations\":[{}]", related.join(",")));
+    }
+    s.push('}');
+    s
+}
+
+/// Serialize `report` as a SARIF 2.1.0 document. The rule catalog lists
+/// exactly the codes that fired, sorted by name; results keep the
+/// report's canonical order (errors first, then by site).
+#[must_use]
+pub fn to_sarif(report: &CheckReport) -> String {
+    let rules: BTreeSet<&'static str> = report.diagnostics.iter().map(|d| d.code.name()).collect();
+    let rules: Vec<String> = rules
+        .into_iter()
+        .map(|name| format!("{{\"id\":\"{name}\"}}"))
+        .collect();
+    let results: Vec<String> = report.diagnostics.iter().map(result).collect();
+    format!(
+        "{{\"version\":\"2.1.0\",\"runs\":[{{\"tool\":{{\"driver\":{{\"name\":\"stream-check\",\
+         \"rules\":[{}]}}}},\"results\":[{}]}}]}}",
+        rules.join(","),
+        results.join(",")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::CheckClass;
+
+    fn sample() -> CheckReport {
+        let mut r = CheckReport::default();
+        r.push(Diagnostic {
+            code: CheckCode::Race,
+            site: Site::new(1, 3),
+            related: vec![Site::new(0, 2)],
+            message: "conflicting write of \"b0\"".to_string(),
+        });
+        r.push(Diagnostic {
+            code: CheckCode::DeadEvent,
+            site: Site::new(0, 5),
+            related: Vec::new(),
+            message: "event e2 is never awaited".to_string(),
+        });
+        r.finish();
+        r
+    }
+
+    #[test]
+    fn export_is_deterministic_and_escaped() {
+        let r = sample();
+        let a = to_sarif(&r);
+        let b = to_sarif(&r);
+        assert_eq!(a, b);
+        assert!(a.contains("\"ruleId\":\"race\""));
+        assert!(a.contains("stream/1/action/3"));
+        assert!(a.contains("\\\"b0\\\""), "quotes escaped: {a}");
+        assert!(a.contains("\"level\":\"error\""));
+        assert!(a.contains("\"level\":\"warning\""));
+    }
+
+    #[test]
+    fn perf_class_codes_export_as_warnings() {
+        let mut r = CheckReport::default();
+        r.push(Diagnostic {
+            code: CheckCode::RedundantSync,
+            site: Site::new(0, 0),
+            related: Vec::new(),
+            message: "m".to_string(),
+        });
+        r.finish();
+        assert_eq!(r.diagnostics[0].class(), CheckClass::Perf);
+        let s = to_sarif(&r);
+        assert!(s.contains("\"ruleId\":\"redundant-sync\""));
+        assert!(s.contains("\"level\":\"warning\""));
+    }
+}

@@ -53,6 +53,7 @@ pub struct ContextBuilder {
     check_mode: crate::check::CheckMode,
     scheduler: crate::sched::SchedulerKind,
     metrics: bool,
+    optimize: bool,
 }
 
 impl ContextBuilder {
@@ -94,6 +95,20 @@ impl ContextBuilder {
     /// instrumentation site (gated by `bench_native_runtime`).
     pub fn metrics(mut self, on: bool) -> ContextBuilder {
         self.metrics = on;
+        self
+    }
+
+    /// Run [sync elision](crate::opt::optimize) on every program
+    /// installed via [`Context::install_program`]: redundant waits, dead
+    /// records and implied barriers are removed under an equivalence
+    /// certificate before the program is stored. Off by default. Callers
+    /// that address actions by `(stream, action index)` — e.g. fault
+    /// injection sites — must translate coordinates through
+    /// [`Context::take_opt_report`]. Incrementally recorded programs are
+    /// not rewritten implicitly; opt in per program with
+    /// [`Context::apply_optimizer`].
+    pub fn optimize(mut self, on: bool) -> ContextBuilder {
+        self.optimize = on;
         self
     }
 
@@ -142,6 +157,8 @@ impl ContextBuilder {
             last_check: parking_lot::Mutex::new(None),
             scheduler: self.scheduler,
             metrics: self.metrics,
+            optimize: self.optimize,
+            last_opt: parking_lot::Mutex::new(None),
         })
     }
 }
@@ -205,6 +222,12 @@ pub struct Context {
     scheduler: crate::sched::SchedulerKind,
     /// Collect run metrics on both executors (see [`crate::metrics`]).
     metrics: bool,
+    /// Elide redundant sync on program install (see
+    /// [`ContextBuilder::optimize`]).
+    optimize: bool,
+    /// Report of the most recent sync-elision pass (install-time or
+    /// [`Context::apply_optimizer`]).
+    last_opt: parking_lot::Mutex<Option<crate::opt::OptReport>>,
 }
 
 impl std::fmt::Debug for Context {
@@ -230,6 +253,7 @@ impl Context {
             check_mode: crate::check::CheckMode::default(),
             scheduler: crate::sched::SchedulerKind::default(),
             metrics: false,
+            optimize: false,
         }
     }
 
@@ -513,7 +537,13 @@ impl Context {
                 }
             }
         }
-        self.program = program;
+        self.program = if self.optimize {
+            let optimized = crate::opt::optimize(&program, &self.check_env());
+            *self.last_opt.lock() = Some(optimized.report);
+            optimized.program
+        } else {
+            program
+        };
         // Pending recovery coordinates referenced the replaced program.
         self.recovery.lock().take();
         Ok(())
@@ -584,6 +614,60 @@ impl Context {
     /// that was just *refused*, so callers can render the findings.
     pub fn take_check_report(&self) -> Option<crate::check::CheckReport> {
         self.last_check.lock().take()
+    }
+
+    // ----- optimizer -------------------------------------------------------
+
+    /// Whether [`Context::install_program`] runs the sync-elision
+    /// optimizer (the builder's [`ContextBuilder::optimize`], post-build).
+    pub fn optimize_enabled(&self) -> bool {
+        self.optimize
+    }
+
+    /// Turn install-time sync elision on or off for subsequent
+    /// [`Context::install_program`] calls.
+    pub fn set_optimize(&mut self, on: bool) {
+        self.optimize = on;
+    }
+
+    /// Run the sync-elision optimizer ([`crate::opt::optimize`]) over the
+    /// **recorded** program in place and return how many actions it
+    /// removed. The report — including the equivalence
+    /// [`Certificate`](crate::opt::Certificate) and the site map for
+    /// translating optimized coordinates back to recorded ones — is
+    /// stashed for [`Context::take_opt_report`]. Unclean or already
+    /// minimal programs are left untouched (zero is returned).
+    pub fn apply_optimizer(&mut self) -> usize {
+        let optimized = crate::opt::optimize(&self.program, &self.check_env());
+        let elided = optimized.report.elided_actions();
+        self.program = optimized.program;
+        *self.last_opt.lock() = Some(optimized.report);
+        elided
+    }
+
+    /// The report of the most recent sync-elision pass — install-time
+    /// (when [built](ContextBuilder::optimize) with the optimizer on) or
+    /// explicit [`Context::apply_optimizer`]. Taking it clears the slot.
+    pub fn take_opt_report(&self) -> Option<crate::opt::OptReport> {
+        self.last_opt.lock().take()
+    }
+
+    /// Static cost bounds for the recorded program under the context's
+    /// calibrated cost model (see [`crate::opt::static_cost`]). `None`
+    /// when the program is empty, cyclic, or prices an action the model
+    /// cannot (it mirrors the simulator's pricing exactly, so in practice
+    /// this means a malformed program).
+    pub fn static_cost(&self) -> Option<crate::opt::StaticCost> {
+        let model = self.cost_model().ok()?;
+        crate::opt::static_cost(&self.program, &model, &self.check_env())
+    }
+
+    /// Advisory performance lints for the recorded program (see
+    /// [`crate::opt::lint`]): over-synchronization, statically-detectable
+    /// starvation, serialized transfer/kernel pairs that could overlap.
+    pub fn lint(&self) -> crate::check::CheckReport {
+        let model = self.cost_model().ok();
+        crate::opt::lint(&self.program, &self.check_env(), model.as_ref())
     }
 
     /// Pre-run analyzer gate shared by both executors: analyze under the

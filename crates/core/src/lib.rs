@@ -68,6 +68,7 @@ pub mod fault;
 pub mod kernel;
 pub mod lease;
 pub mod metrics;
+pub mod opt;
 pub mod parallel;
 pub mod place;
 pub mod plan;
@@ -91,6 +92,7 @@ pub use fault::{FaultCounters, FaultPlan, RecoveryState, ResilientReport, RetryP
 pub use kernel::{KernelCtx, KernelDesc, KernelFn};
 pub use lease::{Lease, LeaseTable, TenantId};
 pub use metrics::{HistogramSnapshot, MetricsRegistry, MetricsSnapshot, RunInstruments};
+pub use opt::{Certificate, OptReport, Optimized, StaticCost};
 pub use place::ResourceView;
 pub use plan::{enqueue_tiles, FlowMode, TileTask};
 pub use residency::ResidencyTracker;

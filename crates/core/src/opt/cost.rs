@@ -1,0 +1,198 @@
+//! Static cost analysis: interval bounds and a sound makespan lower bound.
+//!
+//! Prices come from [`CostModel`], which uses the exact per-action
+//! formulas the simulator charges (wire + enqueue for transfers, the
+//! SMT-scaling compute model for kernels). The simulator's dependency
+//! edges are a superset of the HB edges (it adds resource serialization),
+//! its control tasks are free or positively priced (barrier sync
+//! overhead), and every lane (a link channel, a partition, the host, a
+//! stream's FIFO) is a serial resource — so both bounds below hold
+//! against any simulated execution of the program:
+//!
+//! * **critical path**: the longest HB chain, weighted by action cost;
+//! * **lane load**: the busiest serial resource's total assigned work.
+
+use std::collections::BTreeMap;
+
+use crate::action::Action;
+use crate::check::HbEdges;
+use crate::check::{analyze, CheckEnv, Site};
+use crate::program::Program;
+use crate::sched::CostModel;
+
+use super::is_payload;
+
+/// Static interval bounds for one stream.
+#[derive(Clone, Debug)]
+pub struct StreamBound {
+    /// Stream index.
+    pub stream: usize,
+    /// Sum of the stream's own action costs — its serial floor.
+    pub busy_seconds: f64,
+    /// Earliest the stream's last action can finish: the longest HB path
+    /// ending at it.
+    pub finish_seconds: f64,
+}
+
+/// The static cost profile of a program; see [`static_cost`].
+#[derive(Clone, Debug)]
+pub struct StaticCost {
+    /// Per-stream interval bounds.
+    pub per_stream: Vec<StreamBound>,
+    /// Longest cost-weighted happens-before chain.
+    pub critical_path_seconds: f64,
+    /// Busiest serial lane (link channel / partition / host / stream).
+    pub lane_bound_seconds: f64,
+    /// `max(critical path, lane bound)` — a sound lower bound on the
+    /// simulated makespan.
+    pub makespan_lower_bound: f64,
+    /// Total transfer seconds across the program.
+    pub transfer_seconds: f64,
+    /// Total kernel seconds across the program.
+    pub kernel_seconds: f64,
+    /// Fraction of transfer time that is HB-concurrent with at least one
+    /// kernel of another stream — the statically overlappable ("hidden")
+    /// share. An estimate, not a bound: resource contention can still
+    /// serialize statically-concurrent work.
+    pub hidden_fraction_estimate: f64,
+}
+
+/// Price `program` statically under `model` and `env`. `None` when the HB
+/// graph is cyclic (the analyzer would reject the program) or a kernel
+/// cannot be priced on its recorded placement.
+#[must_use]
+pub fn static_cost(program: &Program, model: &CostModel, env: &CheckEnv) -> Option<StaticCost> {
+    let edges = HbEdges::build(program);
+    let n_streams = program.streams.len();
+
+    // Per-node weights from the recorded placements.
+    let mut weight = vec![0.0f64; edges.nodes];
+    let mut transfer_seconds = 0.0;
+    let mut kernel_seconds = 0.0;
+    for (si, s) in program.streams.iter().enumerate() {
+        for (ai, a) in s.actions.iter().enumerate() {
+            let w = model.action_seconds(a, s.placement.device.0, s.placement.partition)?;
+            weight[edges.offsets[si] + ai] = w;
+            match a {
+                Action::Transfer { .. } => transfer_seconds += w,
+                Action::Kernel(_) => kernel_seconds += w,
+                _ => {}
+            }
+        }
+    }
+
+    // Forward pass in topological order: earliest finish per node.
+    let mut indeg = vec![0u32; edges.nodes];
+    let mut succs: Vec<Vec<u32>> = vec![Vec::new(); edges.nodes];
+    for (v, ps) in edges.preds.iter().enumerate() {
+        indeg[v] = u32::try_from(ps.len()).ok()?;
+        for &p in ps {
+            succs[p as usize].push(u32::try_from(v).ok()?);
+        }
+    }
+    let mut queue: Vec<usize> = (0..edges.nodes).filter(|&v| indeg[v] == 0).collect();
+    let mut finish = vec![0.0f64; edges.nodes];
+    let mut done = 0usize;
+    while let Some(v) = queue.pop() {
+        done += 1;
+        let f = edges.preds[v]
+            .iter()
+            .map(|&p| finish[p as usize])
+            .fold(0.0f64, f64::max)
+            + weight[v];
+        finish[v] = f;
+        for &s in &succs[v] {
+            let s = s as usize;
+            indeg[s] -= 1;
+            if indeg[s] == 0 {
+                queue.push(s);
+            }
+        }
+    }
+    if done != edges.nodes {
+        return None; // cyclic
+    }
+    let critical_path_seconds = finish.iter().copied().fold(0.0f64, f64::max);
+
+    // Serial-lane load: every resource the simulator serializes on.
+    #[derive(PartialEq, Eq, PartialOrd, Ord)]
+    enum Lane {
+        Link(usize, usize),
+        Partition(usize, usize),
+        Host,
+        Stream(usize),
+    }
+    let mut lanes: BTreeMap<Lane, f64> = BTreeMap::new();
+    let mut per_stream = Vec::with_capacity(n_streams);
+    for (si, s) in program.streams.iter().enumerate() {
+        let mut busy = 0.0f64;
+        for (ai, a) in s.actions.iter().enumerate() {
+            let w = weight[edges.offsets[si] + ai];
+            busy += w;
+            let lane = match a {
+                Action::Transfer { dir, .. } => {
+                    Some(Lane::Link(s.placement.device.0, model.channel_for(*dir)))
+                }
+                Action::Kernel(k) if k.host => Some(Lane::Host),
+                Action::Kernel(_) => {
+                    Some(Lane::Partition(s.placement.device.0, s.placement.partition))
+                }
+                _ => None,
+            };
+            if let Some(lane) = lane {
+                *lanes.entry(lane).or_insert(0.0) += w;
+            }
+        }
+        *lanes.entry(Lane::Stream(si)).or_insert(0.0) += busy;
+        let finish_seconds = if s.actions.is_empty() {
+            0.0
+        } else {
+            finish[edges.offsets[si] + s.actions.len() - 1]
+        };
+        per_stream.push(StreamBound {
+            stream: si,
+            busy_seconds: busy,
+            finish_seconds,
+        });
+    }
+    let lane_bound_seconds = lanes.values().copied().fold(0.0f64, f64::max);
+
+    // Hidden-fraction estimate needs pairwise concurrency — reuse the
+    // analyzer's clock matrix.
+    let analysis = analyze(program, env);
+    let mut hidden = 0.0f64;
+    for (si, s) in program.streams.iter().enumerate() {
+        for (ai, a) in s.actions.iter().enumerate() {
+            if !matches!(a, Action::Transfer { .. }) {
+                continue;
+            }
+            let t = Site::new(si, ai);
+            let overlappable = program.streams.iter().enumerate().any(|(sj, sk)| {
+                sj != si
+                    && sk.actions.iter().enumerate().any(|(aj, b)| {
+                        matches!(b, Action::Kernel(_))
+                            && is_payload(b)
+                            && analysis.concurrent(t, Site::new(sj, aj))
+                    })
+            });
+            if overlappable {
+                hidden += weight[edges.offsets[si] + ai];
+            }
+        }
+    }
+    let hidden_fraction_estimate = if transfer_seconds > 0.0 {
+        hidden / transfer_seconds
+    } else {
+        0.0
+    };
+
+    Some(StaticCost {
+        per_stream,
+        critical_path_seconds,
+        lane_bound_seconds,
+        makespan_lower_bound: critical_path_seconds.max(lane_bound_seconds),
+        transfer_seconds,
+        kernel_seconds,
+        hidden_fraction_estimate,
+    })
+}

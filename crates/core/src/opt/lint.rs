@@ -1,0 +1,189 @@
+//! Advisory performance lints derived from the optimizer's analyses.
+//!
+//! These are `Severity::Warning` findings in the [`CheckClass::Perf`]
+//! class, deliberately **not** part of [`analyze`](crate::check::analyze):
+//! they never affect enforcement, and the exact-count expectations of the
+//! core analyzer's tests stay untouched. Render the report with
+//! [`Program::dump_annotated`](crate::program::Program::dump_annotated).
+
+use std::time::Instant;
+
+use crate::action::Action;
+use crate::check::{analyze, CheckClass, CheckCode, CheckEnv, CheckReport, Diagnostic, Site};
+use crate::program::Program;
+use crate::sched::CostModel;
+
+use super::elide;
+
+/// Cap on serialized-overlap pair diagnostics, mirroring the race
+/// reporter's per-group cap: the first few sites localize the problem,
+/// the rest is noise.
+const MAX_SERIALIZED_PAIRS: usize = 4;
+
+/// Run the advisory performance lints on `program`.
+///
+/// * `redundant-sync` — waits the HB transitive reduction can elide, and
+///   barriers implied by existing event edges (one finding per wait site
+///   / per barrier, with the recording site related where applicable);
+/// * `starved-partitions` — the program statically leaves partitions idle
+///   (`T < P`, the paper's starvation class): fewer busy placements than
+///   the environment provides;
+/// * `serialized-overlap` — transfer/kernel pairs in different streams
+///   that touch no common buffer yet are HB-ordered: the sync that orders
+///   them costs overlap without adding safety.
+///
+/// `model` enables cost-weighted messages (how many seconds of transfer
+/// the serialization hides); pass `None` to lint without a platform.
+#[must_use]
+pub fn lint(program: &Program, env: &CheckEnv, model: Option<&CostModel>) -> CheckReport {
+    let t0 = Instant::now();
+    let mut report = CheckReport::default();
+    let analysis = analyze(program, env);
+    if !analysis.report.is_clean() {
+        // Perf advice on a refused program would point at sites the user
+        // must change anyway; report nothing.
+        report.stats.elapsed = t0.elapsed();
+        return report;
+    }
+
+    // Over-synchronization: exactly what sync elision would remove.
+    let optimized = elide::optimize(program, env);
+    for &w in &optimized.report.elided_waits {
+        let recorded_at = wait_record_site(program, w);
+        report.push(Diagnostic {
+            code: CheckCode::RedundantSync,
+            site: w,
+            related: recorded_at.into_iter().collect(),
+            message: "wait is implied by existing happens-before edges; eliding it costs nothing"
+                .to_string(),
+        });
+    }
+    for &r in &optimized.report.elided_records {
+        report.push(Diagnostic {
+            code: CheckCode::RedundantSync,
+            site: r,
+            related: Vec::new(),
+            message: "event is never awaited once redundant waits are elided".to_string(),
+        });
+    }
+    if optimized.report.elided_barriers > 0 {
+        let site = program
+            .streams
+            .iter()
+            .enumerate()
+            .find_map(|(si, s)| {
+                s.actions
+                    .iter()
+                    .position(|a| matches!(a, Action::Barrier(_)))
+                    .map(|ai| Site::new(si, ai))
+            })
+            .unwrap_or(Site::new(0, 0));
+        report.push(Diagnostic {
+            code: CheckCode::RedundantSync,
+            site,
+            related: Vec::new(),
+            message: format!(
+                "{} barrier(s) are implied by existing event edges",
+                optimized.report.elided_barriers
+            ),
+        });
+    }
+
+    // T < P starvation: busy placements vs the environment's partitions.
+    let busy: std::collections::BTreeSet<(usize, usize)> = program
+        .streams
+        .iter()
+        .filter(|s| s.actions.iter().any(super::is_payload))
+        .map(|s| (s.placement.device.0, s.placement.partition))
+        .collect();
+    let provided = env.devices.max(1) * env.partitions;
+    if !busy.is_empty() && busy.len() < provided {
+        report.push(Diagnostic {
+            code: CheckCode::StarvedPartitions,
+            site: Site::new(0, 0),
+            related: Vec::new(),
+            message: format!(
+                "work reaches {} of {} partitions; the rest are statically idle (T < P)",
+                busy.len(),
+                provided
+            ),
+        });
+    }
+
+    // Serialized transfer/kernel pairs that could overlap: HB-ordered,
+    // cross-stream, no shared buffer.
+    let mut pairs = 0usize;
+    let mut emitted = 0usize;
+    for (si, s) in program.streams.iter().enumerate() {
+        for (ai, a) in s.actions.iter().enumerate() {
+            let Action::Transfer { buf, .. } = a else {
+                continue;
+            };
+            let t = Site::new(si, ai);
+            for (sj, sk) in program.streams.iter().enumerate() {
+                if sj == si {
+                    continue;
+                }
+                for (aj, b) in sk.actions.iter().enumerate() {
+                    let Action::Kernel(desc) = b else { continue };
+                    let k = Site::new(sj, aj);
+                    let ordered = analysis.happens_before(t, k) || analysis.happens_before(k, t);
+                    let independent = !desc.reads.contains(buf) && !desc.writes.contains(buf);
+                    if ordered && independent {
+                        pairs += 1;
+                        if emitted < MAX_SERIALIZED_PAIRS {
+                            emitted += 1;
+                            let cost = model
+                                .and_then(|m| {
+                                    m.action_seconds(a, s.placement.device.0, s.placement.partition)
+                                })
+                                .map(|secs| format!(" ({:.1} us of transfer)", secs * 1e6))
+                                .unwrap_or_default();
+                            report.push(Diagnostic {
+                                code: CheckCode::SerializedOverlap,
+                                site: t,
+                                related: vec![k],
+                                message: format!(
+                                    "transfer is serialized against an independent kernel{cost}; \
+                                     the ordering adds no safety"
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+    if pairs > emitted {
+        report.push(Diagnostic {
+            code: CheckCode::SerializedOverlap,
+            site: Site::new(0, 0),
+            related: Vec::new(),
+            message: format!(
+                "{} more serialized transfer/kernel pair(s) not shown",
+                pairs - emitted
+            ),
+        });
+    }
+
+    debug_assert!(report
+        .diagnostics
+        .iter()
+        .all(|d| d.class() == CheckClass::Perf));
+    report.stats.actions = program.action_count();
+    report.stats.elapsed = t0.elapsed();
+    report.finish();
+    report
+}
+
+/// The recording site of the event a wait at `w` references.
+fn wait_record_site(program: &Program, w: Site) -> Option<Site> {
+    let a = program
+        .streams
+        .get(w.stream.0)?
+        .actions
+        .get(w.action_index)?;
+    let Action::WaitEvent(e) = a else { return None };
+    let site = program.events.get(e.0)?;
+    Some(Site::new(site.stream.0, site.action_index))
+}

@@ -157,6 +157,9 @@ impl<T> PtrChunks<T> {
     /// alive, so no two slices alias.
     fn raw_chunk(&self, idx: usize) -> (usize, *mut T, usize) {
         let start = self.split.start(idx);
+        // SAFETY: `start` is a split boundary of the slice whose exclusive
+        // borrow `par_chunks_mut` holds, so the offset pointer stays within
+        // that same allocation.
         (start, unsafe { self.ptr.add(start) }, self.split.take(idx))
     }
 }

@@ -170,7 +170,7 @@ impl Program {
             }
         }
         let mut out = String::new();
-        for s in &self.streams {
+        for (si, s) in self.streams.iter().enumerate() {
             out.push_str(&format!(
                 "stream {} @ {}#p{} ({} actions)\n",
                 s.id,
@@ -180,7 +180,12 @@ impl Program {
             ));
             for (i, a) in s.actions.iter().enumerate() {
                 out.push_str(&format!("  [{i:>3}] {}\n", a.label()));
-                if let Some(ds) = notes.get(&(s.id.0, i)) {
+                // Diagnostic sites index streams by *position* (the
+                // analyzer enumerates), not by declared id — the two
+                // differ for relocated tenant parts, where ids are
+                // rebased into merged coordinates. Key the lookup the
+                // same way the sites were built.
+                if let Some(ds) = notes.get(&(si, i)) {
                     for d in ds {
                         out.push_str(&format!("        ^ {}\n", d.render()));
                     }

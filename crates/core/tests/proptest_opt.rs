@@ -1,0 +1,229 @@
+//! Property tests for the sync-elision optimizer ([`hstreams::opt`]).
+//!
+//! [`build_synced`] programs are already minimal by construction: records
+//! and waits are appended in global conflict order, so a redundant wait
+//! would need a happens-before path that re-enters an earlier FIFO
+//! position — impossible — and every event has exactly one waiter. That
+//! makes them the perfect probe for both directions of the contract:
+//!
+//! * **no false elisions** — the optimizer must return the program
+//!   byte-identical (every wait is load-bearing, every record is live);
+//! * **no missed elisions** — duplicating any subset of waits injects
+//!   redundancy the optimizer must remove *exactly*, restoring the
+//!   pristine program.
+//!
+//! Either way the output must re-analyze clean, keep the happens-before
+//! closure over conflicting pairs (checked independently via
+//! [`certify`]), and execute to the same bits under the reference
+//! interpreter. Racy inputs (one wait dropped) must come back untouched
+//! with [`OptReport::skipped`] set — elision never papers over a program
+//! the analyzer rejects.
+
+use hstreams::action::Action;
+use hstreams::check::{analyze, CheckEnv, Site};
+use hstreams::opt::{certify, optimize};
+use hstreams::program::Program;
+use hstreams::testutil::{build_synced, drop_one_wait, RefExec};
+use hstreams::types::StreamId;
+use proptest::prelude::*;
+
+/// Duplicate every `WaitEvent` in place (each copy directly after its
+/// original), returning the oversynchronized program and how many waits
+/// were injected. Each copy is trivially redundant: the record reaches it
+/// through the original wait plus one FIFO hop.
+fn duplicate_all_waits(p: &Program) -> (Program, usize) {
+    let mut out = p.clone();
+    let mut injected = 0usize;
+    for si in 0..out.streams.len() {
+        let mut ai = 0;
+        while ai < out.streams[si].actions.len() {
+            if let Action::WaitEvent(e) = out.streams[si].actions[ai] {
+                out.insert_action(StreamId(si), ai + 1, Action::WaitEvent(e));
+                injected += 1;
+                ai += 2;
+            } else {
+                ai += 1;
+            }
+        }
+    }
+    (out, injected)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn already_minimal_programs_come_back_byte_identical(
+        n_streams in 2usize..5,
+        conflicts in proptest::collection::vec((0usize..16, 0usize..16), 1..8),
+    ) {
+        let program = build_synced(n_streams, &conflicts);
+        let env = CheckEnv::permissive(&program);
+        let opt = optimize(&program, &env);
+
+        prop_assert!(!opt.report.skipped, "clean input must be optimized");
+        prop_assert!(!opt.report.reverted);
+        prop_assert_eq!(
+            opt.report.elided_actions(), 0,
+            "every wait is load-bearing and every record is live: {:?}",
+            opt.report
+        );
+        prop_assert_eq!(
+            format!("{:?}", opt.program),
+            format!("{:?}", program),
+            "zero elisions must mean byte-identical output"
+        );
+        let cert = opt.report.certificate.as_ref().expect("optimized run carries a certificate");
+        prop_assert!(cert.holds(), "certificate must verify: {cert:?}");
+    }
+
+    #[test]
+    fn injected_redundant_waits_are_all_elided(
+        n_streams in 2usize..5,
+        conflicts in proptest::collection::vec((0usize..16, 0usize..16), 1..8),
+    ) {
+        let pristine = build_synced(n_streams, &conflicts);
+        let (oversynced, injected) = duplicate_all_waits(&pristine);
+        oversynced.validate().expect("duplicated waits stay structurally valid");
+        let env = CheckEnv::permissive(&oversynced);
+        prop_assert!(analyze(&oversynced, &env).report.is_clean());
+
+        let opt = optimize(&oversynced, &env);
+        prop_assert!(!opt.report.skipped && !opt.report.reverted);
+        prop_assert_eq!(
+            opt.report.elided_waits.len(), injected,
+            "all {} injected duplicates are redundant, nothing else is: {:?}",
+            injected, opt.report
+        );
+        prop_assert_eq!(opt.report.elided_records.len(), 0);
+        prop_assert_eq!(opt.report.elided_barriers, 0);
+        prop_assert_eq!(
+            format!("{:?}", opt.program),
+            format!("{:?}", pristine),
+            "removing exactly the duplicates restores the pristine program"
+        );
+
+        // The certificate's closure claim, re-derived from the two
+        // programs alone — independent of the transformation's bookkeeping.
+        let cert = certify(&oversynced, &opt.program, &env);
+        prop_assert!(cert.holds(), "independent certify must agree: {cert:?}");
+        prop_assert!(cert.conflict_pairs > 0, "generator always makes conflicts");
+
+        // And the behavioral claim: same bits under the reference
+        // interpreter.
+        let lens = vec![4usize; 2 * conflicts.len()];
+        let a = RefExec::run_fifo(&oversynced, &lens).expect("clean program runs");
+        let b = RefExec::run_fifo(&opt.program, &lens).expect("optimized program runs");
+        prop_assert_eq!(a.fingerprint(), b.fingerprint());
+        prop_assert_eq!(a.host_bits(), b.host_bits());
+    }
+
+    #[test]
+    fn racy_inputs_are_refused_untouched(
+        n_streams in 2usize..5,
+        conflicts in proptest::collection::vec((0usize..16, 0usize..16), 1..8),
+        pick in any::<proptest::sample::Index>(),
+    ) {
+        let broken = drop_one_wait(&build_synced(n_streams, &conflicts), pick.index(conflicts.len()));
+        let env = CheckEnv::permissive(&broken);
+        let opt = optimize(&broken, &env);
+        prop_assert!(opt.report.skipped, "unclean input must be skipped, not optimized");
+        prop_assert_eq!(opt.report.elided_actions(), 0);
+        prop_assert!(opt.report.certificate.is_none());
+        prop_assert_eq!(format!("{:?}", opt.program), format!("{:?}", broken));
+    }
+}
+
+#[test]
+fn single_duplicate_wait_maps_sites_through_the_report() {
+    let pristine = build_synced(2, &[(0, 0), (1, 0)]);
+    // Duplicate only the first wait; the optimizer scans stream order, so
+    // the original (earlier, load-bearing) copy survives and the elided
+    // site is the injected one.
+    let mut over = pristine.clone();
+    let (si, ai, e) = over
+        .streams
+        .iter()
+        .enumerate()
+        .find_map(|(si, s)| {
+            s.actions.iter().enumerate().find_map(|(ai, a)| match a {
+                Action::WaitEvent(e) => Some((si, ai, *e)),
+                _ => None,
+            })
+        })
+        .expect("generator emits waits");
+    over.insert_action(StreamId(si), ai + 1, Action::WaitEvent(e));
+
+    let env = CheckEnv::permissive(&over);
+    let opt = optimize(&over, &env);
+    assert_eq!(opt.report.elided_waits, vec![Site::new(si, ai + 1)]);
+    assert_eq!(opt.report.map_site(Site::new(si, ai + 1)), None);
+    assert_eq!(
+        opt.report.map_site(Site::new(si, ai)),
+        Some(Site::new(si, ai)),
+        "actions before the elision keep their index"
+    );
+    // An action after the elided one shifts down by one.
+    assert_eq!(
+        opt.report.map_site(Site::new(si, ai + 2)),
+        Some(Site::new(si, ai + 1))
+    );
+}
+
+#[test]
+fn dead_records_are_elided() {
+    let pristine = build_synced(2, &[(0, 0)]);
+    let mut p = pristine.clone();
+    let end = p.streams[0].actions.len();
+    p.insert_record_event(StreamId(0), end);
+    let env = CheckEnv::permissive(&p);
+
+    // A record nobody waits on is the analyzer's DeadEvent *warning*, not
+    // an error — the program still analyzes clean and the optimizer
+    // removes the record.
+    let opt = optimize(&p, &env);
+    assert!(
+        !opt.report.skipped,
+        "dead record is a warning, not an error"
+    );
+    assert_eq!(opt.report.elided_records, vec![Site::new(0, end)]);
+    assert_eq!(format!("{:?}", opt.program), format!("{:?}", pristine));
+}
+
+#[test]
+fn adjacent_barriers_collapse_but_the_load_bearing_one_survives() {
+    use hstreams::testutil::{mix_kernel, stream_skeleton};
+    use hstreams::types::BufId;
+
+    // s0 produces buffer 0; two back-to-back barriers; s1 consumes it.
+    // Exactly one barrier is implied by the other — and exactly one is
+    // load-bearing, so the optimizer must remove one and keep one.
+    let mut p = stream_skeleton(2, 2);
+    p.streams[0].actions.push(Action::Transfer {
+        dir: micsim::pcie::Direction::HostToDevice,
+        buf: BufId(0),
+    });
+    p.streams[0]
+        .actions
+        .push(Action::Kernel(mix_kernel("w", [], [BufId(0)], 1.0)));
+    for s in 0..2 {
+        p.streams[s].actions.push(Action::Barrier(0));
+        p.streams[s].actions.push(Action::Barrier(1));
+    }
+    p.barriers = 2;
+    p.streams[1]
+        .actions
+        .push(Action::Kernel(mix_kernel("r", [BufId(0)], [BufId(1)], 1.0)));
+    p.validate().expect("barrier program is well-formed");
+
+    let env = CheckEnv::permissive(&p);
+    assert!(analyze(&p, &env).report.is_clean());
+    let opt = optimize(&p, &env);
+    assert!(!opt.report.skipped && !opt.report.reverted);
+    assert_eq!(opt.report.elided_barriers, 1, "{:?}", opt.report);
+    assert_eq!(opt.program.barriers, 1);
+    let cert = opt.report.certificate.as_ref().unwrap();
+    assert!(cert.holds(), "{cert:?}");
+    // Removing the survivor too would race the producer/consumer pair.
+    assert!(analyze(&opt.program, &env).report.is_clean());
+}

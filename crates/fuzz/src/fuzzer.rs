@@ -45,6 +45,10 @@ pub struct FuzzerConfig {
     /// assert isolation ([`crate::serve::serve_case`]). Serve findings
     /// are recorded unshrunk — the *pair* is the reproducer.
     pub serve_oracle: bool,
+    /// Run the sync-elision optimizer oracle on every case: clean genomes
+    /// must optimize with a holding certificate and execute equivalently,
+    /// rejected genomes must come back untouched. On by default.
+    pub opt_oracle: bool,
 }
 
 impl Default for FuzzerConfig {
@@ -54,6 +58,7 @@ impl Default for FuzzerConfig {
             full_oracles: true,
             shrink_findings: true,
             serve_oracle: false,
+            opt_oracle: true,
         }
     }
 }
@@ -108,8 +113,10 @@ impl Fuzzer {
     /// Fresh fuzzer; seed the corpus with [`add_seed`](Self::add_seed)
     /// before [`run`](Self::run).
     pub fn new(cfg: FuzzerConfig) -> Fuzzer {
+        let mut harness = Harness::new();
+        harness.opt_oracle = cfg.opt_oracle;
         Fuzzer {
-            harness: Harness::new(),
+            harness,
             cfg,
             corpus: Vec::new(),
             seen: BTreeSet::new(),
@@ -314,6 +321,7 @@ mod tests {
             full_oracles: false, // keep unit tests fast; integration covers full
             shrink_findings: true,
             serve_oracle: false,
+            opt_oracle: true,
         };
         let mut f = Fuzzer::new(cfg);
         f.add_seed("minimal", ProgramSpec::minimal());

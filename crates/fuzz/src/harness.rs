@@ -1,9 +1,9 @@
-//! The three-oracle differential harness.
+//! The four-oracle differential harness.
 //!
 //! [`Harness::run_case`] runs one genome through the static checker, the
-//! simulator, and (on `full` runs) the native executor plus the
-//! [`RefExec`] reference interpreter, enforcing both directions of the
-//! contract:
+//! simulator, the [sync-elision optimizer](hstreams::opt), and (on `full`
+//! runs) the native executor plus the [`RefExec`] reference interpreter,
+//! enforcing both directions of the contract:
 //!
 //! * **clean** (no error diagnostics): the simulator must price the
 //!   program twice with byte-identical metric exports; the native
@@ -17,6 +17,13 @@
 //!   [witness](hstreams::check::HazardWitness) must be demonstrable — a
 //!   deadlock witness wedges the FIFO interpretation, a race witness's
 //!   two schedules replay with the racing pair in both orders.
+//!
+//! The optimizer oracle rides both directions: a clean genome must
+//! optimize with a holding equivalence [certificate](hstreams::opt::Certificate),
+//! interpret to the same reference state as the original, re-install and
+//! simulate clean, and (on `full` runs, when anything was elided) leave
+//! bit-identical native buffers; a rejected genome must come back from
+//! the optimizer untouched.
 //!
 //! Any violation is a [`Disagreement`], tagged with a stable class name
 //! that shrinking preserves. Contexts are cached per geometry — every
@@ -64,6 +71,10 @@ pub struct CaseOutcome {
 /// Geometry-keyed context cache plus the differential logic.
 pub struct Harness {
     ctxs: BTreeMap<(usize, usize), Context>,
+    /// Run the sync-elision optimizer oracle on every case (on by
+    /// default; [`FuzzerConfig`](crate::FuzzerConfig) threads its knob
+    /// through here).
+    pub opt_oracle: bool,
 }
 
 impl Default for Harness {
@@ -77,6 +88,7 @@ impl Harness {
     pub fn new() -> Harness {
         Harness {
             ctxs: BTreeMap::new(),
+            opt_oracle: true,
         }
     }
 
@@ -97,7 +109,7 @@ impl Harness {
             .ctxs
             .entry((partitions, spp))
             .or_insert_with(|| build_ctx(partitions, spp));
-        run_case_in(ctx, spec, full)
+        run_case_in(ctx, spec, full, self.opt_oracle)
     }
 }
 
@@ -130,7 +142,7 @@ fn error_class(e: &Error) -> &'static str {
     }
 }
 
-fn run_case_in(ctx: &mut Context, spec: &ProgramSpec, full: bool) -> CaseOutcome {
+fn run_case_in(ctx: &mut Context, spec: &ProgramSpec, full: bool, opt: bool) -> CaseOutcome {
     let program = spec.to_program();
     let mut signals: BTreeSet<String> = BTreeSet::new();
     let mut disagreement: Option<Disagreement> = None;
@@ -340,11 +352,196 @@ fn run_case_in(ctx: &mut Context, spec: &ProgramSpec, full: bool) -> CaseOutcome
         }
     }
 
+    if opt {
+        opt_oracle(
+            ctx,
+            &program,
+            rejected,
+            full,
+            &mut signals,
+            &mut disagreement,
+        );
+    }
+
     signals.extend(overlap_signals(&summary, hidden_fraction));
     CaseOutcome {
         signals,
         rejected,
         disagreement,
+    }
+}
+
+/// The fourth oracle: the sync-elision optimizer must be provably
+/// semantics-preserving on clean genomes and must refuse rejected ones
+/// untouched. Runs last so fault-plan agreement still sees the original
+/// program's sites; leaves the optimized program installed on the cheap
+/// tier (every case re-installs its own program first).
+fn opt_oracle(
+    ctx: &mut Context,
+    program: &hstreams::program::Program,
+    rejected: bool,
+    full: bool,
+    signals: &mut BTreeSet<String>,
+    disagreement: &mut Option<Disagreement>,
+) {
+    let disagree = |d: &mut Option<Disagreement>, class: &str, detail: String| {
+        if d.is_none() {
+            *d = Some(Disagreement {
+                class: class.to_string(),
+                detail,
+            });
+        }
+    };
+    let optimized = hstreams::opt::optimize(program, &ctx.check_env());
+
+    if rejected {
+        if !optimized.report.skipped || optimized.report.elided_actions() > 0 {
+            disagree(
+                disagreement,
+                "opt-touched-rejected",
+                format!(
+                    "optimizer edited a checker-rejected program ({} action(s) elided)",
+                    optimized.report.elided_actions()
+                ),
+            );
+        } else {
+            signals.insert("opt:refused".to_string());
+        }
+        return;
+    }
+
+    if optimized.report.skipped {
+        disagree(
+            disagreement,
+            "opt-skipped-clean",
+            "checker passed but the optimizer refused the program".to_string(),
+        );
+        return;
+    }
+    if optimized.report.reverted {
+        disagree(
+            disagreement,
+            "opt-reverted",
+            "optimizer reverted its own edits on a clean program".to_string(),
+        );
+        return;
+    }
+    match &optimized.report.certificate {
+        Some(c) if c.holds() => {}
+        other => {
+            disagree(
+                disagreement,
+                "opt-certificate",
+                format!("equivalence certificate missing or violated: {other:?}"),
+            );
+            return;
+        }
+    }
+    signals.insert(
+        if optimized.report.elided_actions() > 0 {
+            "opt:elided"
+        } else {
+            "opt:noop"
+        }
+        .to_string(),
+    );
+
+    // Reference equivalence: the FIFO interpretations of the original and
+    // the optimized program must end in the same state, bit for bit.
+    let lens = buf_lens();
+    let orig_ref = match RefExec::run_fifo(program, &lens) {
+        Ok(r) => r,
+        Err(stuck) => {
+            disagree(
+                disagreement,
+                "opt-ref-wedged",
+                format!(
+                    "original clean program wedged the interpreter: {:?}",
+                    stuck.frontier
+                ),
+            );
+            return;
+        }
+    };
+    match RefExec::run_fifo(&optimized.program, &lens) {
+        Err(stuck) => disagree(
+            disagreement,
+            "opt-ref-wedged",
+            format!(
+                "optimized program wedged the interpreter: {:?}",
+                stuck.frontier
+            ),
+        ),
+        Ok(opt_ref) => {
+            if ref_bits(&orig_ref) != ref_bits(&opt_ref)
+                || orig_ref.fingerprint() != opt_ref.fingerprint()
+            {
+                disagree(
+                    disagreement,
+                    "opt-ref-divergence",
+                    format!(
+                        "reference states differ after elision in buffers {:?}",
+                        diff_bufs(&ref_bits(&orig_ref), &ref_bits(&opt_ref))
+                    ),
+                );
+            }
+        }
+    }
+    if disagreement.is_some() {
+        return;
+    }
+
+    // The optimized program must re-install and simulate clean.
+    if let Err(e) = ctx.install_program(optimized.program.clone()) {
+        disagree(
+            disagreement,
+            "opt-install-refused",
+            format!("optimized program failed installation: {e:?}"),
+        );
+        return;
+    }
+    if let Err(e) = ctx.run_sim() {
+        disagree(
+            disagreement,
+            "opt-sim-refused",
+            format!("optimized program failed simulation: {e:?}"),
+        );
+        return;
+    }
+
+    // Native bit-identity, only when something was actually elided (a
+    // no-op optimization returns the byte-identical program).
+    if full && optimized.report.elided_actions() > 0 {
+        ctx.zero_buffers();
+        match ctx.run_native() {
+            Err(e) => disagree(
+                disagreement,
+                "opt-native-refused",
+                format!("optimized program failed natively: {e:?}"),
+            ),
+            Ok(_) => {
+                let bits_opt = ctx_bits(ctx);
+                if ctx.install_program(program.clone()).is_ok() {
+                    ctx.zero_buffers();
+                    if ctx.run_native().is_ok() {
+                        let bits_orig = ctx_bits(ctx);
+                        if bits_opt != bits_orig {
+                            disagree(
+                                disagreement,
+                                "opt-native-divergence",
+                                format!(
+                                    "native buffers diverge after elision: {:?}",
+                                    diff_bufs(&bits_orig, &bits_opt)
+                                ),
+                            );
+                        } else {
+                            signals.insert("diff:opt-native-agree".to_string());
+                        }
+                    }
+                }
+            }
+        }
+        ctx.zero_buffers();
     }
 }
 
@@ -601,6 +798,39 @@ mod tests {
                 out.signals
             );
         }
+    }
+
+    #[test]
+    fn optimizer_oracle_elides_a_duplicated_wait_and_agrees() {
+        let mut s = two_lane_synced();
+        // A second wait on the same event is redundant by construction.
+        s.lanes[1].insert(1, Gene::Wait(0));
+        s.repair();
+        let mut h = Harness::new();
+        let out = h.run_case(&s, true);
+        assert!(!out.rejected, "duplicated wait is still clean");
+        assert!(out.disagreement.is_none(), "{:?}", out.disagreement);
+        assert!(
+            out.signals.contains("opt:elided"),
+            "the duplicate must be elided: {:?}",
+            out.signals
+        );
+        assert!(out.signals.contains("diff:opt-native-agree"));
+    }
+
+    #[test]
+    fn optimizer_oracle_is_a_noop_on_minimal_programs_and_refuses_racy_ones() {
+        let mut h = Harness::new();
+        let clean = h.run_case(&two_lane_synced(), false);
+        assert!(clean.signals.contains("opt:noop"), "{:?}", clean.signals);
+
+        let mut racy = two_lane_synced();
+        racy.lanes[1].remove(0);
+        racy.repair();
+        let out = h.run_case(&racy, false);
+        assert!(out.rejected);
+        assert!(out.disagreement.is_none(), "{:?}", out.disagreement);
+        assert!(out.signals.contains("opt:refused"), "{:?}", out.signals);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! # stream-fuzz — coverage-guided differential fuzzing of the runtime
 //!
-//! The workspace carries three independent opinions about every recorded
+//! The workspace carries four independent opinions about every recorded
 //! [`Program`](hstreams::program::Program):
 //!
 //! 1. the **static checker** ([`hstreams::check`]) claims the program is
@@ -9,9 +9,12 @@
 //!    calibrated platform model and exports a deterministic metric
 //!    snapshot;
 //! 3. the **native executor** ([`hstreams::executor::native`]) really runs
-//!    it on partitioned thread pools.
+//!    it on partitioned thread pools;
+//! 4. the **sync-elision optimizer** ([`hstreams::opt`]) claims its
+//!    rewrite of a clean program is happens-before equivalent, and must
+//!    refuse to touch a rejected one.
 //!
-//! This crate grinds the three against each other. A deterministic
+//! This crate grinds the four against each other. A deterministic
 //! mutator ([`mutate()`]) perturbs program *genomes* ([`genome`]) — adding,
 //! removing and moving waits and record-event edges, re-homing streams,
 //! splitting tiles, swapping scheduler kinds, splicing fault plans — and a
@@ -19,7 +22,7 @@
 //! ([`signals`]): a new checker diagnostic class at a new site, a new
 //! overlap shape, a new metrics-catalog delta, a new fault-counter or
 //! steal pattern. Retained inputs run through the **differential
-//! harness** ([`harness`]), which enforces the three-oracle contract:
+//! harness** ([`harness`]), which enforces the four-oracle contract:
 //!
 //! * **clean** programs must execute on both executors, bit-identically
 //!   across repeated native runs, agreeing with the sequential reference
@@ -28,7 +31,11 @@
 //! * **rejected** programs must be refused by both executors, and the
 //!   checker's claim must be *demonstrable*: its
 //!   [witness](hstreams::check::HazardWitness) schedule wedges (deadlock)
-//!   or diverges (race) when replayed.
+//!   or diverges (race) when replayed;
+//! * the **optimized** form of a clean program must carry a holding
+//!   equivalence certificate, agree with the reference interpreter, and
+//!   (on the full tier, whenever anything was elided) run natively
+//!   bit-identically to the original.
 //!
 //! Disagreements are shrunk ([`shrink()`]) to minimal reproducers and
 //! surfaced as [`fuzzer::Finding`]s for committal as regression tests.

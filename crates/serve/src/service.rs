@@ -27,6 +27,7 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
+use hstreams::check::Site;
 use hstreams::context::Context;
 use hstreams::executor::native::NativeConfig;
 use hstreams::fault::FaultPlan;
@@ -34,6 +35,7 @@ use hstreams::lease::{Lease, LeaseTable, TenantId};
 use hstreams::metrics::{Labels, MetricsRegistry, MetricsSnapshot, Unit};
 use hstreams::program::Program;
 use hstreams::types::{BufId, Error, Result};
+use hstreams::OptReport;
 use micsim::device::DeviceId;
 use micsim::PlatformConfig;
 
@@ -72,6 +74,14 @@ pub struct ServeConfig {
     pub executor: ExecutorKind,
     /// Seed for the per-round fault plans built from job injection sites.
     pub fault_seed: u64,
+    /// Run the sync-elision optimizer ([`hstreams::opt`]) over every
+    /// merged round program on install. Relocation lowers tenant barriers
+    /// to event records and waits whose all-to-all ordering can become
+    /// redundant once programs merge (a single-stream tenant's barrier,
+    /// for instance, lowers to a dead record); elision removes them under
+    /// a machine-checked equivalence certificate. Fault injection sites
+    /// are translated through the elision's site map automatically.
+    pub optimize: bool,
 }
 
 impl ServeConfig {
@@ -88,6 +98,7 @@ impl ServeConfig {
             max_round_tenants: 8,
             executor: ExecutorKind::Native,
             fault_seed: 1,
+            optimize: false,
         }
     }
 }
@@ -146,6 +157,9 @@ pub struct RoundReport {
     pub duration: f64,
     /// Streams in the merged program.
     pub merged_streams: usize,
+    /// Control actions the post-merge sync elision removed (zero unless
+    /// the service was built with [`ServeConfig::optimize`]).
+    pub syncs_elided: usize,
     /// Outcome per dispatched job, in dispatch order.
     pub outcomes: Vec<JobOutcome>,
 }
@@ -183,6 +197,7 @@ impl StreamService {
         let ctx = Context::builder(cfg.platform.clone())
             .partitions(cfg.capacity)
             .streams_per_partition(cfg.streams_per_partition)
+            .optimize(cfg.optimize)
             .build()?;
         Ok(StreamService {
             leases: LeaseTable::new(cfg.capacity),
@@ -372,9 +387,9 @@ impl StreamService {
         let merged = merge(parts);
         let merged_streams = merged.streams.len();
 
-        // Per-round fault plan from the jobs' injection sites, translated
-        // to merged coordinates (consumed — a retry runs clean).
-        let mut plan: Option<FaultPlan> = None;
+        // The jobs' fault injection sites in merged coordinates (consumed
+        // — a retry runs clean).
+        let mut fault_sites = Vec::new();
         for (ji, job) in selected.iter_mut().enumerate() {
             if let Some((ls, la)) = job.prog.fault.take() {
                 let ms = bases[ji].0 + ls;
@@ -384,14 +399,35 @@ impl StreamService {
                     .ok_or_else(|| {
                         Error::Config(format!("fault site ({ls},{la}) outside the program"))
                     })?;
-                plan = Some(
-                    plan.unwrap_or_else(|| FaultPlan::seeded(self.cfg.fault_seed))
-                        .panic_kernel_at(ms, ma),
-                );
+                fault_sites.push((ms, ma));
             }
         }
 
         self.ctx.install_program(merged)?;
+
+        // Post-merge sync elision (when the service was built with
+        // `optimize`) may have removed control actions, shifting later
+        // action indices down: compose the fault sites with the elision's
+        // site map. Faults target kernels — payload the optimizer never
+        // removes — so the translation is total.
+        let opt_report = self.ctx.take_opt_report();
+        let syncs_elided = opt_report.as_ref().map_or(0, OptReport::elided_actions);
+        let mut plan: Option<FaultPlan> = None;
+        for (ms, ma) in fault_sites {
+            let (ms, ma) = match &opt_report {
+                Some(r) => {
+                    let s = r.map_site(Site::new(ms, ma)).ok_or_else(|| {
+                        Error::Config(format!("fault site ({ms},{ma}) elided by the optimizer"))
+                    })?;
+                    (s.stream.0, s.action_index)
+                }
+                None => (ms, ma),
+            };
+            plan = Some(
+                plan.unwrap_or_else(|| FaultPlan::seeded(self.cfg.fault_seed))
+                    .panic_kernel_at(ms, ma),
+            );
+        }
         let (duration, degraded) = self.execute(plan)?;
         self.now += duration;
         #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
@@ -456,6 +492,7 @@ impl StreamService {
         Ok(Some(RoundReport {
             duration,
             merged_streams,
+            syncs_elided,
             outcomes,
         }))
     }

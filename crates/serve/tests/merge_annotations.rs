@@ -1,0 +1,236 @@
+//! Regression tests for diagnostic-site attribution on serve-merged
+//! programs, plus the service's opt-in post-merge sync elision.
+//!
+//! [`Diagnostic`](hstreams::check::Diagnostic) sites index streams by
+//! *position* (the analyzer enumerates), while relocated tenant parts
+//! carry declared ids rebased into merged coordinates — `id != index`
+//! whenever a part is rendered outside a full merge.
+//! `dump_annotated` used to key its note lookup by declared id, so every
+//! note on a rebased part silently vanished; these tests pin the fixed
+//! behavior end to end, from a handcrafted rebased program up through
+//! [`StreamService`]'s merge path.
+
+use hstreams::check::{analyze, CheckEnv};
+use hstreams::lease::TenantId;
+use hstreams::program::{Program, StreamPlacement, StreamRecord};
+use hstreams::testutil::mix_kernel;
+use hstreams::types::{BufId, StreamId};
+use mic_apps::workload::Workload;
+use micsim::device::DeviceId;
+use micsim::PlatformConfig;
+use stream_serve::{Admission, JobStatus, RoundReport, ServeConfig, StreamService, TenantProgram};
+
+/// The slice of `dump` output belonging to the stream at position `pos`.
+fn stream_block(dump: &str, pos: usize) -> &str {
+    let starts: Vec<usize> = dump.match_indices("stream s").map(|(i, _)| i).collect();
+    let end = starts.get(pos + 1).copied().unwrap_or(dump.len());
+    &dump[starts[pos]..end]
+}
+
+#[test]
+fn annotations_attach_by_position_when_ids_are_rebased() {
+    // A relocated tenant part rendered on its own: declared ids 3 and 4
+    // at positions 0 and 1 — exactly what `relocate` emits before merge.
+    // The two kernels race on buffer 0 (no sync at all), so the analyzer
+    // reports an error whose site speaks positions.
+    let mut p = Program::default();
+    let kernels = [
+        mix_kernel("w", [], [BufId(0)], 1.0),
+        mix_kernel("r", [BufId(0)], [BufId(1)], 1.0),
+    ];
+    for (pos, (id, k)) in [3usize, 4].into_iter().zip(kernels).enumerate() {
+        p.streams.push(StreamRecord {
+            id: StreamId(id),
+            placement: StreamPlacement {
+                device: DeviceId(0),
+                partition: pos,
+            },
+            actions: vec![hstreams::action::Action::Kernel(k)],
+        });
+    }
+
+    let env = CheckEnv::permissive(&p);
+    let report = analyze(&p, &env).report;
+    assert!(
+        report.error_count() > 0,
+        "unsynchronized conflict must be reported"
+    );
+
+    let out = p.dump_annotated(&report);
+    let carets = out.matches("        ^ ").count();
+    assert_eq!(
+        carets,
+        report.diagnostics.len(),
+        "every diagnostic renders exactly once (the old id-keyed lookup \
+         dropped them all on rebased parts):\n{out}"
+    );
+    // And each caret sits inside the block of its *positional* stream,
+    // whose header shows the rebased id.
+    assert!(stream_block(&out, 0).starts_with("stream s3"));
+    assert!(stream_block(&out, 1).starts_with("stream s4"));
+    for d in &report.diagnostics {
+        let block = stream_block(&out, d.site.stream.0);
+        assert!(
+            block.contains("        ^ "),
+            "diagnostic at positional stream {} must annotate that block:\n{out}",
+            d.site.stream.0
+        );
+    }
+}
+
+/// A single-lane tenant whose barrier lowers to a dead record, plus a
+/// duplicated event wait — both elidable post-merge, neither changing
+/// the outputs.
+fn oversynced_workload(name: &str, seed: u64) -> Workload {
+    let label = name.to_string();
+    Workload {
+        name: name.to_string(),
+        partitions: 2,
+        streams_per_partition: 1,
+        record: Box::new(move |ctx| {
+            let elems = 96usize;
+            let a = ctx.alloc(format!("{label}.a"), elems);
+            let b = ctx.alloc(format!("{label}.b"), elems);
+            let c = ctx.alloc(format!("{label}.c"), elems);
+            let fill: Vec<f32> = (0..elems)
+                .map(|i| ((seed as usize + i) % 97) as f32)
+                .collect();
+            ctx.write_host(a, &fill)?;
+            let s0 = ctx.stream(0)?;
+            let s1 = ctx.stream(1)?;
+            ctx.h2d(s0, a)?;
+            ctx.kernel(s0, mix_kernel(format!("{label}.p"), [a], [b], 1e4))?;
+            let e = ctx.record_event(s0)?;
+            // One load-bearing wait plus a duplicate: the duplicate is
+            // redundant the moment the analyzer sees it.
+            ctx.wait_event(s1, e)?;
+            ctx.wait_event(s1, e)?;
+            ctx.kernel(s1, mix_kernel(format!("{label}.q"), [b], [c], 1e4))?;
+            ctx.d2h(s1, c)?;
+            Ok(())
+        }),
+    }
+}
+
+fn capture(w: &mut Workload) -> TenantProgram {
+    TenantProgram::capture(w, &PlatformConfig::phi_31sp()).unwrap()
+}
+
+fn completed_outputs(reports: &[RoundReport], tenant: TenantId) -> Vec<Vec<f32>> {
+    reports
+        .iter()
+        .flat_map(|r| &r.outcomes)
+        .find_map(|o| match (&o.status, o.tenant) {
+            (JobStatus::Completed { outputs }, t) if t == tenant => Some(outputs.clone()),
+            _ => None,
+        })
+        .expect("tenant completed")
+}
+
+#[test]
+fn post_merge_elision_preserves_outputs_and_reports_counts() {
+    let payloads: Vec<TenantProgram> = (0..3u64)
+        .map(|t| capture(&mut oversynced_workload(&format!("os{t}"), 31 + t)))
+        .collect();
+
+    // Baseline: served without the optimizer.
+    let mut plain = StreamService::new(ServeConfig::new(PlatformConfig::phi_31sp())).unwrap();
+    for (t, p) in payloads.iter().enumerate() {
+        assert!(matches!(
+            plain.submit(TenantId(t as u16), p.clone()),
+            Admission::Accepted(_)
+        ));
+    }
+    let base_reports = plain.drain(8).unwrap();
+    assert!(base_reports.iter().all(|r| r.syncs_elided == 0));
+
+    // Same tenants with post-merge elision on.
+    let mut cfg = ServeConfig::new(PlatformConfig::phi_31sp());
+    cfg.optimize = true;
+    let mut opted = StreamService::new(cfg).unwrap();
+    for (t, p) in payloads.iter().enumerate() {
+        assert!(matches!(
+            opted.submit(TenantId(t as u16), p.clone()),
+            Admission::Accepted(_)
+        ));
+    }
+    let opt_reports = opted.drain(8).unwrap();
+    let elided: usize = opt_reports.iter().map(|r| r.syncs_elided).sum();
+    // Each tenant carries one duplicate wait; the merged round elides
+    // every one of them.
+    assert!(
+        elided >= payloads.len(),
+        "expected at least one elision per tenant, got {elided}"
+    );
+
+    for t in 0..payloads.len() {
+        assert_eq!(
+            completed_outputs(&opt_reports, TenantId(t as u16)),
+            completed_outputs(&base_reports, TenantId(t as u16)),
+            "tenant {t}: elision must not change served outputs"
+        );
+    }
+}
+
+#[test]
+fn fault_sites_translate_through_the_elision_site_map() {
+    // Single-lane tenant with a barrier before its second kernel: the
+    // barrier lowers to a dead record (one stream, zero waiters), elision
+    // removes it, and every later action shifts down one index. The
+    // injected fault targets the post-barrier kernel, so its merged
+    // coordinate is only correct if the service composes the fault site
+    // with the optimizer's site map.
+    let mut w = Workload {
+        name: "chaos".to_string(),
+        partitions: 1,
+        streams_per_partition: 1,
+        record: Box::new(move |ctx| {
+            let elems = 64usize;
+            let a = ctx.alloc("ch.a", elems);
+            let b = ctx.alloc("ch.b", elems);
+            let c = ctx.alloc("ch.c", elems);
+            ctx.write_host(a, &vec![1.0; elems])?;
+            let s = ctx.stream(0)?;
+            ctx.h2d(s, a)?;
+            ctx.kernel(s, mix_kernel("ch.k1", [a], [b], 1e4))?;
+            ctx.barrier();
+            ctx.kernel(s, mix_kernel("ch.k2", [b], [c], 1e4))?;
+            ctx.d2h(s, c)?;
+            Ok(())
+        }),
+    };
+    let prog = capture(&mut w);
+    let site = prog.nth_kernel_site(1).expect("two kernels recorded");
+    let faulted = prog.clone().with_fault(site.0, site.1);
+
+    let mut cfg = ServeConfig::new(PlatformConfig::phi_31sp());
+    cfg.optimize = true;
+    let mut svc = StreamService::new(cfg).unwrap();
+    assert!(matches!(
+        svc.submit(TenantId(0), faulted),
+        Admission::Accepted(_)
+    ));
+    let reports = svc.drain(8).unwrap();
+    assert_eq!(svc.queued(), 0);
+
+    // Round 1 elides the dead barrier record AND still fires the panic on
+    // the (shifted) kernel; round 2 retries the consumed-fault payload
+    // clean.
+    let statuses: Vec<&JobStatus> = reports
+        .iter()
+        .flat_map(|r| &r.outcomes)
+        .map(|o| &o.status)
+        .collect();
+    assert!(
+        matches!(statuses.first(), Some(JobStatus::Degraded { skipped, .. }) if *skipped > 0),
+        "fault must land on the shifted kernel site: {statuses:?}"
+    );
+    assert!(
+        matches!(statuses.last(), Some(JobStatus::Completed { .. })),
+        "retry completes: {statuses:?}"
+    );
+    assert!(
+        reports.iter().any(|r| r.syncs_elided > 0),
+        "the dead barrier record was elided"
+    );
+}

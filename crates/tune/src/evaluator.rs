@@ -48,6 +48,18 @@ pub trait Evaluator {
     fn set_scheduler(&mut self, kind: SchedulerKind) {
         let _ = kind;
     }
+
+    /// A *sound* lower bound on what [`evaluate`](Evaluator::evaluate)
+    /// would measure for this candidate, in seconds — or `None` when the
+    /// backend cannot promise one. The tuner uses it to prune candidates
+    /// that provably cannot beat the incumbent without paying for a run,
+    /// so an unsound bound silently corrupts the winner: backends must
+    /// only return `Some` when the inequality `bound ≤ measurement` is a
+    /// theorem, not a heuristic. Defaults to `None` (no pruning).
+    fn lower_bound(&mut self, app: &mut dyn Tunable, p: usize, t: usize) -> Option<f64> {
+        let _ = (app, p, t);
+        None
+    }
 }
 
 /// Deterministic evaluator: replans one simulator-backed context and prices
@@ -55,13 +67,25 @@ pub trait Evaluator {
 /// native threads, identical numbers on every call.
 pub struct SimEvaluator {
     ctx: Context,
+    optimize: bool,
 }
 
 impl SimEvaluator {
     /// Build the shared context for `platform`.
     pub fn new(platform: PlatformConfig) -> hstreams::types::Result<SimEvaluator> {
         let ctx = Context::builder(platform).build()?;
-        Ok(SimEvaluator { ctx })
+        Ok(SimEvaluator {
+            ctx,
+            optimize: false,
+        })
+    }
+
+    /// Run the sync-elision optimizer
+    /// ([`Context::apply_optimizer`]) over every recorded candidate before
+    /// simulating it — the tuner's opt-in to [`hstreams::opt`].
+    pub fn with_optimizer(mut self, on: bool) -> SimEvaluator {
+        self.optimize = on;
+        self
     }
 
     /// The shared context (e.g. to inspect buffers after tuning).
@@ -81,6 +105,9 @@ impl Evaluator for SimEvaluator {
         }
         self.ctx.replan(p).ok()?;
         app.record(&mut self.ctx, t).ok()?;
+        if self.optimize {
+            self.ctx.apply_optimizer();
+        }
         let report = self.ctx.run_sim().ok()?;
         let stats = report.overlap();
         Some(Measurement {
@@ -91,6 +118,25 @@ impl Evaluator for SimEvaluator {
 
     fn set_scheduler(&mut self, kind: SchedulerKind) {
         self.ctx.set_scheduler(kind);
+    }
+
+    /// [`hstreams::opt::static_cost`]'s makespan lower bound for the
+    /// candidate's recorded program. Sound against the simulator because
+    /// the cost model prices actions with the exact formulas the
+    /// simulator executes and the simulator's dependency edges are a
+    /// superset of the happens-before edges — but **only under FIFO**:
+    /// the other schedulers re-place and reorder the recorded program, so
+    /// the bound declines (`None`) for them.
+    fn lower_bound(&mut self, app: &mut dyn Tunable, p: usize, t: usize) -> Option<f64> {
+        if self.ctx.scheduler() != SchedulerKind::Fifo || !app.feasible(t) {
+            return None;
+        }
+        self.ctx.replan(p).ok()?;
+        app.record(&mut self.ctx, t).ok()?;
+        if self.optimize {
+            self.ctx.apply_optimizer();
+        }
+        Some(self.ctx.static_cost()?.makespan_lower_bound)
     }
 }
 
@@ -224,6 +270,43 @@ mod tests {
         let b = ev.evaluate(&mut app, 4, 8).unwrap();
         assert_eq!(a, b);
         assert!(a.seconds > 0.0);
+    }
+
+    #[test]
+    fn sim_lower_bound_is_sound_and_fifo_only() {
+        let mut ev = SimEvaluator::new(PlatformConfig::phi_31sp()).unwrap();
+        let mut app = TunableHbench::new(1 << 14, 8, None);
+        for (p, t) in [(1usize, 2usize), (2, 4), (4, 8), (4, 2)] {
+            let lb = ev.lower_bound(&mut app, p, t).expect("FIFO sim can bound");
+            let m = ev.evaluate(&mut app, p, t).unwrap();
+            assert!(
+                lb > 0.0 && lb <= m.seconds + 1e-12,
+                "bound must be sound at P={p} T={t}: {lb} vs {}",
+                m.seconds
+            );
+        }
+        // Non-FIFO schedulers re-place the program: the bound declines.
+        ev.set_scheduler(SchedulerKind::ListHeft);
+        assert!(ev.lower_bound(&mut app, 4, 8).is_none());
+    }
+
+    #[test]
+    fn sim_evaluator_with_optimizer_measures_identically_on_minimal_apps() {
+        // The tunable apps record already-minimal sync, so opting into the
+        // optimizer must not change what the simulator measures.
+        // One app per evaluator: a Tunable binds to the context it first
+        // records into.
+        let mut plain = SimEvaluator::new(PlatformConfig::phi_31sp()).unwrap();
+        let a = plain
+            .evaluate(&mut TunableHbench::new(1 << 14, 8, None), 4, 8)
+            .unwrap();
+        let mut opted = SimEvaluator::new(PlatformConfig::phi_31sp())
+            .unwrap()
+            .with_optimizer(true);
+        let b = opted
+            .evaluate(&mut TunableHbench::new(1 << 14, 8, None), 4, 8)
+            .unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]

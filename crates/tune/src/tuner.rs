@@ -123,6 +123,12 @@ pub struct TuneOutcome {
     pub candidates_visited: usize,
     /// Candidates skipped because the app cannot tile that way.
     pub infeasible_skipped: usize,
+    /// Candidates skipped because the evaluator's static
+    /// [`lower_bound`](crate::evaluator::Evaluator::lower_bound) already
+    /// exceeded the best measurement — provably not the winner, never run
+    /// (zero unless [`Tuner::bound_pruning`] is on and the backend can
+    /// bound).
+    pub pruned_by_bound: usize,
     /// Size of the *exhaustive* grid under the same bounds, for reduction
     /// accounting.
     pub grid_size: usize,
@@ -214,6 +220,13 @@ pub struct Tuner {
     /// semantics). [`Tuner::tune_schedulers`] sweeps this as a third
     /// tunable alongside `(P, T)`.
     pub scheduler: SchedulerKind,
+    /// Skip candidates whose static makespan lower bound
+    /// ([`Evaluator::lower_bound`]) strictly exceeds the best measurement
+    /// so far. Because the bound is sound (`bound ≤ measurement`), a
+    /// pruned candidate provably cannot beat — or even tie — the
+    /// incumbent, so the winner and its ordering are exactly those of the
+    /// unpruned sweep. Off by default.
+    pub bound_pruning: bool,
 }
 
 impl Tuner {
@@ -223,6 +236,7 @@ impl Tuner {
             cache: MeasurementCache::new(),
             policy,
             scheduler: SchedulerKind::Fifo,
+            bound_pruning: false,
         }
     }
 
@@ -264,6 +278,7 @@ impl Tuner {
         let mut best: Option<((usize, usize), f64)> = None;
         let mut evaluator_calls = 0usize;
         let mut infeasible_skipped = 0usize;
+        let mut pruned_by_bound = 0usize;
         let mut visit_order = Vec::new();
         let mut landscape = Vec::new();
 
@@ -282,6 +297,19 @@ impl Tuner {
             let (trial, cached) = match self.cache.lookup(&key) {
                 Some(trial) => (trial, true),
                 None => {
+                    // Static pruning: a candidate whose sound lower bound
+                    // already exceeds the best *measurement* cannot win
+                    // (strictly worse, so it cannot even tie into the
+                    // lexicographic tie-break). Cached trials above stay
+                    // free either way.
+                    if self.bound_pruning {
+                        if let (Some((_, bv)), Some(lb)) = (best, eval.lower_bound(app, p, t)) {
+                            if lb > bv {
+                                pruned_by_bound += 1;
+                                continue;
+                            }
+                        }
+                    }
                     let incumbent = best.map(|(_, v)| v);
                     let Some(trial) =
                         self.measure(app, eval, p, t, incumbent, &mut evaluator_calls)
@@ -322,6 +350,7 @@ impl Tuner {
             evaluator_calls,
             candidates_visited: visit_order.len(),
             infeasible_skipped,
+            pruned_by_bound,
             grid_size,
             visit_order,
             landscape,
@@ -411,6 +440,13 @@ mod tests {
     use super::*;
     use crate::evaluator::Measurement;
 
+    /// The scripted evaluators' closed-form landscape.
+    fn synthetic_price(p: usize, t: usize) -> f64 {
+        let misaligned = if 56 % p == 0 { 0.0 } else { 5.0 };
+        let idle = if t.is_multiple_of(p) { 0.0 } else { 3.0 };
+        (p as f64 - 8.0).abs() + (t as f64 - 16.0).abs() * 0.1 + misaligned + idle
+    }
+
     /// Scripted evaluator: prices candidates from a closed form and counts
     /// calls, no simulator involved.
     struct Scripted {
@@ -438,14 +474,8 @@ mod tests {
             self.calls += 1;
             let n = self.noise[self.next % self.noise.len()];
             self.next += 1;
-            let misaligned = if 56 % p == 0 { 0.0 } else { 5.0 };
-            let idle = if t.is_multiple_of(p) { 0.0 } else { 3.0 };
             Some(Measurement {
-                seconds: (p as f64 - 8.0).abs()
-                    + (t as f64 - 16.0).abs() * 0.1
-                    + misaligned
-                    + idle
-                    + n,
+                seconds: synthetic_price(p, t) + n,
                 hidden_fraction: 0.5,
             })
         }
@@ -652,6 +682,79 @@ mod tests {
             }
         }
         assert!(pruned_any, "landscape should contain pruned candidates");
+    }
+
+    #[test]
+    fn bound_pruning_preserves_the_winner_and_skips_provable_losers() {
+        /// Scripted evaluator with a *sound* static bound: 90 % of the
+        /// true price (counts bound queries separately from runs).
+        struct Bounded {
+            runs: usize,
+            bounds: usize,
+        }
+        impl Evaluator for Bounded {
+            fn backend(&self) -> &'static str {
+                "bounded"
+            }
+            fn evaluate(&mut self, _: &mut dyn Tunable, p: usize, t: usize) -> Option<Measurement> {
+                self.runs += 1;
+                Some(Measurement {
+                    seconds: synthetic_price(p, t),
+                    hidden_fraction: 0.5,
+                })
+            }
+            fn lower_bound(&mut self, _: &mut dyn Tunable, p: usize, t: usize) -> Option<f64> {
+                self.bounds += 1;
+                Some(synthetic_price(p, t) * 0.9)
+            }
+        }
+
+        let platform = PlatformConfig::phi_31sp();
+        let baseline = Tuner::new(RepeatPolicy::sim()).tune(
+            &mut AnyApp,
+            &mut Bounded { runs: 0, bounds: 0 },
+            &platform,
+            &bounds(),
+            Strategy::Exhaustive,
+        );
+        assert_eq!(baseline.pruned_by_bound, 0, "pruning is opt-in");
+
+        let mut tuner = Tuner::new(RepeatPolicy::sim());
+        tuner.bound_pruning = true;
+        let mut eval = Bounded { runs: 0, bounds: 0 };
+        let pruned = tuner.tune(
+            &mut AnyApp,
+            &mut eval,
+            &platform,
+            &bounds(),
+            Strategy::Exhaustive,
+        );
+        assert_eq!(
+            pruned.winner, baseline.winner,
+            "pruning must not move the winner"
+        );
+        assert_eq!(pruned.winner_seconds, baseline.winner_seconds);
+        assert!(pruned.pruned_by_bound > 0, "landscape has provable losers");
+        assert!(
+            eval.runs < baseline.candidates_visited,
+            "pruned candidates must not be run: {} runs vs {} visited",
+            eval.runs,
+            baseline.candidates_visited
+        );
+        assert_eq!(
+            pruned.candidates_visited + pruned.pruned_by_bound + pruned.infeasible_skipped,
+            baseline.candidates_visited + baseline.infeasible_skipped,
+            "every candidate is accounted for"
+        );
+        // Measured candidates keep the visit order of the unpruned sweep
+        // (pruning deletes entries, never reorders).
+        let mut it = baseline.visit_order.iter();
+        for v in &pruned.visit_order {
+            assert!(
+                it.any(|b| b == v),
+                "pruned visit order is a subsequence of the baseline"
+            );
+        }
     }
 
     /// Scripted evaluator whose landscape depends on the scheduler the

@@ -13,6 +13,18 @@ cargo clippy --workspace --all-targets -- -D warnings \
   -W clippy::semicolon_if_nothing_returned \
   -W clippy::redundant_closure_for_method_calls
 
+echo "==> unsafe-code audit (every unsafe site carries a SAFETY comment)"
+unaudited=0
+while IFS=: read -r file line _; do
+  start=$(( line > 6 ? line - 6 : 1 ))
+  if ! sed -n "${start},${line}p" "$file" | grep -q "SAFETY"; then
+    echo "  missing SAFETY comment: $file:$line"
+    unaudited=1
+  fi
+done < <(grep -rnE 'unsafe (impl|fn)|unsafe ?\{' crates --include='*.rs' \
+           | grep -vE ':[[:space:]]*(//|//!|///)')
+[ "$unaudited" -eq 0 ] || { echo "unsafe audit failed"; exit 1; }
+
 echo "==> cargo doc (deny warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
 
@@ -60,6 +72,9 @@ cargo run --release -p mic-bench --bin bench_native_runtime -- --quick
 
 echo "==> serving gate (quick: 8 tenants, Jain >= 0.9, chaos isolation bit-exact)"
 cargo run --release -p mic-bench --bin bench_serve -- --quick
+
+echo "==> optimizer gate (quick: certified elision fixpoint, sound static bound, winner-preserving pruning)"
+cargo run --release -p mic-bench --bin bench_opt -- --quick
 
 echo "==> bench result envelopes (schema_version/bench/mode on every BENCH_*.json)"
 cargo run --release -p mic-bench --bin bench_compare
